@@ -1,0 +1,71 @@
+// Shared plumbing for the experiment harnesses (E1..E9).
+//
+// Each harness regenerates one table/figure of the paper's evaluation:
+// it prints the series as an aligned table plus a CSV block so the data
+// can be re-plotted directly.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/baselines.hpp"
+#include "core/accelerator.hpp"
+#include "util/table.hpp"
+
+namespace mocha::bench {
+
+/// Every accelerator the comparative figures sweep: MOCHA plus the three
+/// fixed-strategy baselines, all planned for the same objective.
+struct Fleet {
+  core::Accelerator mocha;
+  std::vector<std::pair<baseline::Strategy, core::Accelerator>> baselines;
+
+  static Fleet make(core::Objective objective =
+                        core::Objective::EnergyDelayProduct) {
+    Fleet fleet{core::make_mocha_accelerator(fabric::mocha_default_config(),
+                                             model::default_tech(), objective),
+                {}};
+    for (baseline::Strategy strategy : baseline::kAllStrategies) {
+      fleet.baselines.emplace_back(
+          strategy, baseline::make_baseline_accelerator(
+                        strategy, model::default_tech(), objective));
+    }
+    return fleet;
+  }
+};
+
+/// Per-network reports for the whole fleet, cached across figures within a
+/// binary run.
+struct FleetRuns {
+  core::RunReport mocha;
+  std::map<baseline::Strategy, core::RunReport> baselines;
+
+  /// The baseline whose metric (extracted by `metric`) is best (highest).
+  template <typename Metric>
+  const core::RunReport& best_baseline(Metric metric) const {
+    const core::RunReport* best = nullptr;
+    for (const auto& [strategy, report] : baselines) {
+      if (best == nullptr || metric(report) > metric(*best)) {
+        best = &report;
+      }
+    }
+    return *best;
+  }
+};
+
+inline FleetRuns run_fleet(const Fleet& fleet, const nn::Network& net) {
+  FleetRuns runs{fleet.mocha.run(net), {}};
+  for (const auto& [strategy, acc] : fleet.baselines) {
+    runs.baselines.emplace(strategy, acc.run(net));
+  }
+  return runs;
+}
+
+inline void emit(const util::Table& table, const std::string& title) {
+  table.print(std::cout, title);
+  std::cout << "\n--- CSV ---\n" << table.to_csv() << "\n";
+}
+
+}  // namespace mocha::bench

@@ -1,0 +1,36 @@
+// E11 (extension) — batch scaling: throughput and efficiency vs batch size
+// on AlexNet (whose FC layers are weight-bandwidth-bound at batch 1) for
+// MOCHA and the next-best baseline. Demonstrates the classic batching
+// crossover: FC layers recover arithmetic intensity as resident/streamed
+// weights amortize over images.
+#include "common.hpp"
+
+int main() {
+  using namespace mocha;
+  const nn::Network net = nn::make_alexnet();
+
+  util::Table table({"batch", "mocha GOPS", "mocha GOPS/W", "mocha ms/img",
+                     "nextbest GOPS", "nextbest GOPS/W"});
+  for (nn::Index batch : {1, 2, 4, 8, 16}) {
+    const core::RunReport mocha =
+        core::make_mocha_accelerator().run(net, {}, batch);
+
+    double best_gops = 0;
+    double best_eff = 0;
+    for (baseline::Strategy strategy : baseline::kAllStrategies) {
+      const core::RunReport report =
+          baseline::make_baseline_accelerator(strategy).run(net, {}, batch);
+      best_gops = std::max(best_gops, report.throughput_gops());
+      best_eff = std::max(best_eff, report.efficiency_gops_per_w());
+    }
+    table.row()
+        .cell(static_cast<long long>(batch))
+        .cell(mocha.throughput_gops())
+        .cell(mocha.efficiency_gops_per_w())
+        .cell(mocha.runtime_ms() / static_cast<double>(batch))
+        .cell(best_gops)
+        .cell(best_eff);
+  }
+  bench::emit(table, "E11: batch scaling, AlexNet");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E14 (extension) — generalization to depthwise-separable networks:
+// MOCHA vs the fixed baselines on MobileNet-v1, per block type and total.
+// Depthwise layers are bandwidth-bound (K^2 MACs per activation), so the
+// morphable dataflow's compression and fusion matter even more than on the
+// paper's AlexNet/VGG workloads.
+#include "common.hpp"
+
+int main() {
+  using namespace mocha;
+  const nn::Network net = nn::make_mobilenet_v1();
+  const bench::Fleet fleet = bench::Fleet::make();
+  const bench::FleetRuns runs = bench::run_fleet(fleet, net);
+
+  // Aggregate by layer class.
+  struct Bucket {
+    std::int64_t macs = 0;
+    sim::Cycle mocha_cycles = 0;
+    sim::Cycle best_cycles = 0;
+  };
+  std::map<std::string, Bucket> buckets;
+  const core::RunReport& best = runs.best_baseline(
+      [](const core::RunReport& r) { return r.throughput_gops(); });
+  for (std::size_t l = 0; l < net.layers.size(); ++l) {
+    const char* kind = net.layers[l].kind == nn::LayerKind::DepthwiseConv
+                           ? "depthwise"
+                       : net.layers[l].kind == nn::LayerKind::Conv
+                           ? "pointwise/conv"
+                       : net.layers[l].kind == nn::LayerKind::Pool ? "pool"
+                                                                   : "fc";
+    const core::GroupReport* mg = runs.mocha.group_for_layer(l);
+    const core::GroupReport* bg = best.group_for_layer(l);
+    if (mg == nullptr || bg == nullptr) continue;
+    Bucket& bucket = buckets[kind];
+    bucket.macs += net.layers[l].macs();
+    // Attribute group cycles proportionally by MACs when layers fused.
+    const auto share = [&](const core::GroupReport& g) {
+      return static_cast<sim::Cycle>(
+          static_cast<double>(g.cycles) *
+          static_cast<double>(net.layers[l].macs()) /
+          static_cast<double>(std::max<std::int64_t>(1, g.dense_macs)));
+    };
+    bucket.mocha_cycles += share(*mg);
+    bucket.best_cycles += share(*bg);
+  }
+
+  util::Table table({"layer class", "MMACs", "mocha Mcycles",
+                     "nextbest Mcycles", "speedup"});
+  for (const auto& [kind, bucket] : buckets) {
+    table.row()
+        .cell(kind)
+        .cell(static_cast<double>(bucket.macs) / 1e6, 1)
+        .cell(static_cast<double>(bucket.mocha_cycles) / 1e6, 2)
+        .cell(static_cast<double>(bucket.best_cycles) / 1e6, 2)
+        .cell(static_cast<double>(bucket.best_cycles) /
+                  static_cast<double>(std::max<sim::Cycle>(1,
+                                                           bucket.mocha_cycles)),
+              2);
+  }
+  table.row()
+      .cell("TOTAL")
+      .cell(static_cast<double>(net.total_macs()) / 1e6, 1)
+      .cell(static_cast<double>(runs.mocha.total_cycles) / 1e6, 2)
+      .cell(static_cast<double>(best.total_cycles) / 1e6, 2)
+      .cell(static_cast<double>(best.total_cycles) /
+                static_cast<double>(runs.mocha.total_cycles),
+            2);
+  bench::emit(table, "E14: MobileNet-v1 by layer class");
+
+  std::cout << "totals: mocha " << runs.mocha.throughput_gops() << " GOPS / "
+            << runs.mocha.efficiency_gops_per_w() << " GOPS/W vs next best "
+            << best.throughput_gops() << " GOPS / "
+            << best.efficiency_gops_per_w() << " GOPS/W\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E13 (extension) — roofline: per-layer operational intensity (MACs per
+// DRAM byte) against attained GOPS, for MOCHA and the tiling baseline on
+// AlexNet + VGG-16. Compression moves layers RIGHT (fewer DRAM bytes per
+// MAC) and zero-skipping lifts the attainable ceiling — the roofline view
+// of why MOCHA wins where it wins.
+#include "common.hpp"
+
+int main() {
+  using namespace mocha;
+  const auto config = fabric::mocha_default_config();
+  const double peak_gops = config.peak_gops();
+  const double bw_gops_per_intensity =
+      // GOPS attainable per unit intensity: 2 ops/MAC * bytes/s.
+      2.0 * static_cast<double>(config.dram_bytes_per_cycle) *
+      config.clock_ghz;
+  std::cout << "roofline: peak " << peak_gops << " GOPS, memory slope "
+            << bw_gops_per_intensity << " GOPS per (MAC/byte)\n\n";
+
+  const bench::Fleet fleet = bench::Fleet::make(core::Objective::Cycles);
+  for (const nn::Network& net : nn::benchmark_networks()) {
+    const core::RunReport mocha = fleet.mocha.run(net);
+    const core::RunReport tiling =
+        fleet.baselines.front().second.run(net);
+
+    util::Table table({"layer", "mocha MAC/B", "mocha GOPS", "mocha PE util",
+                       "tiling MAC/B", "tiling GOPS", "regime"});
+    for (std::size_t l = 0; l < net.layers.size(); ++l) {
+      if (net.layers[l].kind == nn::LayerKind::Pool) continue;
+      const core::GroupReport* mg = mocha.group_for_layer(l);
+      const core::GroupReport* tg = tiling.group_for_layer(l);
+      if (mg == nullptr || tg == nullptr) continue;
+      const double mocha_gops = mg->throughput_gops(mocha.clock_ghz);
+      const double knee_intensity = peak_gops / bw_gops_per_intensity;
+      table.row()
+          .cell(net.layers[l].name)
+          .cell(mg->macs_per_dram_byte(), 1)
+          .cell(mocha_gops)
+          .cell(mg->pe_utilization, 2)
+          .cell(tg->macs_per_dram_byte(), 1)
+          .cell(tg->throughput_gops(tiling.clock_ghz))
+          .cell(mg->macs_per_dram_byte() < knee_intensity ? "memory-bound"
+                                                          : "compute-bound");
+    }
+    bench::emit(table, "E13: roofline coordinates, " + net.name);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E9 — scalability figure: MOCHA vs next-best across PE-array sizes and
+// scratchpad capacities (does the advantage persist as resources scale?).
+#include "common.hpp"
+
+int main() {
+  using namespace mocha;
+  const nn::Network net = nn::make_alexnet();
+
+  util::Table pe_table({"PE array", "mocha GOPS", "nextbest GOPS", "gain %",
+                        "mocha GOPS/W", "nextbest GOPS/W", "gain %"});
+  for (int dim : {4, 8, 12, 16}) {
+    auto mocha_cfg = fabric::mocha_default_config();
+    mocha_cfg.pe_rows = mocha_cfg.pe_cols = dim;
+    const core::RunReport mocha =
+        core::make_mocha_accelerator(mocha_cfg).run(net);
+
+    core::RunReport best;
+    double best_score = -1;
+    for (baseline::Strategy strategy : baseline::kAllStrategies) {
+      auto base_cfg = fabric::baseline_config(baseline::strategy_name(strategy));
+      base_cfg.pe_rows = base_cfg.pe_cols = dim;
+      const core::RunReport report =
+          baseline::make_baseline_accelerator(strategy, base_cfg,
+                                              model::default_tech())
+              .run(net);
+      if (report.throughput_gops() > best_score) {
+        best_score = report.throughput_gops();
+        best = report;
+      }
+    }
+    std::ostringstream label;
+    label << dim << "x" << dim;
+    pe_table.row()
+        .cell(label.str())
+        .cell(mocha.throughput_gops())
+        .cell(best.throughput_gops())
+        .cell((mocha.throughput_gops() / best.throughput_gops() - 1.0) * 100,
+              1)
+        .cell(mocha.efficiency_gops_per_w())
+        .cell(best.efficiency_gops_per_w())
+        .cell((mocha.efficiency_gops_per_w() /
+                   best.efficiency_gops_per_w() -
+               1.0) *
+                  100,
+              1);
+  }
+  bench::emit(pe_table, "E9a: PE-array scaling (AlexNet)");
+
+  util::Table sram_table({"SRAM KiB", "mocha GOPS", "mocha GOPS/W",
+                          "DRAM MiB", "peak KiB"});
+  for (int kib : {32, 64, 128, 256, 512}) {
+    auto config = fabric::mocha_default_config();
+    config.sram_bytes = static_cast<std::int64_t>(kib) * 1024;
+    const core::RunReport report =
+        core::make_mocha_accelerator(config).run(net);
+    sram_table.row()
+        .cell(static_cast<long long>(kib))
+        .cell(report.throughput_gops())
+        .cell(report.efficiency_gops_per_w())
+        .cell(static_cast<double>(report.total_dram_bytes) / (1024.0 * 1024.0))
+        .cell(static_cast<double>(report.peak_sram_bytes) / 1024.0, 1);
+  }
+  bench::emit(sram_table, "E9b: scratchpad scaling (AlexNet, MOCHA)");
+  return 0;
+}

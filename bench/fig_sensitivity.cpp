@@ -1,0 +1,105 @@
+// E12 (extension) — sensitivity analysis: do the headline comparisons
+// survive perturbation of the modelling constants that substitute for the
+// paper's post-layout synthesis? For each knob, MOCHA and the next-best
+// baseline are re-planned and re-simulated on AlexNet and the relative
+// gains reported. A reproduction whose conclusions flip when a constant
+// moves 2x would not be a reproduction of anything.
+#include "common.hpp"
+
+#include "core/morph.hpp"
+
+namespace {
+
+using namespace mocha;
+
+struct Outcome {
+  double throughput_gain = 0;
+  double efficiency_gain = 0;
+};
+
+Outcome compare(const fabric::FabricConfig& mocha_cfg,
+                const model::TechParams& tech) {
+  const nn::Network net = nn::make_alexnet();
+  const core::RunReport mocha =
+      core::make_mocha_accelerator(mocha_cfg, tech).run(net);
+
+  double best_gops = 0;
+  double best_eff = 0;
+  for (baseline::Strategy strategy : baseline::kAllStrategies) {
+    auto base_cfg = fabric::baseline_config(baseline::strategy_name(strategy));
+    base_cfg.pe_rows = mocha_cfg.pe_rows;
+    base_cfg.pe_cols = mocha_cfg.pe_cols;
+    base_cfg.sram_bytes = mocha_cfg.sram_bytes;
+    base_cfg.dram_bytes_per_cycle = mocha_cfg.dram_bytes_per_cycle;
+    base_cfg.dma_channels = mocha_cfg.dma_channels;
+    const core::RunReport report =
+        baseline::make_baseline_accelerator(strategy, base_cfg, tech).run(net);
+    best_gops = std::max(best_gops, report.throughput_gops());
+    best_eff = std::max(best_eff, report.efficiency_gops_per_w());
+  }
+  return {(mocha.throughput_gops() / best_gops - 1.0) * 100.0,
+          (mocha.efficiency_gops_per_w() / best_eff - 1.0) * 100.0};
+}
+
+}  // namespace
+
+int main() {
+  util::Table table(
+      {"perturbation", "thr gain %", "eff gain %", "conclusion"});
+  auto row = [&](const std::string& name, const Outcome& o) {
+    table.row()
+        .cell(name)
+        .cell(o.throughput_gain, 1)
+        .cell(o.efficiency_gain, 1)
+        .cell(o.throughput_gain > 0 && o.efficiency_gain > 0
+                  ? "mocha wins"
+                  : "FLIPPED");
+  };
+
+  row("nominal", compare(fabric::mocha_default_config(),
+                         model::default_tech()));
+
+  {
+    auto tech = model::default_tech();
+    tech.dram_pj_per_byte *= 0.5;
+    row("DRAM energy x0.5", compare(fabric::mocha_default_config(), tech));
+    tech.dram_pj_per_byte *= 4.0;  // net x2 vs nominal
+    row("DRAM energy x2", compare(fabric::mocha_default_config(), tech));
+  }
+  {
+    auto tech = model::default_tech();
+    tech.mac_pj *= 2.0;
+    row("MAC energy x2", compare(fabric::mocha_default_config(), tech));
+  }
+  {
+    auto config = fabric::mocha_default_config();
+    config.zero_skip_floor = 1.0;  // zero-skipping disabled entirely
+    row("no zero-skip", compare(config, model::default_tech()));
+  }
+  {
+    auto config = fabric::mocha_default_config();
+    config.codec_bytes_per_cycle = 4;  // half-rate codec engines
+    row("codec rate x0.5", compare(config, model::default_tech()));
+  }
+  {
+    auto config = fabric::mocha_default_config();
+    config.dram_bytes_per_cycle = 4;  // bandwidth-starved platform
+    row("DRAM bandwidth x0.5", compare(config, model::default_tech()));
+    config.dram_bytes_per_cycle = 16;
+    row("DRAM bandwidth x2", compare(config, model::default_tech()));
+  }
+  {
+    auto config = fabric::mocha_default_config();
+    config.dma_channels = 2;  // split-channel DMA
+    row("2 DMA channels", compare(config, model::default_tech()));
+  }
+  {
+    auto config = fabric::mocha_default_config();
+    config.sram_bytes = 128 * 1024;
+    row("scratchpad 128 KiB", compare(config, model::default_tech()));
+  }
+
+  mocha::bench::emit(table,
+                     "E12: sensitivity of the headline gains (AlexNet)");
+  return 0;
+}

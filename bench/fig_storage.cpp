@@ -1,0 +1,74 @@
+// E5 — storage figure: peak on-chip storage per layer group and per
+// network. Paper claim: up to 30% less storage than the next best
+// accelerator (compressed residency in the scratchpad).
+#include "common.hpp"
+
+int main() {
+  using namespace mocha;
+  const bench::Fleet fleet = bench::Fleet::make();
+  double best_saving = 0;
+
+  for (const nn::Network& net : nn::benchmark_networks()) {
+    const bench::FleetRuns runs = bench::run_fleet(fleet, net);
+    auto layer_peak = [&](const core::RunReport& report, std::size_t l) {
+      const core::GroupReport* group = report.group_for_layer(l);
+      return group == nullptr ? 0.0
+                              : static_cast<double>(group->peak_sram_bytes) /
+                                    1024.0;
+    };
+    util::Table table({"layer", "mocha KiB", "tiling", "merge", "parallel",
+                       "saving vs best %"});
+    for (std::size_t l = 0; l < net.layers.size(); ++l) {
+      if (net.layers[l].kind == nn::LayerKind::Pool) continue;
+      const double mocha = layer_peak(runs.mocha, l);
+      const double tiling =
+          layer_peak(runs.baselines.at(baseline::Strategy::TilingOnly), l);
+      const double merge =
+          layer_peak(runs.baselines.at(baseline::Strategy::MergeOnly), l);
+      const double parallel =
+          layer_peak(runs.baselines.at(baseline::Strategy::ParallelOnly), l);
+      // "Best" baseline for storage = the one needing the least.
+      const double best = std::min({tiling, merge, parallel});
+      const double saving = best > 0 ? (1.0 - mocha / best) * 100.0 : 0.0;
+      best_saving = std::max(best_saving, saving);
+      table.row()
+          .cell(net.layers[l].name)
+          .cell(mocha, 1)
+          .cell(tiling, 1)
+          .cell(merge, 1)
+          .cell(parallel, 1)
+          .cell(saving, 1);
+    }
+    double best_total = 1e300;
+    for (const auto& [strategy, report] : runs.baselines) {
+      best_total =
+          std::min(best_total, static_cast<double>(report.peak_sram_bytes));
+    }
+    table.row()
+        .cell("NETWORK PEAK")
+        .cell(static_cast<double>(runs.mocha.peak_sram_bytes) / 1024.0, 1)
+        .cell(static_cast<double>(
+                  runs.baselines.at(baseline::Strategy::TilingOnly)
+                      .peak_sram_bytes) /
+                  1024.0,
+              1)
+        .cell(static_cast<double>(
+                  runs.baselines.at(baseline::Strategy::MergeOnly)
+                      .peak_sram_bytes) /
+                  1024.0,
+              1)
+        .cell(static_cast<double>(
+                  runs.baselines.at(baseline::Strategy::ParallelOnly)
+                      .peak_sram_bytes) /
+                  1024.0,
+              1)
+        .cell((1.0 - static_cast<double>(runs.mocha.peak_sram_bytes) /
+                         best_total) *
+                  100.0,
+              1);
+    bench::emit(table, "E5: peak on-chip storage, " + net.name + " (KiB)");
+  }
+  std::cout << "max per-layer storage saving vs best baseline: "
+            << best_saving << "%   (paper: up to 30%)\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E10a — google-benchmark microbenchmarks of the codec implementations:
+// encode/decode throughput across sparsities (the codec engines' software
+// model must be fast enough to feed functional-mode sweeps).
+#include <benchmark/benchmark.h>
+
+#include "compress/codec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mocha::compress::CodecKind;
+using mocha::nn::Value;
+
+std::vector<Value> make_stream(std::size_t n, double sparsity) {
+  mocha::util::Rng rng(42);
+  std::vector<Value> out(n);
+  for (Value& v : out) {
+    if (rng.bernoulli(sparsity)) {
+      v = 0;
+    } else {
+      v = static_cast<Value>(rng.uniform_int(-96, 96));
+      if (v == 0) v = 1;
+    }
+  }
+  return out;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const auto kind = static_cast<CodecKind>(state.range(0));
+  const double sparsity = static_cast<double>(state.range(1)) / 100.0;
+  const auto codec = mocha::compress::make_codec(kind);
+  const auto stream = make_stream(1 << 16, sparsity);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->encode(stream));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size() * 2));
+  state.SetLabel(mocha::compress::codec_name(kind));
+}
+
+void BM_Decode(benchmark::State& state) {
+  const auto kind = static_cast<CodecKind>(state.range(0));
+  const double sparsity = static_cast<double>(state.range(1)) / 100.0;
+  const auto codec = mocha::compress::make_codec(kind);
+  const auto stream = make_stream(1 << 16, sparsity);
+  const auto coded = codec->encode(stream);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->decode(coded, stream.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size() * 2));
+  state.SetLabel(mocha::compress::codec_name(kind));
+}
+
+void CodecArgs(benchmark::internal::Benchmark* bench) {
+  for (int kind = 1; kind <= 3; ++kind) {  // skip None
+    for (int sparsity : {0, 50, 90}) {
+      bench->Args({kind, sparsity});
+    }
+  }
+}
+
+BENCHMARK(BM_Encode)->Apply(CodecArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Decode)->Apply(CodecArgs)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

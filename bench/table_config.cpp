@@ -1,0 +1,57 @@
+// E0 — provenance table: the exact fabric configuration and modelling
+// constants every other experiment ran with. Printed first so a results
+// dump is self-describing.
+#include "common.hpp"
+
+#include "model/area.hpp"
+
+int main() {
+  using namespace mocha;
+  const auto config = fabric::mocha_default_config();
+  const auto tech = model::default_tech();
+
+  util::Table fab({"fabric parameter", "value"});
+  auto frow = [&](const char* k, const std::string& v) {
+    fab.row().cell(k).cell(v);
+  };
+  frow("PE array", std::to_string(config.pe_rows) + "x" +
+                       std::to_string(config.pe_cols) + " @ " +
+                       std::to_string(static_cast<int>(config.clock_ghz * 1000)) +
+                       " MHz");
+  frow("register file / PE", std::to_string(config.rf_bytes_per_pe) + " B");
+  frow("scratchpad",
+       std::to_string(config.sram_bytes / 1024) + " KiB, " +
+           std::to_string(config.sram_banks) + " banks");
+  frow("DRAM bandwidth",
+       std::to_string(config.dram_bytes_per_cycle) + " B/cycle over " +
+           std::to_string(config.dma_channels) + " channel(s)");
+  frow("DRAM row", std::to_string(config.dram_row_bytes) + " B, " +
+                       std::to_string(config.dram_row_hit_latency) + "+" +
+                       std::to_string(config.dram_row_miss_penalty) +
+                       " cycles");
+  frow("codec engines", std::to_string(config.codec_units) + " x " +
+                            std::to_string(config.codec_bytes_per_cycle) +
+                            " B/cycle");
+  frow("zero-skip floor", std::to_string(config.zero_skip_floor));
+  fab.print(std::cout, "E0a: fabric configuration");
+
+  util::Table energy({"energy constant", "pJ"});
+  auto erow = [&](const char* k, double v) {
+    energy.row().cell(k).cell(v, 3);
+  };
+  erow("MAC (16-bit)", tech.mac_pj);
+  erow("RF access / byte", tech.rf_pj_per_byte);
+  erow("SRAM access / byte", tech.sram_pj_per_byte);
+  erow("DRAM access / byte", tech.dram_pj_per_byte);
+  erow("codec / raw byte", tech.codec_pj_per_byte);
+  erow("NoC / byte-hop", tech.noc_pj_per_byte_hop);
+  erow("reconfiguration", tech.reconfig_pj);
+  std::cout << "\n";
+  energy.print(std::cout, "E0b: energy constants (see docs/MODEL.md)");
+
+  const model::AreaModel area(tech);
+  std::cout << "\nareas: mocha " << area.total_mm2(config) << " mm2, baseline "
+            << area.total_mm2(fabric::baseline_config("b"))
+            << " mm2, leakage " << tech.leakage_mw_per_mm2 << " mW/mm2\n";
+  return 0;
+}

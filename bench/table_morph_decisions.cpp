@@ -1,0 +1,68 @@
+// E8 — morph-decision table: what the controller actually chose per layer
+// (the "intelligence to automatically interleave and cascade" made visible),
+// plus the decision trace: how many candidates were scored and which
+// finalists lost to the winner.
+#include "common.hpp"
+
+#include "core/morph.hpp"
+
+int main() {
+  using namespace mocha;
+  const core::MorphController controller(model::default_tech(),
+                                         core::MorphOptions{});
+  for (const nn::Network& net : nn::benchmark_networks()) {
+    const auto stats = core::assumed_stats(net, nn::SparsityProfile{});
+    core::PlanTrace trace;
+    const dataflow::NetworkPlan plan = controller.plan_traced(
+        net, fabric::mocha_default_config(), stats, 1, &trace);
+    util::Table table({"layer", "fused with", "tile HxW", "tc/tm", "order",
+                       "par IxS", "ifmap", "kernel", "ofmap"});
+    const auto groups = plan.fusion_groups();
+    for (const auto& group : groups) {
+      for (std::size_t l = group.first; l <= group.last; ++l) {
+        const dataflow::LayerPlan& lp = plan.layers[l];
+        std::string fused = "-";
+        if (group.size() > 1) {
+          fused = net.layers[group.first].name;
+          for (std::size_t k = group.first + 1; k <= group.last; ++k) {
+            fused += "+" + net.layers[k].name;
+          }
+        }
+        std::ostringstream tile, chans, par;
+        tile << lp.tile.th << "x" << lp.tile.tw;
+        chans << lp.tile.tc << "/" << lp.tile.tm;
+        par << lp.inter_groups << "x" << lp.intra_groups;
+        table.row()
+            .cell(net.layers[l].name)
+            .cell(fused)
+            .cell(tile.str())
+            .cell(chans.str())
+            .cell(dataflow::loop_order_name(lp.order))
+            .cell(par.str())
+            .cell(compress::codec_name(lp.ifmap_codec))
+            .cell(compress::codec_name(lp.kernel_codec))
+            .cell(compress::codec_name(lp.ofmap_codec));
+      }
+    }
+    bench::emit(table, "E8: morph controller decisions, " + net.name);
+
+    // Decision trace: search breadth and the finalists' measured scores.
+    util::Table trace_table({"group", "analytical cands", "finalist",
+                             "Mcycles", "uJ", "peak KiB", "chosen"});
+    for (const core::GroupTrace& group : trace) {
+      for (const auto& finalist : group.finalists) {
+        trace_table.row()
+            .cell(net.layers[group.first_layer].name +
+                  (group.last_layer > group.first_layer ? "+" : ""))
+            .cell(static_cast<long long>(group.analytical_candidates))
+            .cell(finalist.plan_summary)
+            .cell(finalist.cycles / 1e6, 3)
+            .cell(finalist.energy_pj / 1e6, 1)
+            .cell(static_cast<double>(finalist.peak_sram_bytes) / 1024.0, 1)
+            .cell(finalist.chosen ? "  <== " : "");
+      }
+    }
+    bench::emit(trace_table, "E8b: decision trace, " + net.name);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// E1 — workload dimension table (the paper's benchmark-description table):
+// layer-by-layer dimensions, MACs and stream sizes for AlexNet and VGG-16.
+#include "common.hpp"
+
+int main() {
+  using namespace mocha;
+  for (const nn::Network& net : nn::benchmark_networks()) {
+    util::Table table({"layer", "type", "in CxHxW", "out CxHxW", "k", "s",
+                       "MMACs", "ifmap KiB", "weights KiB"});
+    for (const nn::LayerSpec& layer : net.layers) {
+      const char* kind = layer.kind == nn::LayerKind::Conv ? "conv"
+                         : layer.kind == nn::LayerKind::Pool ? "pool"
+                                                             : "fc";
+      std::ostringstream in, out;
+      in << layer.in_c << "x" << layer.in_h << "x" << layer.in_w;
+      out << layer.out_channels() << "x" << layer.out_h() << "x"
+          << layer.out_w();
+      table.row()
+          .cell(layer.name)
+          .cell(kind)
+          .cell(in.str())
+          .cell(out.str())
+          .cell(static_cast<long long>(layer.kernel))
+          .cell(static_cast<long long>(layer.stride))
+          .cell(static_cast<double>(layer.macs()) / 1e6, 1)
+          .cell(static_cast<double>(layer.ifmap_bytes()) / 1024.0, 1)
+          .cell(static_cast<double>(layer.weight_bytes()) / 1024.0, 1);
+    }
+    bench::emit(table, "E1: " + net.name + " layer dimensions");
+    std::cout << net.name << " totals: "
+              << static_cast<double>(net.total_macs()) / 1e9 << " GMACs, "
+              << static_cast<double>(net.total_weight_bytes()) / 1e6
+              << " MB weights\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Scenario: measurement-driven deployment.
+//
+// Assumed sparsity profiles are fine for design-space sweeps, but before
+// committing a deployment you want the controller planning against the
+// *measured* statistics of your actual data. This example:
+//   1. runs LeNet-5 functionally on two different inputs (dense vs sparse),
+//   2. calibrates per-layer stream statistics from each,
+//   3. lets the morph controller re-plan for each data regime,
+//   4. shows how the chosen codecs and the simulated cost differ,
+//   5. exports both reports as JSON.
+//
+//   ./build/examples/calibrated_run
+#include <iostream>
+
+#include "core/accelerator.hpp"
+#include "core/calibrate.hpp"
+#include "core/report_json.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mocha;
+  // A bandwidth-heavy feature extractor: wide maps, modest compute, so the
+  // data statistics actually decide the plan.
+  const nn::Network net =
+      nn::make_synthetic("extractor", 64, 64, {32, 48, 64}, 3, true);
+  const core::Accelerator acc = core::make_mocha_accelerator();
+
+  util::Rng rng(31337);
+  const auto weights = nn::random_weights(net, 0.3, rng);
+
+  struct Scenario {
+    const char* name;
+    double input_sparsity;
+  };
+  util::Table table({"scenario", "measured in-sparsity", "GOPS", "GOPS/W",
+                     "DRAM KiB", "conv1 codecs"});
+  for (const Scenario& scenario :
+       {Scenario{"dense sensor data", 0.02},
+        Scenario{"sparse event data", 0.80}}) {
+    const nn::ValueTensor input = nn::random_tensor(
+        net.layers.front().input_shape(), scenario.input_sparsity, rng);
+
+    // Measure, re-plan, re-simulate.
+    const core::CalibrationResult calibration =
+        core::calibrate(net, input, weights);
+    const dataflow::NetworkPlan plan = acc.plan(net, calibration.stats);
+    const core::RunReport report =
+        acc.run_with_plan(net, plan, calibration.stats);
+
+    std::ostringstream codecs;
+    codecs << compress::codec_name(plan.layers[0].ifmap_codec) << "/"
+           << compress::codec_name(plan.layers[0].kernel_codec) << "/"
+           << compress::codec_name(plan.layers[0].ofmap_codec);
+    table.row()
+        .cell(scenario.name)
+        .cell(calibration.stats[0].ifmap_sparsity, 2)
+        .cell(report.throughput_gops())
+        .cell(report.efficiency_gops_per_w())
+        .cell(static_cast<double>(report.total_dram_bytes) / 1024.0, 1)
+        .cell(codecs.str());
+
+    // Machine-readable export for dashboards / regression tracking.
+    std::cout << "JSON (" << scenario.name
+              << "): " << core::report_to_json(report).substr(0, 120)
+              << "...\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout, "conv stack planned against measured data statistics");
+  std::cout << "\nThe controller adapts: sparse data earns zero-aware "
+               "coding and zero-skipping; dense data doesn't pretend "
+               "otherwise.\n";
+  return 0;
+}

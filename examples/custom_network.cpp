@@ -1,0 +1,76 @@
+// Scenario: bringing your own network.
+//
+// Defines a custom CNN layer by layer, validates it, runs it on MOCHA with
+// a custom sparsity profile, and verifies the planned execution bit-exactly
+// against the reference kernels on real data — the full user workflow for a
+// network the library does not ship.
+//
+//   ./build/examples/custom_network
+#include <iostream>
+
+#include "core/accelerator.hpp"
+#include "dataflow/executor.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mocha;
+
+  // A keyword-spotting-style audio CNN over 64x40 spectrogram patches.
+  nn::Network net;
+  net.name = "kws";
+  net.layers = {
+      nn::conv_layer("conv1", 1, 64, 40, 16, 3, 1, 1),
+      nn::pool_layer("pool1", 16, 64, 40, 2, 2),
+      nn::conv_layer("conv2", 16, 32, 20, 32, 3, 1, 1),
+      nn::pool_layer("pool2", 32, 32, 20, 2, 2),
+      nn::conv_layer("conv3", 32, 16, 10, 48, 3, 1, 1),
+      nn::fc_layer("fc1", 48 * 16 * 10, 128),
+      nn::fc_layer("fc2", 128, 12, /*relu=*/false),
+  };
+  net.validate();
+
+  // Audio features are denser than vision activations; say so.
+  nn::SparsityProfile profile;
+  profile.input_sparsity = 0.02;
+  profile.first_activation_sparsity = 0.30;
+  profile.last_activation_sparsity = 0.55;
+
+  const core::Accelerator acc = core::make_mocha_accelerator();
+  const core::RunReport report = acc.run(net, profile);
+
+  util::Table table({"group", "plan", "cycles", "GOPS", "uJ"});
+  for (const core::GroupReport& group : report.groups) {
+    table.row()
+        .cell(group.label)
+        .cell(group.plan_summary)
+        .cell(static_cast<long long>(group.cycles))
+        .cell(group.throughput_gops(report.clock_ghz))
+        .cell(group.energy.total_pj() / 1e6);
+  }
+  table.print(std::cout, "custom network '" + net.name + "' on MOCHA");
+  std::cout << "\ntotal: " << report.runtime_ms() << " ms/inference, "
+            << report.total_energy_pj * 1e-6 << " uJ, peak scratchpad "
+            << static_cast<double>(report.peak_sram_bytes) / 1024.0
+            << " KiB (sram_ok=" << (report.sram_ok ? "yes" : "no") << ")\n";
+
+  // Verify the controller's plan computes the right answer on real data.
+  util::Rng rng(99);
+  const nn::ValueTensor input =
+      nn::random_tensor(net.layers.front().input_shape(), 0.02, rng);
+  const auto weights = nn::random_weights(net, 0.25, rng);
+  const auto stats = core::assumed_stats(net, profile);
+  const auto plan = acc.plan(net, stats);
+  const nn::Quant quant;
+  const auto functional =
+      dataflow::run_functional(net, plan, input, weights, {quant, true});
+  const auto reference = nn::run_network_ref(net, input, weights, quant);
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    if (!(functional.outputs[i] == reference[i])) {
+      std::cout << "MISMATCH at " << net.layers[i].name << "\n";
+      return 1;
+    }
+  }
+  std::cout << "functional verification: all " << net.layers.size()
+            << " layers match the reference exactly.\n";
+  return 0;
+}

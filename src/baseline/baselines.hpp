@@ -1,0 +1,48 @@
+// Fixed-strategy baseline accelerators.
+//
+// The paper compares MOCHA against accelerators that each commit to ONE
+// locality optimization (tiling, layer merging, or feature-map parallelism)
+// and lack compression and morphing. These baselines run on the identical
+// substrate (same PE array, scratchpad, DRAM) with MOCHA's extra hardware
+// removed, implemented as the morph controller restricted to the single
+// strategy — the strongest honest stand-in for the paper's unnamed
+// comparators, because any win left over is attributable exactly to the
+// abstract's three differentiators.
+#pragma once
+
+#include <vector>
+
+#include "core/accelerator.hpp"
+
+namespace mocha::baseline {
+
+enum class Strategy { TilingOnly, MergeOnly, ParallelOnly };
+
+const char* strategy_name(Strategy strategy);
+
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::TilingOnly, Strategy::MergeOnly, Strategy::ParallelOnly};
+
+/// An accelerator committed to one fixed strategy, on the compression-free
+/// substrate.
+core::Accelerator make_baseline_accelerator(
+    Strategy strategy, model::TechParams tech = model::default_tech(),
+    core::Objective objective = core::Objective::EnergyDelayProduct);
+
+/// Baseline variant on a caller-tweaked substrate (sweeps).
+core::Accelerator make_baseline_accelerator(
+    Strategy strategy, fabric::FabricConfig config, model::TechParams tech,
+    core::Objective objective = core::Objective::EnergyDelayProduct);
+
+/// Runs every fixed strategy on `net` and returns the best run by the
+/// objective — the paper's "next best accelerator".
+struct NextBest {
+  Strategy strategy;
+  core::RunReport report;
+};
+NextBest next_best(const nn::Network& net,
+                   model::TechParams tech = model::default_tech(),
+                   core::Objective objective =
+                       core::Objective::EnergyDelayProduct);
+
+}  // namespace mocha::baseline

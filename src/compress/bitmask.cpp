@@ -1,0 +1,39 @@
+#include "compress/bitmask.hpp"
+
+namespace mocha::compress {
+
+std::vector<std::uint8_t> BitmaskCodec::encode(
+    std::span<const nn::Value> values) const {
+  const std::size_t mask_bytes = (values.size() + 7) / 8;
+  std::vector<std::uint8_t> out(mask_bytes, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != 0) out[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] == 0) continue;
+    const auto u = static_cast<std::uint16_t>(values[i]);
+    out.push_back(static_cast<std::uint8_t>(u & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(u >> 8));
+  }
+  return out;
+}
+
+std::vector<nn::Value> BitmaskCodec::decode(std::span<const std::uint8_t> coded,
+                                            std::size_t count) const {
+  const std::size_t mask_bytes = (count + 7) / 8;
+  MOCHA_CHECK(coded.size() >= mask_bytes, "bitmask payload truncated (mask)");
+  std::vector<nn::Value> out(count, 0);
+  std::size_t cursor = mask_bytes;
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool nonzero = (coded[i >> 3] >> (i & 7)) & 1u;
+    if (!nonzero) continue;
+    MOCHA_CHECK(cursor + 2 <= coded.size(), "bitmask payload truncated (data)");
+    const std::uint16_t u = static_cast<std::uint16_t>(
+        coded[cursor] | (static_cast<std::uint16_t>(coded[cursor + 1]) << 8));
+    out[i] = static_cast<nn::Value>(u);
+    cursor += 2;
+  }
+  return out;
+}
+
+}  // namespace mocha::compress

@@ -1,0 +1,31 @@
+// Significance-map (bitmask) compression.
+//
+// Layout: ceil(N/8) mask bytes (bit i set => element i non-zero), followed by
+// the non-zero values packed as 16-bit little-endian words. Metadata cost is
+// a fixed 1 bit/element, so the scheme wins whenever sparsity > ~1/16 and
+// its decoder is trivially parallel — the reason Cnvlutin-style accelerators
+// used it for weight streams.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace mocha::compress {
+
+class BitmaskCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::Bitmask; }
+
+  std::vector<std::uint8_t> encode(
+      std::span<const nn::Value> values) const override;
+
+  std::vector<nn::Value> decode(std::span<const std::uint8_t> coded,
+                                std::size_t count) const override;
+
+  /// Exact coded size for a stream with `nonzeros` non-zero elements.
+  static std::int64_t exact_coded_bytes(std::int64_t elems,
+                                        std::int64_t nonzeros) {
+    return (elems + 7) / 8 + 2 * nonzeros;
+  }
+};
+
+}  // namespace mocha::compress

@@ -1,0 +1,117 @@
+#include "compress/codec.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "compress/bitmask.hpp"
+#include "compress/huffman.hpp"
+#include "compress/zrle.hpp"
+
+namespace mocha::compress {
+
+namespace {
+
+/// Pass-through codec: raw little-endian 16-bit words.
+class NullCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::None; }
+
+  std::vector<std::uint8_t> encode(
+      std::span<const nn::Value> values) const override {
+    std::vector<std::uint8_t> out(values.size() * sizeof(nn::Value));
+    if (!values.empty()) {
+      std::memcpy(out.data(), values.data(), out.size());
+    }
+    return out;
+  }
+
+  std::vector<nn::Value> decode(std::span<const std::uint8_t> coded,
+                                std::size_t count) const override {
+    MOCHA_CHECK(coded.size() >= count * sizeof(nn::Value),
+                "raw payload truncated");
+    std::vector<nn::Value> out(count);
+    if (count > 0) {
+      std::memcpy(out.data(), coded.data(), count * sizeof(nn::Value));
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const char* codec_name(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::None:
+      return "none";
+    case CodecKind::Zrle:
+      return "zrle";
+    case CodecKind::Bitmask:
+      return "bitmask";
+    case CodecKind::Huffman:
+      return "huffman";
+  }
+  MOCHA_UNREACHABLE("bad CodecKind");
+}
+
+std::unique_ptr<Codec> make_codec(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::None:
+      return std::make_unique<NullCodec>();
+    case CodecKind::Zrle:
+      return std::make_unique<ZrleCodec>();
+    case CodecKind::Bitmask:
+      return std::make_unique<BitmaskCodec>();
+    case CodecKind::Huffman:
+      return std::make_unique<HuffmanCodec>();
+  }
+  MOCHA_UNREACHABLE("bad CodecKind");
+}
+
+std::int64_t estimate_coded_bytes(CodecKind kind, std::int64_t elems,
+                                  double sparsity) {
+  MOCHA_CHECK(elems >= 0, "negative stream length");
+  MOCHA_CHECK(sparsity >= 0.0 && sparsity <= 1.0, "sparsity=" << sparsity);
+  if (elems == 0) return 0;
+  const double n = static_cast<double>(elems);
+  const double zeros = n * sparsity;
+  const double nonzeros = n - zeros;
+
+  double bits = 0.0;
+  switch (kind) {
+    case CodecKind::None:
+      return elems * static_cast<std::int64_t>(sizeof(nn::Value));
+    case CodecKind::Zrle: {
+      // A maximal zero run starts at a zero whose predecessor is non-zero
+      // (i.i.d. model): expected run count ≈ n·s·(1−s); long runs split at
+      // 256, so at least ceil(zeros/256) tokens are emitted either way.
+      const double runs =
+          std::max(zeros / 256.0, n * sparsity * (1.0 - sparsity) + 1.0);
+      bits = nonzeros * 17.0 + runs * 9.0;
+      break;
+    }
+    case CodecKind::Bitmask:
+      bits = n * 1.0 + nonzeros * 16.0;
+      break;
+    case CodecKind::Huffman: {
+      // Entropy model: zero occurs w.p. s, non-zeros ~uniform over an
+      // alphabet of ~kAlphabet magnitudes; plus the canonical table header.
+      constexpr double kAlphabet = 192.0;
+      double h = 0.0;
+      if (sparsity > 0.0 && sparsity < 1.0) {
+        h = -sparsity * std::log2(sparsity) +
+            (1.0 - sparsity) * std::log2(kAlphabet / (1.0 - sparsity));
+      } else if (sparsity == 0.0) {
+        h = std::log2(kAlphabet);
+      } else {
+        h = 0.1;  // all-zero stream still pays ~1 bit per symbol region
+      }
+      const double header_bits =
+          16.0 + std::min(n, kAlphabet + 1.0) * 22.0;  // 16b sym + 6b len
+      bits = n * h + header_bits;
+      break;
+    }
+  }
+  return static_cast<std::int64_t>(std::ceil(bits / 8.0));
+}
+
+}  // namespace mocha::compress

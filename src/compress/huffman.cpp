@@ -1,0 +1,184 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "util/bitio.hpp"
+
+namespace mocha::compress {
+
+namespace {
+
+constexpr int kMaxCodeLen = 48;  // sanity bound; real streams stay far below
+
+struct CanonicalEntry {
+  std::uint16_t symbol;
+  int length;
+};
+
+/// Sorts by (length, symbol) — the canonical order both sides must share.
+void canonical_sort(std::vector<CanonicalEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const CanonicalEntry& a, const CanonicalEntry& b) {
+              return a.length != b.length ? a.length < b.length
+                                          : a.symbol < b.symbol;
+            });
+}
+
+/// Assigns canonical codes to entries sorted by canonical_sort.
+std::vector<std::uint64_t> assign_codes(
+    const std::vector<CanonicalEntry>& entries) {
+  std::vector<std::uint64_t> codes(entries.size());
+  std::uint64_t code = 0;
+  int prev_len = entries.empty() ? 0 : entries.front().length;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    code <<= (entries[i].length - prev_len);
+    codes[i] = code;
+    ++code;
+    prev_len = entries[i].length;
+  }
+  return codes;
+}
+
+}  // namespace
+
+std::vector<int> HuffmanCodec::code_lengths(
+    const std::vector<std::uint64_t>& freqs) {
+  const std::size_t n = freqs.size();
+  if (n == 0) return {};
+  if (n == 1) return {1};
+
+  // Standard heap construction over an implicit tree; parent[] then yields
+  // depths without materializing node objects.
+  struct Node {
+    std::uint64_t freq;
+    std::size_t id;
+    bool operator>(const Node& other) const {
+      return freq != other.freq ? freq > other.freq : id > other.id;
+    }
+  };
+  std::vector<std::size_t> parent(2 * n - 1, 0);
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> heap;
+  for (std::size_t i = 0; i < n; ++i) {
+    MOCHA_CHECK(freqs[i] > 0, "zero-frequency symbol in histogram");
+    heap.push({freqs[i], i});
+  }
+  std::size_t next_id = n;
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    parent[a.id] = next_id;
+    parent[b.id] = next_id;
+    heap.push({a.freq + b.freq, next_id});
+    ++next_id;
+  }
+  const std::size_t root = next_id - 1;
+  std::vector<int> lengths(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int depth = 0;
+    for (std::size_t node = i; node != root; node = parent[node]) ++depth;
+    MOCHA_CHECK(depth <= kMaxCodeLen, "huffman code length " << depth);
+    lengths[i] = depth;
+  }
+  return lengths;
+}
+
+std::vector<std::uint8_t> HuffmanCodec::encode(
+    std::span<const nn::Value> values) const {
+  // Histogram in canonical symbol order (std::map keeps it deterministic).
+  std::map<std::uint16_t, std::uint64_t> histogram;
+  for (nn::Value v : values) ++histogram[static_cast<std::uint16_t>(v)];
+
+  std::vector<std::uint16_t> symbols;
+  std::vector<std::uint64_t> freqs;
+  symbols.reserve(histogram.size());
+  for (const auto& [symbol, freq] : histogram) {
+    symbols.push_back(symbol);
+    freqs.push_back(freq);
+  }
+  const std::vector<int> lengths = code_lengths(freqs);
+
+  std::vector<CanonicalEntry> entries(symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    entries[i] = {symbols[i], lengths[i]};
+  }
+  canonical_sort(entries);
+  const std::vector<std::uint64_t> codes = assign_codes(entries);
+
+  // Per-symbol lookup for the encoding pass.
+  std::map<std::uint16_t, std::pair<std::uint64_t, int>> table;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    table[entries[i].symbol] = {codes[i], entries[i].length};
+  }
+
+  util::BitWriter writer;
+  writer.put(static_cast<std::uint64_t>(entries.size()), 16);
+  for (const CanonicalEntry& e : entries) {
+    writer.put(e.symbol, 16);
+    writer.put(static_cast<std::uint64_t>(e.length), 6);
+  }
+  for (nn::Value v : values) {
+    const auto& [code, len] = table.at(static_cast<std::uint16_t>(v));
+    for (int bit = len - 1; bit >= 0; --bit) {
+      writer.put_bit((code >> bit) & 1u);
+    }
+  }
+  return writer.finish();
+}
+
+std::vector<nn::Value> HuffmanCodec::decode(std::span<const std::uint8_t> coded,
+                                            std::size_t count) const {
+  util::BitReader reader(coded.data(), coded.size());
+  const auto distinct = static_cast<std::size_t>(reader.get(16));
+  if (count == 0) return {};
+  MOCHA_CHECK(distinct > 0, "huffman stream with no symbols");
+
+  std::vector<CanonicalEntry> entries(distinct);
+  for (CanonicalEntry& e : entries) {
+    e.symbol = static_cast<std::uint16_t>(reader.get(16));
+    e.length = static_cast<int>(reader.get(6));
+    MOCHA_CHECK(e.length >= 1 && e.length <= kMaxCodeLen,
+                "bad huffman code length " << e.length);
+  }
+  canonical_sort(entries);
+  const std::vector<std::uint64_t> codes = assign_codes(entries);
+
+  // Canonical decode tables: for each length, the first code and the index
+  // of its first symbol in canonical order.
+  std::vector<std::uint64_t> first_code(kMaxCodeLen + 1, 0);
+  std::vector<std::size_t> first_index(kMaxCodeLen + 1, 0);
+  std::vector<std::size_t> count_at(kMaxCodeLen + 1, 0);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const int len = entries[i].length;
+    if (count_at[len] == 0) {
+      first_code[len] = codes[i];
+      first_index[len] = i;
+    }
+    ++count_at[len];
+  }
+
+  std::vector<nn::Value> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    std::uint64_t code = 0;
+    int len = 0;
+    for (;;) {
+      code = (code << 1) | (reader.get_bit() ? 1u : 0u);
+      ++len;
+      MOCHA_CHECK(len <= kMaxCodeLen, "huffman decode ran away");
+      if (count_at[len] > 0 && code >= first_code[len] &&
+          code - first_code[len] < count_at[len]) {
+        const std::size_t idx =
+            first_index[len] + static_cast<std::size_t>(code - first_code[len]);
+        out.push_back(static_cast<nn::Value>(entries[idx].symbol));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mocha::compress

@@ -1,0 +1,31 @@
+// Canonical Huffman coding over 16-bit values.
+//
+// Payload layout:
+//   header:  distinct:u16  { symbol:u16  code_len:u6 } * distinct
+//   body:    canonical codes, each emitted MSB-first
+// The per-transfer header makes the codec self-contained (no side channel
+// for the table), mirroring how a hardware engine would ship the table in
+// the stream descriptor. Highest ratio of the three codecs; the controller
+// picks it for kernel streams, which are encoded once offline.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace mocha::compress {
+
+class HuffmanCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::Huffman; }
+
+  std::vector<std::uint8_t> encode(
+      std::span<const nn::Value> values) const override;
+
+  std::vector<nn::Value> decode(std::span<const std::uint8_t> coded,
+                                std::size_t count) const override;
+
+  /// Code lengths (index-aligned with `symbols`) for a frequency histogram;
+  /// exposed for the property tests (Kraft inequality, optimality bounds).
+  static std::vector<int> code_lengths(const std::vector<std::uint64_t>& freqs);
+};
+
+}  // namespace mocha::compress

@@ -1,0 +1,49 @@
+#include "compress/zrle.hpp"
+
+#include "util/bitio.hpp"
+
+namespace mocha::compress {
+
+std::vector<std::uint8_t> ZrleCodec::encode(
+    std::span<const nn::Value> values) const {
+  util::BitWriter writer;
+  std::size_t i = 0;
+  while (i < values.size()) {
+    if (values[i] == 0) {
+      std::size_t run = 0;
+      while (i < values.size() && values[i] == 0 && run < 256) {
+        ++run;
+        ++i;
+      }
+      writer.put_bit(true);
+      writer.put(run & 0xFF, 8);  // 256 wraps to 0 by construction
+    } else {
+      writer.put_bit(false);
+      writer.put(static_cast<std::uint16_t>(values[i]), 16);
+      ++i;
+    }
+  }
+  return writer.finish();
+}
+
+std::vector<nn::Value> ZrleCodec::decode(std::span<const std::uint8_t> coded,
+                                         std::size_t count) const {
+  util::BitReader reader(coded.data(), coded.size());
+  std::vector<nn::Value> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    if (reader.get_bit()) {
+      std::uint64_t run = reader.get(8);
+      if (run == 0) run = 256;
+      MOCHA_CHECK(out.size() + run <= count,
+                  "zrle run overruns logical length");
+      out.insert(out.end(), static_cast<std::size_t>(run), nn::Value{0});
+    } else {
+      out.push_back(static_cast<nn::Value>(
+          static_cast<std::uint16_t>(reader.get(16))));
+    }
+  }
+  return out;
+}
+
+}  // namespace mocha::compress

@@ -1,0 +1,26 @@
+// Zero run-length encoding.
+//
+// Stream grammar (bit-packed, LSB-first):
+//   token := '1' run_len:8        -- 1..255 zeros (0 encodes a run of 256)
+//          | '0' literal:16       -- one non-zero value (two's complement)
+// A zero run longer than 256 is emitted as multiple tokens. The decoder is a
+// two-state machine — the cheapest of the three codecs in hardware, which is
+// why the morph controller prefers it for activation streams.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace mocha::compress {
+
+class ZrleCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::Zrle; }
+
+  std::vector<std::uint8_t> encode(
+      std::span<const nn::Value> values) const override;
+
+  std::vector<nn::Value> decode(std::span<const std::uint8_t> coded,
+                                std::size_t count) const override;
+};
+
+}  // namespace mocha::compress

@@ -1,0 +1,133 @@
+#include "core/accelerator.hpp"
+
+#include <algorithm>
+
+#include "core/morph.hpp"
+#include "dataflow/schedule.hpp"
+#include "fabric/pe_array.hpp"
+#include "model/energy.hpp"
+#include "util/log.hpp"
+
+namespace mocha::core {
+
+const GroupReport* RunReport::group_for_layer(std::size_t layer_index) const {
+  for (const GroupReport& group : groups) {
+    if (layer_index >= group.first_layer && layer_index <= group.last_layer) {
+      return &group;
+    }
+  }
+  return nullptr;
+}
+
+Accelerator::Accelerator(fabric::FabricConfig config, model::TechParams tech,
+                         std::shared_ptr<const Planner> planner)
+    : config_(std::move(config)), tech_(tech), planner_(std::move(planner)) {
+  config_.validate();
+  MOCHA_CHECK(planner_ != nullptr, "accelerator needs a planner");
+}
+
+dataflow::NetworkPlan Accelerator::plan(
+    const nn::Network& net,
+    const std::vector<dataflow::LayerStreamStats>& stats,
+    nn::Index batch) const {
+  return planner_->plan(net, config_, stats, batch);
+}
+
+RunReport Accelerator::run(const nn::Network& net,
+                           const nn::SparsityProfile& profile,
+                           nn::Index batch) const {
+  const auto stats = assumed_stats(net, profile);
+  return run_with_plan(net, plan(net, stats, batch), stats, batch);
+}
+
+RunReport Accelerator::run_with_plan(
+    const nn::Network& net, const dataflow::NetworkPlan& plan,
+    const std::vector<dataflow::LayerStreamStats>& stats,
+    nn::Index batch) const {
+  net.validate();
+  plan.validate(net);
+  MOCHA_CHECK(batch >= 1, "batch=" << batch);
+  const model::EnergyModel energy_model(tech_, config_);
+
+  RunReport report;
+  report.accelerator = config_.name;
+  report.network = net.name;
+  report.clock_ghz = config_.clock_ghz;
+
+  const auto groups = plan.fusion_groups();
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const auto& group = groups[gi];
+    dataflow::BuiltSchedule built =
+        dataflow::build_group_schedule(net, plan, group, config_, stats, batch);
+    const sim::Engine engine(built.layout.specs);
+    const sim::RunResult run = engine.run(built.graph);
+
+    GroupReport gr;
+    gr.first_layer = group.first;
+    gr.last_layer = group.last;
+    gr.label = net.layers[group.first].name;
+    for (std::size_t l = group.first + 1; l <= group.last; ++l) {
+      gr.label += "+" + net.layers[l].name;
+    }
+    gr.cycles = run.makespan;
+    for (std::size_t l = group.first; l <= group.last; ++l) {
+      gr.dense_macs += batch * net.layers[l].macs();
+    }
+    gr.counts = run.totals;
+    // Each group switch loads a new fabric context. A morphable fabric
+    // loads a full plan context (sized by fabric::plan_context_words); a
+    // fixed-function controller swaps only its static per-layer registers.
+    const dataflow::LayerPlan& head_plan = plan.layers[group.first];
+    const bool coded =
+        head_plan.ifmap_codec != compress::CodecKind::None ||
+        head_plan.kernel_codec != compress::CodecKind::None ||
+        head_plan.ofmap_codec != compress::CodecKind::None;
+    const std::int64_t reconfig =
+        config_.has_morph_controller
+            ? fabric::reconfig_cycles_for(config_, head_plan.total_groups(),
+                                          coded)
+            : config_.reconfig_cycles;
+    gr.counts.reconfigs = 1;
+    gr.counts.cycles += reconfig;
+    gr.cycles += static_cast<sim::Cycle>(reconfig);
+    gr.dram_bytes =
+        run.totals.dram_read_bytes + run.totals.dram_write_bytes;
+    gr.peak_sram_bytes = run.peak_sram_bytes;
+    gr.pe_utilization = run.utilization(built.layout.pe);
+    gr.dram_utilization = run.utilization(built.layout.dram);
+    gr.energy = energy_model.energy(gr.counts);
+    gr.plan_summary = plan.layers[group.first].summary();
+
+    if (run.peak_sram_bytes > config_.sram_bytes) {
+      report.sram_ok = false;
+      MOCHA_LOG(Warn, config_.name << "/" << net.name << " group " << gr.label
+                                   << " peak scratchpad "
+                                   << run.peak_sram_bytes << " exceeds "
+                                   << config_.sram_bytes);
+    }
+    MOCHA_CHECK(run.peak_sram_bytes <= built.footprint_bytes,
+                gr.label << ": measured peak " << run.peak_sram_bytes
+                         << " exceeds builder bound "
+                         << built.footprint_bytes);
+
+    report.total_cycles += gr.cycles;
+    report.total_dense_macs += gr.dense_macs;
+    report.total_dram_bytes += gr.dram_bytes;
+    report.peak_sram_bytes =
+        std::max(report.peak_sram_bytes, gr.peak_sram_bytes);
+    report.total_energy_pj += gr.energy.total_pj();
+    report.groups.push_back(std::move(gr));
+  }
+  return report;
+}
+
+Accelerator make_mocha_accelerator(fabric::FabricConfig config,
+                                   model::TechParams tech,
+                                   Objective objective) {
+  MorphOptions options;
+  options.objective = objective;
+  return Accelerator(std::move(config), tech,
+                     std::make_shared<MorphController>(tech, options));
+}
+
+}  // namespace mocha::core

@@ -1,0 +1,501 @@
+#include "core/morph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dataflow/cost.hpp"
+#include "dataflow/schedule.hpp"
+#include "util/log.hpp"
+
+namespace mocha::core {
+
+const char* objective_name(Objective objective) {
+  switch (objective) {
+    case Objective::Cycles:
+      return "cycles";
+    case Objective::Energy:
+      return "energy";
+    case Objective::EnergyDelayProduct:
+      return "edp";
+  }
+  MOCHA_UNREACHABLE("bad Objective");
+}
+
+std::vector<dataflow::LayerStreamStats> assumed_stats(
+    const nn::Network& net, const nn::SparsityProfile& profile) {
+  std::vector<dataflow::LayerStreamStats> stats(net.layers.size());
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    stats[i].ifmap_sparsity = profile.ifmap_sparsity(net, i);
+    stats[i].kernel_sparsity = profile.kernel_sparsity(net, i);
+    // The ofmap of layer i is the ifmap of layer i+1 (or the final output,
+    // whose sparsity matches the deepest activations).
+    stats[i].ofmap_sparsity = i + 1 < net.layers.size()
+                                  ? profile.ifmap_sparsity(net, i + 1)
+                                  : profile.last_activation_sparsity;
+  }
+  return stats;
+}
+
+namespace {
+
+using dataflow::CostEstimate;
+using dataflow::LayerPlan;
+using dataflow::LayerStreamStats;
+using dataflow::LoopOrder;
+using dataflow::NetworkPlan;
+using nn::Index;
+using compress::CodecKind;
+
+double objective_score(Objective objective, double cycles, double energy_pj) {
+  switch (objective) {
+    case Objective::Cycles:
+      return cycles;
+    case Objective::Energy:
+      return energy_pj;
+    case Objective::EnergyDelayProduct:
+      return cycles * energy_pj;
+  }
+  MOCHA_UNREACHABLE("bad Objective");
+}
+
+/// Halving ladder: {total, ceil(total/2), ceil(total/4), ...}, deduped.
+std::vector<Index> halving_options(Index total, Index floor_value,
+                                   int max_options) {
+  std::vector<Index> options;
+  Index v = total;
+  while (static_cast<int>(options.size()) < max_options) {
+    options.push_back(v);
+    if (v <= floor_value || v == 1) break;
+    v = std::max<Index>(floor_value, (v + 1) / 2);
+  }
+  return options;
+}
+
+/// A plan that is valid for any layer (used to pad scratch NetworkPlans so
+/// whole-plan validation passes while only one group is under study).
+LayerPlan neutral_plan(const nn::LayerSpec& layer) {
+  LayerPlan plan;
+  plan.tile = {layer.out_h(), layer.out_w(), layer.in_c,
+               layer.out_channels()};
+  return plan;
+}
+
+NetworkPlan scratch_plan(const nn::Network& net,
+                         const NetworkPlan::Group& group,
+                         const std::vector<LayerPlan>& group_plans) {
+  NetworkPlan plan;
+  plan.layers.reserve(net.layers.size());
+  for (const nn::LayerSpec& layer : net.layers) {
+    plan.layers.push_back(neutral_plan(layer));
+  }
+  MOCHA_CHECK(group_plans.size() == group.size(), "group plan size mismatch");
+  for (std::size_t k = 0; k < group_plans.size(); ++k) {
+    plan.layers[group.first + k] = group_plans[k];
+    plan.layers[group.first + k].fuse_with_next =
+        group.first + k < group.last;
+  }
+  return plan;
+}
+
+struct GroupCandidate {
+  std::vector<LayerPlan> plans;
+  CostEstimate est;
+  double score = std::numeric_limits<double>::infinity();
+};
+
+struct SearchContext {
+  const nn::Network& net;
+  const fabric::FabricConfig& config;
+  const std::vector<LayerStreamStats>& stats;
+  const model::TechParams& tech;
+  const MorphOptions& options;
+  Index batch = 1;
+
+  std::int64_t sram_budget() const {
+    return static_cast<std::int64_t>(
+        static_cast<double>(config.sram_bytes) *
+        (1.0 - options.sram_fit_margin));
+  }
+
+  bool compression_on() const {
+    return options.allow_compression && config.has_compression;
+  }
+
+  std::vector<std::pair<int, int>> parallelism() const {
+    std::vector<std::pair<int, int>> out;
+    for (auto [inter, intra] : options.parallelism_options) {
+      if (inter * intra <= config.total_pes()) out.emplace_back(inter, intra);
+    }
+    if (out.empty()) out.emplace_back(1, 1);
+    return out;
+  }
+
+  void evaluate(const NetworkPlan::Group& group,
+                std::vector<LayerPlan> plans,
+                std::vector<GroupCandidate>* out) const {
+    const NetworkPlan plan = scratch_plan(net, group, plans);
+    const CostEstimate est = dataflow::estimate_group_cost(
+        net, plan, group, config, stats, tech, batch);
+    GroupCandidate candidate;
+    candidate.plans = std::move(plans);
+    candidate.est = est;
+    candidate.score = objective_score(options.objective, est.cycles,
+                                      est.energy_pj);
+    // Compactness tiebreak: among near-equal plans prefer the smaller
+    // working set — compressed residency then directly lowers the storage
+    // requirement, and a small footprint leaves headroom for cascading.
+    candidate.score *= 1.0 + 0.40 * static_cast<double>(est.footprint_bytes) /
+                                 static_cast<double>(config.sram_bytes);
+    // A non-fitting plan is only kept as a last resort; the penalty grows
+    // with the overflow so the least-overflowing candidate wins when
+    // literally nothing fits.
+    if (est.footprint_bytes > sram_budget()) {
+      candidate.score *= 1e6 * static_cast<double>(est.footprint_bytes) /
+                         static_cast<double>(std::max<std::int64_t>(1, sram_budget()));
+    }
+    out->push_back(std::move(candidate));
+  }
+};
+
+void keep_best(std::vector<GroupCandidate>* candidates, std::size_t k) {
+  std::sort(candidates->begin(), candidates->end(),
+            [](const GroupCandidate& a, const GroupCandidate& b) {
+              return a.score < b.score;
+            });
+  if (candidates->size() > k) candidates->resize(k);
+}
+
+/// Codec combinations to sweep for the external streams.
+struct CodecCombo {
+  CodecKind ifmap;
+  CodecKind kernel;
+  CodecKind ofmap;
+};
+
+std::vector<CodecCombo> codec_combos(bool compression_on, bool allow_huffman,
+                                     bool has_weights) {
+  if (!compression_on) {
+    return {{CodecKind::None, CodecKind::None, CodecKind::None}};
+  }
+  std::vector<CodecCombo> combos;
+  const std::vector<CodecKind> ifmaps = {CodecKind::None, CodecKind::Zrle,
+                                         CodecKind::Bitmask};
+  std::vector<CodecKind> kernels = {CodecKind::None, CodecKind::Bitmask,
+                                    CodecKind::Zrle};
+  if (allow_huffman) kernels.push_back(CodecKind::Huffman);
+  const std::vector<CodecKind> ofmaps = {CodecKind::None, CodecKind::Zrle};
+  for (CodecKind f : ifmaps) {
+    for (CodecKind k : kernels) {
+      if (!has_weights && k != CodecKind::None) continue;
+      for (CodecKind o : ofmaps) {
+        combos.push_back({f, k, o});
+      }
+    }
+  }
+  return combos;
+}
+
+CodecCombo default_combo(bool compression_on) {
+  if (!compression_on) {
+    return {CodecKind::None, CodecKind::None, CodecKind::None};
+  }
+  return {CodecKind::Zrle, CodecKind::Bitmask, CodecKind::Zrle};
+}
+
+/// Stage A+B search for a single-layer group.
+std::vector<GroupCandidate> enumerate_single(const SearchContext& ctx,
+                                             std::size_t idx,
+                                             std::size_t keep) {
+  const nn::LayerSpec& layer = ctx.net.layers[idx];
+  const NetworkPlan::Group group{idx, idx};
+  // Channel-wise layers (pooling, depthwise conv) have one schedule shape.
+  const bool pool = layer.kind == nn::LayerKind::Pool ||
+                    layer.kind == nn::LayerKind::DepthwiseConv;
+
+  // FC layers have no spatial extent but a huge fan-in: the ladder must
+  // reach much smaller map/channel chunks for anything to fit on chip.
+  const bool fc = layer.kind == nn::LayerKind::FullyConnected;
+  const auto th_options = halving_options(layer.out_h(), 1, fc ? 1 : 5);
+  const auto tw_options = halving_options(layer.out_w(), 1, fc ? 1 : 5);
+  const auto tm_options =
+      halving_options(layer.out_channels(), fc ? 16 : 1, fc ? 9 : 6);
+  const auto tc_options = halving_options(
+      layer.in_c, std::min<Index>(fc ? 128 : 16, layer.in_c), fc ? 8 : 5);
+  const auto par_options = ctx.parallelism();
+  const CodecCombo guess = default_combo(ctx.compression_on());
+
+  // Stage A: geometry / order / parallelism under the default codec guess.
+  std::vector<GroupCandidate> stage_a;
+  for (Index th : th_options) {
+    for (Index tw : tw_options) {
+      for (Index tm : tm_options) {
+        struct OrderChoice {
+          LoopOrder order;
+          Index tc;
+          Index batch_tile;  // 0 = whole batch resident (IS only)
+        };
+        std::vector<OrderChoice> orders;
+        const auto bt_options =
+            ctx.batch > 1 ? halving_options(ctx.batch, 1, 3)
+                          : std::vector<Index>{0};
+        if (pool) {
+          orders.push_back({LoopOrder::WeightStationary, layer.in_c, 0});
+        } else {
+          orders.push_back({LoopOrder::WeightStationary, layer.in_c, 0});
+          // FC layers get the input-stationary order regardless of the
+          // order-search flag: their fan-in makes weight residency
+          // impossible, and every real fixed-function accelerator streams
+          // FC weights — denying that would strawman the baselines.
+          if (ctx.options.allow_order_search || fc) {
+            for (Index tc : tc_options) {
+              for (Index bt : bt_options) {
+                orders.push_back({LoopOrder::InputStationary, tc, bt});
+              }
+            }
+          }
+        }
+        for (const OrderChoice& oc : orders) {
+          for (auto [inter, intra] : par_options) {
+            LayerPlan plan;
+            plan.tile = {th, tw, oc.tc, tm};
+            plan.order = oc.order;
+            plan.batch_tile = oc.batch_tile;
+            plan.inter_groups = inter;
+            plan.intra_groups = intra;
+            plan.ifmap_codec = guess.ifmap;
+            plan.kernel_codec = layer.has_weights() ? guess.kernel
+                                                    : CodecKind::None;
+            plan.ofmap_codec = guess.ofmap;
+            ctx.evaluate(group, {plan}, &stage_a);
+          }
+        }
+      }
+    }
+  }
+  keep_best(&stage_a, 6);
+
+  // Stage B: codec sweep around the surviving geometries.
+  std::vector<GroupCandidate> stage_b;
+  for (const GroupCandidate& base : stage_a) {
+    for (const CodecCombo& combo :
+         codec_combos(ctx.compression_on(), ctx.options.allow_huffman,
+                      layer.has_weights())) {
+      LayerPlan plan = base.plans.front();
+      plan.ifmap_codec = combo.ifmap;
+      plan.kernel_codec = combo.kernel;
+      plan.ofmap_codec = combo.ofmap;
+      ctx.evaluate(group, {plan}, &stage_b);
+    }
+  }
+  keep_best(&stage_b, keep);
+  return stage_b;
+}
+
+/// Whether [first..last] is a legal fusion chain.
+bool fusable(const nn::Network& net, std::size_t first, std::size_t last) {
+  if (first == last) return true;
+  for (std::size_t l = first; l <= last; ++l) {
+    if (net.layers[l].kind == nn::LayerKind::FullyConnected) return false;
+  }
+  return true;
+}
+
+/// Search for a fused group [first..last].
+std::vector<GroupCandidate> enumerate_fused(const SearchContext& ctx,
+                                            std::size_t first,
+                                            std::size_t last,
+                                            std::size_t keep) {
+  const NetworkPlan::Group group{first, last};
+  const nn::LayerSpec& tail = ctx.net.layers[last];
+  const auto th_options = halving_options(tail.out_h(), 1, 6);
+  const auto tw_options = halving_options(tail.out_w(), 1, 6);
+  const auto par_options = ctx.parallelism();
+  const CodecCombo guess = default_combo(ctx.compression_on());
+
+  auto make_plans = [&](Index th, Index tw, int inter, int intra,
+                        const CodecCombo& combo) {
+    std::vector<LayerPlan> plans;
+    for (std::size_t l = first; l <= last; ++l) {
+      const nn::LayerSpec& layer = ctx.net.layers[l];
+      LayerPlan plan = neutral_plan(layer);
+      plan.inter_groups = inter;
+      plan.intra_groups = intra;
+      plan.kernel_codec =
+          layer.has_weights() ? combo.kernel : CodecKind::None;
+      if (l == first) plan.ifmap_codec = combo.ifmap;
+      if (l == last) {
+        plan.ofmap_codec = combo.ofmap;
+        plan.tile.th = th;
+        plan.tile.tw = tw;
+      }
+      plans.push_back(plan);
+    }
+    return plans;
+  };
+
+  std::vector<GroupCandidate> stage_a;
+  for (Index th : th_options) {
+    for (Index tw : tw_options) {
+      for (auto [inter, intra] : par_options) {
+        ctx.evaluate(group, make_plans(th, tw, inter, intra, guess),
+                     &stage_a);
+      }
+    }
+  }
+  keep_best(&stage_a, 4);
+
+  std::vector<GroupCandidate> stage_b;
+  for (const GroupCandidate& base : stage_a) {
+    const LayerPlan& tail_plan = base.plans.back();
+    for (const CodecCombo& combo : codec_combos(
+             ctx.compression_on(), ctx.options.allow_huffman, true)) {
+      ctx.evaluate(group,
+                   make_plans(tail_plan.tile.th, tail_plan.tile.tw,
+                              tail_plan.inter_groups, tail_plan.intra_groups,
+                              combo),
+                   &stage_b);
+    }
+  }
+  keep_best(&stage_b, keep);
+  return stage_b;
+}
+
+/// Builds and simulates the top candidates exactly; returns the winner.
+GroupCandidate refine_exact(const SearchContext& ctx,
+                            const NetworkPlan::Group& group,
+                            std::vector<GroupCandidate> candidates,
+                            GroupTrace* trace) {
+  MOCHA_CHECK(!candidates.empty(), "no candidates to refine");
+
+  const model::EnergyModel energy_model(ctx.tech, ctx.config);
+  GroupCandidate* best = nullptr;
+  std::size_t best_index = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    GroupCandidate& candidate = candidates[ci];
+    const NetworkPlan plan = scratch_plan(ctx.net, group, candidate.plans);
+    dataflow::BuiltSchedule built = dataflow::build_group_schedule(
+        ctx.net, plan, group, ctx.config, ctx.stats, ctx.batch);
+    const sim::Engine engine(built.layout.specs);
+    const sim::RunResult run = engine.run(built.graph);
+    const double energy_pj = energy_model.energy(run.totals).total_pj();
+    double score = objective_score(ctx.options.objective,
+                                   static_cast<double>(run.makespan),
+                                   energy_pj);
+    // Same compactness tiebreak as the analytical ranking.
+    score *= 1.0 + 0.40 * static_cast<double>(run.peak_sram_bytes) /
+                       static_cast<double>(ctx.config.sram_bytes);
+    if (run.peak_sram_bytes > ctx.config.sram_bytes) score *= 1e6;
+    // Record the measured quantities so downstream consumers see reality.
+    candidate.est.cycles = static_cast<double>(run.makespan);
+    candidate.est.energy_pj = energy_pj;
+    candidate.est.footprint_bytes = run.peak_sram_bytes;
+    if (trace != nullptr) {
+      GroupTrace::Finalist finalist;
+      finalist.plan_summary = candidate.plans.front().summary();
+      finalist.cycles = candidate.est.cycles;
+      finalist.energy_pj = energy_pj;
+      finalist.peak_sram_bytes = run.peak_sram_bytes;
+      trace->finalists.push_back(std::move(finalist));
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = &candidate;
+      best_index = ci;
+    }
+  }
+  if (trace != nullptr) {
+    trace->finalists[best_index].chosen = true;
+  }
+  return std::move(*best);
+}
+
+}  // namespace
+
+dataflow::NetworkPlan MorphController::plan(
+    const nn::Network& net, const fabric::FabricConfig& config,
+    const std::vector<LayerStreamStats>& stats, nn::Index batch) const {
+  return plan_traced(net, config, stats, batch, nullptr);
+}
+
+dataflow::NetworkPlan MorphController::plan_traced(
+    const nn::Network& net, const fabric::FabricConfig& config,
+    const std::vector<LayerStreamStats>& stats, nn::Index batch,
+    PlanTrace* trace) const {
+  net.validate();
+  config.validate();
+  MOCHA_CHECK(batch >= 1, "batch=" << batch);
+  const SearchContext ctx{net, config, stats, tech_, options_, batch};
+  const std::size_t n = net.layers.size();
+  const std::size_t keep =
+      static_cast<std::size_t>(std::max(1, options_.exact_top_k));
+
+  // Best candidates per group range; [i][len-1] covers layers [i, i+len-1].
+  const std::size_t max_len =
+      options_.allow_fusion ? std::max<std::size_t>(1, options_.max_fusion_len)
+                            : 1;
+  std::vector<std::vector<std::vector<GroupCandidate>>> group_candidates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    group_candidates[i].resize(max_len);
+    group_candidates[i][0] = enumerate_single(ctx, i, keep);
+    for (std::size_t len = 2; len <= max_len; ++len) {
+      const std::size_t j = i + len - 1;
+      if (j >= n || !fusable(net, i, j)) break;
+      group_candidates[i][len - 1] = enumerate_fused(ctx, i, j, keep);
+    }
+  }
+
+  // Dynamic program over the chain segmentation, scored analytically.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best_cost(n + 1, kInf);
+  std::vector<std::size_t> best_len(n, 1);
+  best_cost[n] = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t len = 1; len <= max_len && i + len <= n; ++len) {
+      const auto& candidates = group_candidates[i][len - 1];
+      if (candidates.empty()) continue;
+      const double cost = candidates.front().score + best_cost[i + len];
+      if (cost < best_cost[i]) {
+        best_cost[i] = cost;
+        best_len[i] = len;
+      }
+    }
+    MOCHA_CHECK(best_cost[i] < kInf,
+                "no feasible plan for layer " << net.layers[i].name);
+  }
+
+  // Materialize the chosen segmentation, exact-refining each group.
+  NetworkPlan plan;
+  plan.layers.resize(n);
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t len = best_len[i];
+    const NetworkPlan::Group group{i, i + len - 1};
+    GroupTrace* group_trace = nullptr;
+    if (trace != nullptr) {
+      trace->push_back({});
+      group_trace = &trace->back();
+      group_trace->first_layer = i;
+      group_trace->last_layer = i + len - 1;
+      for (std::size_t l2 = 1; l2 <= max_len; ++l2) {
+        if (i + l2 <= n && !group_candidates[i][l2 - 1].empty()) {
+          group_trace->analytical_candidates +=
+              group_candidates[i][l2 - 1].size();
+        }
+      }
+    }
+    GroupCandidate winner =
+        refine_exact(ctx, group, group_candidates[i][len - 1], group_trace);
+    for (std::size_t k = 0; k < len; ++k) {
+      plan.layers[i + k] = winner.plans[k];
+      plan.layers[i + k].fuse_with_next = k + 1 < len;
+    }
+    MOCHA_LOG(Debug, net.name << "/" << net.layers[i].name << " len=" << len
+                              << " plan: " << plan.layers[i].summary());
+    i += len;
+  }
+  plan.validate(net);
+  return plan;
+}
+
+}  // namespace mocha::core

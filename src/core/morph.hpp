@@ -1,0 +1,107 @@
+// The morph controller — MOCHA differentiator (iii).
+//
+// Decides, per layer and from the layer's dimensions and the available
+// resources, which optimizations to apply and how to compose them:
+//
+//   1. *Fusion grouping* — dynamic programming over the layer chain: the
+//      cheapest segmentation into fusion groups, where a group's cost is
+//      the best plan found for it (fusing pays halo recompute and weight
+//      residency to save DRAM round trips).
+//   2. *Per-group plan search* — staged coordinate search over tile sizes,
+//      loop order, parallelism split and stream codecs, ranked by the
+//      analytical cost model (dataflow/cost.hpp).
+//   3. *Exact refinement* — the top-K analytical candidates are built into
+//      real task graphs and simulated; the measured objective picks the
+//      winner. Analytical ranking prunes, simulation decides.
+//
+// The fixed-strategy baselines are this same controller with optimizations
+// disabled through MorphOptions — which is exactly the comparison the paper
+// makes (the substrate is shared; only the flexibility differs).
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "core/planner.hpp"
+
+namespace mocha::core {
+
+struct MorphOptions {
+  Objective objective = Objective::EnergyDelayProduct;
+
+  /// Layer merging allowed (fusion groups longer than 1).
+  bool allow_fusion = true;
+  /// Longest fusion chain considered.
+  std::size_t max_fusion_len = 3;
+
+  /// Stream compression allowed (codecs searched per stream).
+  bool allow_compression = true;
+
+  /// Include Huffman in the codec sweep. Off by default: the paper's
+  /// engines are zero-aware RLE/bitmask class; entropy coding roughly
+  /// doubles the kernel-stream compression and pushes the margins well
+  /// past the published ones (see EXPERIMENTS.md and the E7 ablation,
+  /// which measures exactly this switch).
+  bool allow_huffman = false;
+
+  /// Loop orders considered.
+  bool allow_order_search = true;
+
+  /// (inter, intra) PE-group splits considered. Empty = {(1,1)}.
+  std::vector<std::pair<int, int>> parallelism_options = {
+      {1, 1}, {2, 1}, {1, 2}, {2, 2}, {4, 1}, {1, 4}, {4, 2}, {2, 4}};
+
+  /// Analytical candidates forwarded to exact simulation, per group.
+  int exact_top_k = 3;
+
+  /// Keep this fraction of the scratchpad free as working margin when
+  /// checking analytical footprints (the builder's bound is conservative
+  /// already; the margin covers estimate error).
+  double sram_fit_margin = 0.0;
+};
+
+/// Why a plan was chosen: per scheduled group, the finalists that reached
+/// exact simulation with their measured scores. Makes the controller's
+/// "intelligence" auditable (and drives the E8 decision table).
+struct GroupTrace {
+  std::size_t first_layer = 0;
+  std::size_t last_layer = 0;
+  /// Candidates the analytical stage scored for this group range.
+  std::size_t analytical_candidates = 0;
+  struct Finalist {
+    std::string plan_summary;  // group head's plan
+    double cycles = 0;         // measured (exact simulation)
+    double energy_pj = 0;
+    std::int64_t peak_sram_bytes = 0;
+    bool chosen = false;
+  };
+  std::vector<Finalist> finalists;
+};
+using PlanTrace = std::vector<GroupTrace>;
+
+class MorphController final : public Planner {
+ public:
+  MorphController(model::TechParams tech, MorphOptions options)
+      : tech_(tech), options_(std::move(options)) {}
+
+  std::string name() const override { return "morph"; }
+
+  dataflow::NetworkPlan plan(
+      const nn::Network& net, const fabric::FabricConfig& config,
+      const std::vector<dataflow::LayerStreamStats>& stats,
+      nn::Index batch = 1) const override;
+
+  /// Like plan(), additionally reporting the decision trace.
+  dataflow::NetworkPlan plan_traced(
+      const nn::Network& net, const fabric::FabricConfig& config,
+      const std::vector<dataflow::LayerStreamStats>& stats, nn::Index batch,
+      PlanTrace* trace) const;
+
+  const MorphOptions& options() const { return options_; }
+
+ private:
+  model::TechParams tech_;
+  MorphOptions options_;
+};
+
+}  // namespace mocha::core

@@ -1,0 +1,15 @@
+// JSON export of run reports, for plotting and regression tracking.
+#pragma once
+
+#include <string>
+
+#include "core/report.hpp"
+
+namespace mocha::core {
+
+/// Serializes a RunReport: accelerator/network metadata, totals, derived
+/// metrics, and the per-group results including the chosen plan summaries
+/// and energy breakdowns.
+std::string report_to_json(const RunReport& report);
+
+}  // namespace mocha::core

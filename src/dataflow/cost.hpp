@@ -1,0 +1,45 @@
+// Analytical cost model.
+//
+// A fast closed-form mirror of the schedule builder, used by the morph
+// controller to rank thousands of candidate plans before the top few are
+// simulated exactly. Halo sizes use the interior-tile approximation
+// ((th-1)*stride + k), so estimates are within a few percent of the built
+// schedule on interior-dominated grids — good enough to prune, never used
+// as the final word (the controller re-simulates its short list).
+#pragma once
+
+#include "dataflow/plan.hpp"
+#include "dataflow/streams.hpp"
+#include "fabric/config.hpp"
+#include "model/energy.hpp"
+
+namespace mocha::dataflow {
+
+struct CostEstimate {
+  double cycles = 0;
+  double energy_pj = 0;
+  std::int64_t dram_bytes = 0;
+  std::int64_t footprint_bytes = 0;
+  model::ActionCounts counts;
+
+  /// Whether the plan's working set fits the scratchpad.
+  bool fits(const fabric::FabricConfig& config) const {
+    return footprint_bytes <= config.sram_bytes;
+  }
+
+  /// Energy-delay product, the controller's default objective.
+  double edp() const { return energy_pj * cycles; }
+};
+
+/// Estimates the cost of executing one fusion group under `plan`.
+/// `batch` mirrors build_group_schedule's batching semantics (resident
+/// weights amortized across the batch).
+CostEstimate estimate_group_cost(const nn::Network& net,
+                                 const NetworkPlan& plan,
+                                 const NetworkPlan::Group& group,
+                                 const fabric::FabricConfig& config,
+                                 const std::vector<LayerStreamStats>& stats,
+                                 const model::TechParams& tech,
+                                 Index batch = 1);
+
+}  // namespace mocha::dataflow

@@ -1,0 +1,292 @@
+#include "dataflow/executor.hpp"
+
+#include <algorithm>
+
+#include "dataflow/tiling.hpp"
+
+namespace mocha::dataflow {
+
+namespace {
+
+using nn::Accum;
+using nn::LayerKind;
+using nn::LayerSpec;
+using nn::Value;
+using nn::ValueTensor;
+
+/// A tile-local activation buffer covering a spatial window of a feature
+/// map. Reads outside the window are either padding (legal, returns 0) or a
+/// geometry bug (fatal) — this check is the executor's core verification.
+struct RegionView {
+  const ValueTensor* tensor = nullptr;  // full tensor (origin 0), or
+  const ValueTensor* local = nullptr;   // tile-local buffer with origin
+  Index origin_y = 0;
+  Index origin_x = 0;
+  Index full_h = 0;  // the underlying feature map's true extent
+  Index full_w = 0;
+
+  Value read(Index c, Index gy, Index gx) const {
+    if (gy < 0 || gy >= full_h || gx < 0 || gx >= full_w) {
+      return 0;  // zero padding
+    }
+    if (tensor != nullptr) {
+      return tensor->at(0, c, gy, gx);
+    }
+    const Index ly = gy - origin_y;
+    const Index lx = gx - origin_x;
+    MOCHA_CHECK(ly >= 0 && ly < local->shape().h && lx >= 0 &&
+                    lx < local->shape().w,
+                "fused pyramid geometry bug: read (" << gy << "," << gx
+                    << ") outside tile buffer at origin (" << origin_y << ","
+                    << origin_x << ") size " << local->shape().h << "x"
+                    << local->shape().w);
+    return local->at(0, c, ly, lx);
+  }
+};
+
+RegionView full_view(const ValueTensor& t, const LayerSpec& layer) {
+  RegionView v;
+  v.tensor = &t;
+  v.full_h = layer.in_h;
+  v.full_w = layer.in_w;
+  return v;
+}
+
+/// Computes one layer's output over the given output region, reading inputs
+/// through `in`. Channel passes of width tc accumulate explicitly (the same
+/// decomposition the scheduler uses), so pass bookkeeping is exercised.
+void compute_region(const LayerSpec& layer, const RegionView& in,
+                    const ValueTensor& w, Range out_y, Range out_x, Index tc,
+                    const nn::Quant& quant, ValueTensor* out, Index out_oy,
+                    Index out_ox) {
+  const Index kernel = layer.kind == LayerKind::FullyConnected ? 1 : layer.kernel;
+  const Index stride = layer.kind == LayerKind::FullyConnected ? 1 : layer.stride;
+  const Index pad = layer.kind == LayerKind::FullyConnected ? 0 : layer.pad;
+  const Index m_total = layer.out_channels();
+
+  for (Index m = 0; m < m_total; ++m) {
+    for (Index y = out_y.begin; y < out_y.end(); ++y) {
+      for (Index x = out_x.begin; x < out_x.end(); ++x) {
+        Value result;
+        if (layer.kind == LayerKind::DepthwiseConv) {
+          Accum acc = 0;
+          for (Index ky = 0; ky < kernel; ++ky) {
+            for (Index kx = 0; kx < kernel; ++kx) {
+              acc += static_cast<Accum>(in.read(m, y * stride + ky - pad,
+                                                x * stride + kx - pad)) *
+                     static_cast<Accum>(w.at(m, 0, ky, kx));
+            }
+          }
+          result = quant.requantize(acc, layer.relu);
+        } else if (layer.kind == LayerKind::Pool) {
+          if (layer.pool_op == nn::PoolOp::Max) {
+            Value best = std::numeric_limits<Value>::min();
+            for (Index ky = 0; ky < kernel; ++ky) {
+              for (Index kx = 0; kx < kernel; ++kx) {
+                best = std::max(best, in.read(m, y * stride + ky,
+                                              x * stride + kx));
+              }
+            }
+            result = best;
+          } else {
+            Accum sum = 0;
+            for (Index ky = 0; ky < kernel; ++ky) {
+              for (Index kx = 0; kx < kernel; ++kx) {
+                sum += in.read(m, y * stride + ky, x * stride + kx);
+              }
+            }
+            result = static_cast<Value>(sum / (kernel * kernel));
+          }
+        } else {
+          // Explicit channel-pass accumulation: partials per tc chunk.
+          Accum acc = 0;
+          for (Index c0 = 0; c0 < layer.in_c; c0 += tc) {
+            const Index c1 = std::min(layer.in_c, c0 + tc);
+            Accum partial = 0;
+            for (Index c = c0; c < c1; ++c) {
+              for (Index ky = 0; ky < kernel; ++ky) {
+                for (Index kx = 0; kx < kernel; ++kx) {
+                  partial += static_cast<Accum>(
+                                 in.read(c, y * stride + ky - pad,
+                                         x * stride + kx - pad)) *
+                             static_cast<Accum>(w.at(m, c, ky, kx));
+                }
+              }
+            }
+            acc += partial;
+          }
+          result = quant.requantize(acc, layer.relu);
+        }
+        out->at(0, m, y - out_y.begin + out_oy, x - out_x.begin + out_ox) =
+            result;
+      }
+    }
+  }
+}
+
+/// Round-trips `values` through the codec, asserting exact recovery, and
+/// returns the coded byte count. With codec None, returns the raw size.
+std::int64_t roundtrip_bytes(compress::CodecKind kind,
+                             std::span<const Value> values) {
+  const auto codec = compress::make_codec(kind);
+  const std::vector<std::uint8_t> coded = codec->encode(values);
+  const std::vector<Value> back = codec->decode(coded, values.size());
+  MOCHA_CHECK(back.size() == values.size(), "codec changed stream length");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    MOCHA_CHECK(back[i] == values[i],
+                compress::codec_name(kind)
+                    << " round trip mismatch at " << i);
+  }
+  return static_cast<std::int64_t>(coded.size());
+}
+
+/// Extracts the (clamped) input region of `tensor` as a flat stream, the
+/// exact elements a tile load would transfer.
+std::vector<Value> extract_region(const ValueTensor& tensor, Index c_begin,
+                                  Index c_end, Range ry, Range rx) {
+  std::vector<Value> out;
+  out.reserve(static_cast<std::size_t>((c_end - c_begin) * ry.size * rx.size));
+  for (Index c = c_begin; c < c_end; ++c) {
+    for (Index y = ry.begin; y < ry.end(); ++y) {
+      for (Index x = rx.begin; x < rx.end(); ++x) {
+        out.push_back(tensor.at(0, c, y, x));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FunctionalResult run_functional(const nn::Network& net,
+                                const NetworkPlan& plan,
+                                const nn::ValueTensor& input,
+                                const std::vector<nn::ValueTensor>& weights,
+                                const FunctionalOptions& options) {
+  net.validate();
+  plan.validate(net);
+  MOCHA_CHECK(weights.size() == net.layers.size(), "weights size mismatch");
+
+  FunctionalResult result;
+  result.outputs.resize(net.layers.size());
+  result.measured_stats.resize(net.layers.size());
+  result.streams.resize(net.layers.size());
+
+  // Measure kernel streams once per layer.
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    if (!net.layers[i].has_weights()) continue;
+    MOCHA_CHECK(weights[i].shape() == net.layers[i].weight_shape(),
+                net.layers[i].name << ": weight shape mismatch");
+    result.measured_stats[i].kernel_sparsity = weights[i].sparsity();
+    result.streams[i].kernel_raw =
+        weights[i].size() * static_cast<Index>(sizeof(Value));
+    if (options.exercise_codecs) {
+      result.streams[i].kernel_coded = roundtrip_bytes(
+          plan.layers[i].kernel_codec,
+          std::span<const Value>(weights[i].data(),
+                                 static_cast<std::size_t>(weights[i].size())));
+    }
+  }
+
+  ValueTensor flattened;  // staging for spatial->FC transitions
+  const ValueTensor* current = &input;
+
+  for (const NetworkPlan::Group& group : plan.fusion_groups()) {
+    const LayerSpec& head = net.layers[group.first];
+    // Flatten a spatial predecessor feeding an FC head.
+    if (head.kind == LayerKind::FullyConnected &&
+        current->shape() != head.input_shape()) {
+      MOCHA_CHECK(current->size() == head.ifmap_elems(),
+                  head.name << ": cannot flatten predecessor");
+      flattened = ValueTensor(head.input_shape(), current->storage());
+      current = &flattened;
+    }
+    MOCHA_CHECK(current->shape() == head.input_shape(),
+                head.name << ": group input shape mismatch");
+
+    const LayerSpec& tail = net.layers[group.last];
+    const LayerPlan& tail_plan = plan.layers[group.last];
+
+    // Allocate every member's full output (the fused intermediates are
+    // written too, so per-layer outputs remain comparable to the reference).
+    for (std::size_t l = group.first; l <= group.last; ++l) {
+      result.outputs[l] = ValueTensor(net.layers[l].output_shape());
+    }
+
+    result.measured_stats[group.first].ifmap_sparsity = current->sparsity();
+    result.streams[group.first].ifmap_raw =
+        current->size() * static_cast<Index>(sizeof(Value));
+
+    std::int64_t ifmap_coded_total = 0;
+    const auto grid = tile_grid(tail, tail_plan.tile.th, tail_plan.tile.tw);
+    for (const TileGeometry& tail_geo : grid) {
+      const auto pyramid = fused_pyramid(net, group.first, group.last,
+                                         tail_geo.out_y, tail_geo.out_x);
+      // Head input region: measure the coded transfer.
+      if (options.exercise_codecs) {
+        const std::vector<Value> stream = extract_region(
+            *current, 0, head.in_c, pyramid.front().in_y, pyramid.front().in_x);
+        ifmap_coded_total += roundtrip_bytes(
+            plan.layers[group.first].ifmap_codec,
+            std::span<const Value>(stream.data(), stream.size()));
+      }
+
+      // Walk the pyramid: stage k writes a tile-local buffer that stage
+      // k+1 reads through a RegionView with origin checking.
+      ValueTensor stage_buffer;
+      Index stage_oy = 0;
+      Index stage_ox = 0;
+      for (std::size_t l = group.first; l <= group.last; ++l) {
+        const LayerSpec& layer = net.layers[l];
+        const TileGeometry& geo = pyramid[l - group.first];
+        RegionView in;
+        if (l == group.first) {
+          in = full_view(*current, layer);
+        } else {
+          in.local = &stage_buffer;
+          in.origin_y = stage_oy;
+          in.origin_x = stage_ox;
+          in.full_h = layer.in_h;
+          in.full_w = layer.in_w;
+        }
+        ValueTensor out_tile(
+            {1, layer.out_channels(), geo.out_y.size, geo.out_x.size});
+        compute_region(layer, in, weights[l], geo.out_y, geo.out_x,
+                       group.size() == 1 ? plan.layers[l].tile.tc
+                                         : layer.in_c,
+                       options.quant, &out_tile, 0, 0);
+        // Commit this stage's tile into its full output tensor.
+        for (Index c = 0; c < layer.out_channels(); ++c) {
+          for (Index y = 0; y < geo.out_y.size; ++y) {
+            for (Index x = 0; x < geo.out_x.size; ++x) {
+              result.outputs[l].at(0, c, geo.out_y.begin + y,
+                                   geo.out_x.begin + x) =
+                  out_tile.at(0, c, y, x);
+            }
+          }
+        }
+        stage_buffer = std::move(out_tile);
+        stage_oy = geo.out_y.begin;
+        stage_ox = geo.out_x.begin;
+      }
+    }
+    result.streams[group.first].ifmap_coded = ifmap_coded_total;
+
+    // Tail output stream measurement.
+    const ValueTensor& tail_out = result.outputs[group.last];
+    result.measured_stats[group.last].ofmap_sparsity = tail_out.sparsity();
+    result.streams[group.last].ofmap_raw =
+        tail_out.size() * static_cast<Index>(sizeof(Value));
+    if (options.exercise_codecs) {
+      result.streams[group.last].ofmap_coded = roundtrip_bytes(
+          tail_plan.ofmap_codec,
+          std::span<const Value>(tail_out.data(),
+                                 static_cast<std::size_t>(tail_out.size())));
+    }
+
+    current = &result.outputs[group.last];
+  }
+  return result;
+}
+
+}  // namespace mocha::dataflow

@@ -1,0 +1,61 @@
+// Functional execution of a NetworkPlan on real tensors.
+//
+// Interprets the same tile grids, fusion pyramids and channel/map passes the
+// schedule builder turns into task graphs — but actually computes the
+// fixed-point arithmetic, so the result can be compared element-exact
+// against the naive reference kernels. This is the proof that the locality
+// transformations (halo handling, pass accumulation, fused recompute) are
+// *correct*, not merely accounted for.
+//
+// When a stream has a codec assigned, the executor round-trips the real
+// data through the codec (encode + decode, asserting equality) and records
+// the measured coded sizes, which tests compare against the analytical
+// estimators the cost model relies on.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/plan.hpp"
+#include "dataflow/streams.hpp"
+#include "nn/quant.hpp"
+#include "nn/reference.hpp"
+
+namespace mocha::dataflow {
+
+/// Measured stream sizes for one layer (bytes). Zero when no data crossed
+/// that stream (e.g. kernel bytes of a pooling layer).
+struct MeasuredStreams {
+  std::int64_t ifmap_raw = 0;
+  std::int64_t ifmap_coded = 0;
+  std::int64_t kernel_raw = 0;
+  std::int64_t kernel_coded = 0;
+  std::int64_t ofmap_raw = 0;
+  std::int64_t ofmap_coded = 0;
+};
+
+struct FunctionalResult {
+  /// Output of every layer, index-aligned with net.layers.
+  std::vector<nn::ValueTensor> outputs;
+  /// Measured zero fractions per layer (ifmap / kernel / ofmap).
+  std::vector<LayerStreamStats> measured_stats;
+  /// Measured codec behaviour per layer.
+  std::vector<MeasuredStreams> streams;
+};
+
+struct FunctionalOptions {
+  nn::Quant quant;
+  /// Round-trip every coded stream through the real codec (and assert the
+  /// decode matches). Disable only for large sweeps where the coded sizes
+  /// are not needed.
+  bool exercise_codecs = true;
+};
+
+/// Executes `net` under `plan` on a real input. `weights[i]` must match
+/// net.layers[i].weight_shape() (empty for pooling layers).
+FunctionalResult run_functional(const nn::Network& net,
+                                const NetworkPlan& plan,
+                                const nn::ValueTensor& input,
+                                const std::vector<nn::ValueTensor>& weights,
+                                const FunctionalOptions& options = {});
+
+}  // namespace mocha::dataflow

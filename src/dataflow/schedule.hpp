@@ -1,0 +1,56 @@
+// Schedule builder: LayerPlan(s) -> task graph.
+//
+// Translates the morphable dataflow into the exact DAG of DMA transfers,
+// codec work and PE-group compute the discrete-event engine executes. The
+// builder is where the locality optimizations become *mechanism*:
+//
+//  * Tiling           -> the spatial tile grid and channel/map passes,
+//                        with halo regions re-fetched at tile edges.
+//  * Loop order       -> which operand is resident vs. re-streamed
+//                        (weight-stationary vs. input-stationary).
+//  * Layer merging    -> fused pyramids: consumer tiles computed from
+//                        producer tiles held in the scratchpad, paying
+//                        halo *recompute* instead of DRAM round trips.
+//  * Intra/inter map  -> compute chunks per tile, one per PE group.
+//  * Compression      -> coded transfer/storage sizes, codec-engine
+//                        occupancy, and zero-skip compute shortening.
+//
+// Double buffering is expressed as dependency chains (tile i+2 waits on the
+// barrier of tile i), so transfer/compute overlap emerges in the engine
+// rather than being asserted.
+#pragma once
+
+#include "dataflow/plan.hpp"
+#include "dataflow/streams.hpp"
+#include "fabric/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+
+namespace mocha::dataflow {
+
+struct BuiltSchedule {
+  sim::TaskGraph graph;
+  sim::ResourceLayout layout;
+  /// PE groups the plan uses (resource capacity of layout's `pe`).
+  int pe_groups = 1;
+  /// The builder's static footprint bound; the engine's measured peak must
+  /// not exceed it (checked in tests).
+  std::int64_t footprint_bytes = 0;
+};
+
+/// Builds the task graph for one fusion group of the plan. `stats` is
+/// index-aligned with net.layers.
+///
+/// `batch` > 1 processes a batch of inputs through the group with weight
+/// reuse: resident weights (weight-stationary passes, fused groups) are
+/// loaded once for the whole batch, and input-stationary weight streams
+/// serve all batch images of a tile — the throughput lever that makes
+/// weight-bound FC layers tractable.
+BuiltSchedule build_group_schedule(const nn::Network& net,
+                                   const NetworkPlan& plan,
+                                   const NetworkPlan::Group& group,
+                                   const fabric::FabricConfig& config,
+                                   const std::vector<LayerStreamStats>& stats,
+                                   Index batch = 1);
+
+}  // namespace mocha::dataflow

@@ -1,0 +1,81 @@
+#include "dataflow/tiling.hpp"
+
+#include <algorithm>
+
+namespace mocha::dataflow {
+
+Range input_range(Range out, Index stride, Index kernel, Index pad,
+                  Index in_limit) {
+  MOCHA_CHECK(out.size > 0, "empty output range");
+  const Index lo_unclamped = out.begin * stride - pad;
+  const Index hi_unclamped = (out.end() - 1) * stride + kernel - pad;  // excl.
+  const Index lo = std::max<Index>(lo_unclamped, 0);
+  const Index hi = std::min<Index>(hi_unclamped, in_limit);
+  MOCHA_CHECK(hi > lo, "output range maps to empty input: out=[" << out.begin
+                           << "," << out.end() << ") stride=" << stride
+                           << " k=" << kernel << " pad=" << pad
+                           << " limit=" << in_limit);
+  return {lo, hi - lo};
+}
+
+TileGeometry tile_geometry(const nn::LayerSpec& layer, Range out_y,
+                           Range out_x) {
+  TileGeometry geo;
+  geo.out_y = out_y;
+  geo.out_x = out_x;
+  if (layer.kind == nn::LayerKind::FullyConnected) {
+    geo.in_y = {0, 1};
+    geo.in_x = {0, 1};
+    return geo;
+  }
+  geo.in_y = input_range(out_y, layer.stride, layer.kernel, layer.pad,
+                         layer.in_h);
+  geo.in_x = input_range(out_x, layer.stride, layer.kernel, layer.pad,
+                         layer.in_w);
+  return geo;
+}
+
+std::vector<TileGeometry> tile_grid(const nn::LayerSpec& layer, Index th,
+                                    Index tw) {
+  const Index oh = layer.out_h();
+  const Index ow = layer.out_w();
+  MOCHA_CHECK(th >= 1 && th <= oh && tw >= 1 && tw <= ow,
+              layer.name << ": tile " << th << "x" << tw << " vs output "
+                         << oh << "x" << ow);
+  std::vector<TileGeometry> grid;
+  for (Index y0 = 0; y0 < oh; y0 += th) {
+    const Index rows = std::min(th, oh - y0);
+    for (Index x0 = 0; x0 < ow; x0 += tw) {
+      const Index cols = std::min(tw, ow - x0);
+      grid.push_back(tile_geometry(layer, {y0, rows}, {x0, cols}));
+    }
+  }
+  return grid;
+}
+
+std::vector<TileGeometry> fused_pyramid(const nn::Network& net,
+                                        std::size_t first, std::size_t last,
+                                        Range out_y, Range out_x) {
+  MOCHA_CHECK(first <= last && last < net.layers.size(),
+              "bad fusion range [" << first << "," << last << "]");
+  std::vector<TileGeometry> pyramid(last - first + 1);
+  Range need_y = out_y;
+  Range need_x = out_x;
+  for (std::size_t k = last + 1; k-- > first;) {
+    const TileGeometry geo = tile_geometry(net.layers[k], need_y, need_x);
+    pyramid[k - first] = geo;
+    need_y = geo.in_y;
+    need_x = geo.in_x;
+  }
+  return pyramid;
+}
+
+Index pass_input_positions(const nn::LayerSpec& layer, Index th, Index tw) {
+  Index total = 0;
+  for (const TileGeometry& geo : tile_grid(layer, th, tw)) {
+    total += geo.in_positions();
+  }
+  return total;
+}
+
+}  // namespace mocha::dataflow

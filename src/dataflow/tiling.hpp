@@ -1,0 +1,62 @@
+// Tile geometry.
+//
+// Exact halo arithmetic shared by the schedule builder (traffic accounting),
+// the analytical cost model, and the functional executor (real computation).
+// Keeping all three on one geometry is what makes the functional mode a true
+// verification of the performance schedules.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/plan.hpp"
+#include "nn/layer.hpp"
+
+namespace mocha::dataflow {
+
+/// A half-open 1-D index range [begin, begin + size).
+struct Range {
+  Index begin = 0;
+  Index size = 0;
+
+  Index end() const { return begin + size; }
+  bool operator==(const Range&) const = default;
+};
+
+/// Input rows/cols a window-operator needs to produce output range `out`,
+/// clamped to the valid input extent [0, in_limit). Padding regions fall
+/// outside the clamp and contribute implicit zeros (not loaded, not stored).
+Range input_range(Range out, Index stride, Index kernel, Index pad,
+                  Index in_limit);
+
+/// A 2-D output tile of a layer and the exact input region it reads.
+struct TileGeometry {
+  Range out_y;
+  Range out_x;
+  Range in_y;
+  Range in_x;
+
+  Index out_positions() const { return out_y.size * out_x.size; }
+  Index in_positions() const { return in_y.size * in_x.size; }
+};
+
+TileGeometry tile_geometry(const nn::LayerSpec& layer, Range out_y,
+                           Range out_x);
+
+/// The spatial tile grid of a layer's output under tile sizes (th, tw).
+std::vector<TileGeometry> tile_grid(const nn::LayerSpec& layer, Index th,
+                                    Index tw);
+
+/// Fusion pyramid: for a fused chain layers[first..last], the per-layer tile
+/// geometry needed so the *last* layer produces output tile (out_y, out_x).
+/// Entry [k] corresponds to layer first+k; entry[k].in_* is what layer
+/// first+k reads — for k == 0 that is the DRAM-loaded head input region.
+std::vector<TileGeometry> fused_pyramid(const nn::Network& net,
+                                        std::size_t first, std::size_t last,
+                                        Range out_y, Range out_x);
+
+/// Total input positions streamed for a full spatial pass over the layer at
+/// tile size (th, tw) — i.e. the sum of per-tile input regions, which
+/// exceeds in_h*in_w whenever tiles overlap (halo re-fetch).
+Index pass_input_positions(const nn::LayerSpec& layer, Index th, Index tw);
+
+}  // namespace mocha::dataflow

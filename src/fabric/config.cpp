@@ -1,0 +1,27 @@
+#include "fabric/config.hpp"
+
+namespace mocha::fabric {
+
+FabricConfig mocha_default_config() {
+  FabricConfig config;
+  config.name = "mocha";
+  config.has_compression = true;
+  config.has_morph_controller = true;
+  config.validate();
+  return config;
+}
+
+FabricConfig baseline_config(const std::string& name) {
+  FabricConfig config;
+  config.name = name;
+  config.has_compression = false;
+  config.codec_units = 0;
+  config.has_morph_controller = false;
+  // A fixed-function controller needs no context store; swapping a layer's
+  // static configuration in is cheaper than a full morph reconfiguration.
+  config.reconfig_cycles = 64;
+  config.validate();
+  return config;
+}
+
+}  // namespace mocha::fabric

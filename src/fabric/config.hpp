@@ -1,0 +1,104 @@
+// Hardware description of the accelerator fabric.
+//
+// MOCHA is built on a DRRA/SiLago-class coarse-grained fabric: a grid of MAC
+// datapaths with private register files, a banked global scratchpad, DMA
+// engines to DRAM, and (in MOCHA, not the baselines) codec engines on the
+// DMA path plus a morph controller. This struct is the single source of
+// truth all models (timing, energy, area) derive from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace mocha::fabric {
+
+struct FabricConfig {
+  std::string name = "mocha";
+
+  // ---- Compute fabric ----
+  int pe_rows = 8;
+  int pe_cols = 8;
+  /// MACs one PE retires per cycle (16-bit datapath).
+  int macs_per_pe_per_cycle = 1;
+  /// Private register file per PE, bytes (operand staging).
+  std::int64_t rf_bytes_per_pe = 512;
+
+  // ---- On-chip memory ----
+  /// Global scratchpad capacity, bytes.
+  std::int64_t sram_bytes = 256 * 1024;
+  int sram_banks = 8;
+  /// Bytes one bank moves per cycle (port width).
+  int sram_bytes_per_cycle_per_bank = 8;
+
+  // ---- Off-chip interface ----
+  /// DMA channels; the aggregate bus bandwidth below is split evenly across
+  /// them and independent transfers overlap channel-parallel. One wide
+  /// channel is the default: dependency chains (weight-chunk accumulation)
+  /// rarely sustain two, so narrower parallel ports mostly add latency.
+  int dma_channels = 1;
+  /// Peak DRAM bus bandwidth (aggregate), bytes per fabric cycle.
+  int dram_bytes_per_cycle = 8;
+  /// Extra latency of a DRAM row miss vs. a row hit, cycles.
+  int dram_row_miss_penalty = 24;
+  int dram_row_hit_latency = 6;
+  /// Row-buffer size: transfers touching more bytes pay another miss.
+  std::int64_t dram_row_bytes = 2048;
+
+  // ---- MOCHA-specific hardware ----
+  bool has_compression = true;
+  /// (De)compressor engines on the DMA path.
+  int codec_units = 2;
+  /// Bytes of *raw* stream one codec engine processes per cycle.
+  int codec_bytes_per_cycle = 8;
+  bool has_morph_controller = true;
+  /// Cycles to reconfigure the fabric between layer plans (context load).
+  int reconfig_cycles = 256;
+  /// PEs fed by a run-length decoder can skip zero activations; the decode
+  /// front-end cannot compress cycles below this fraction of dense work
+  /// (pipeline restart + weight streaming keep a floor). Only effective when
+  /// the layer's ifmap stream is actually coded.
+  bool zero_skip_compute = true;
+  double zero_skip_floor = 0.70;
+
+  double clock_ghz = 0.2;  // 200 MHz embedded operating point
+
+  int total_pes() const { return pe_rows * pe_cols; }
+
+  std::int64_t peak_macs_per_cycle() const {
+    return static_cast<std::int64_t>(total_pes()) * macs_per_pe_per_cycle;
+  }
+
+  /// Peak arithmetic throughput in GOPS (1 MAC = 2 ops, the convention the
+  /// accelerator papers report).
+  double peak_gops() const {
+    return 2.0 * static_cast<double>(peak_macs_per_cycle()) * clock_ghz;
+  }
+
+  void validate() const {
+    MOCHA_CHECK(pe_rows > 0 && pe_cols > 0, "empty PE array");
+    MOCHA_CHECK(macs_per_pe_per_cycle > 0, "PE with no datapath");
+    MOCHA_CHECK(rf_bytes_per_pe > 0, "PE without register file");
+    MOCHA_CHECK(sram_bytes > 0 && sram_banks > 0, "no scratchpad");
+    MOCHA_CHECK(sram_bytes % sram_banks == 0,
+                "scratchpad not evenly banked: " << sram_bytes << "/"
+                                                 << sram_banks);
+    MOCHA_CHECK(dma_channels > 0 && dram_bytes_per_cycle > 0, "no DRAM path");
+    MOCHA_CHECK(dram_row_bytes > 0 && dram_row_hit_latency >= 0 &&
+                    dram_row_miss_penalty >= 0,
+                "bad DRAM timing");
+    MOCHA_CHECK(!has_compression || codec_units > 0,
+                "compression enabled without codec engines");
+    MOCHA_CHECK(clock_ghz > 0, "bad clock");
+  }
+};
+
+/// The MOCHA configuration the experiments use (compression + morphing on).
+FabricConfig mocha_default_config();
+
+/// Identical substrate with MOCHA's extra hardware removed — the base the
+/// fixed-strategy baseline accelerators run on.
+FabricConfig baseline_config(const std::string& name);
+
+}  // namespace mocha::fabric

@@ -1,0 +1,130 @@
+#include "fabric/pe_array.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace mocha::fabric {
+
+namespace {
+
+/// Factorizes `groups` into (gr x gc) with gr*gc == groups, as square as the
+/// grid allows (gr dividing choices ranked by aspect fit).
+std::pair<int, int> split_grid(int rows, int cols, int groups) {
+  std::pair<int, int> best{1, groups};
+  double best_badness = 1e300;
+  for (int gr = 1; gr <= groups; ++gr) {
+    if (groups % gr != 0) continue;
+    const int gc = groups / gr;
+    if (gr > rows || gc > cols) continue;
+    // Badness: deviation of group aspect from the PE aspect (square-ish
+    // groups keep operand fan-out short in both dimensions).
+    const double group_h = static_cast<double>(rows) / gr;
+    const double group_w = static_cast<double>(cols) / gc;
+    const double badness = std::abs(std::log(group_h / group_w));
+    if (badness < best_badness) {
+      best_badness = badness;
+      best = {gr, gc};
+    }
+  }
+  MOCHA_CHECK(best.first <= rows && best.second <= cols,
+              "cannot split " << rows << "x" << cols << " into " << groups
+                              << " groups");
+  return best;
+}
+
+}  // namespace
+
+PeArray::PeArray(const FabricConfig& config, int groups)
+    : rows_(config.pe_rows), cols_(config.pe_cols) {
+  config.validate();
+  MOCHA_CHECK(groups >= 1 && groups <= config.total_pes(),
+              "bad group count " << groups);
+  const auto [gr, gc] = split_grid(rows_, cols_, groups);
+  groups_.reserve(static_cast<std::size_t>(groups));
+  // Near-equal rectangle split: remainder rows/cols go to the leading
+  // groups, mirroring how partition() splits work in the scheduler.
+  int row0 = 0;
+  for (int r = 0; r < gr; ++r) {
+    const int rows = rows_ / gr + (r < rows_ % gr ? 1 : 0);
+    int col0 = 0;
+    for (int c = 0; c < gc; ++c) {
+      const int cols = cols_ / gc + (c < cols_ % gc ? 1 : 0);
+      PeGroup group;
+      group.id = static_cast<int>(groups_.size());
+      group.row0 = row0;
+      group.col0 = col0;
+      group.rows = rows;
+      group.cols = cols;
+      groups_.push_back(group);
+      col0 += cols;
+    }
+    row0 += rows;
+  }
+}
+
+const PeGroup& PeArray::group(int id) const {
+  MOCHA_CHECK(id >= 0 && id < group_count(), "bad group id " << id);
+  return groups_[static_cast<std::size_t>(id)];
+}
+
+int PeArray::group_of(PeCoord pe) const {
+  MOCHA_CHECK(pe.row >= 0 && pe.row < rows_ && pe.col >= 0 && pe.col < cols_,
+              "PE (" << pe.row << "," << pe.col << ") outside grid");
+  for (const PeGroup& group : groups_) {
+    if (group.contains(pe)) return group.id;
+  }
+  MOCHA_UNREACHABLE("grid not fully covered by groups");
+}
+
+int PeArray::min_group_pes() const {
+  int min_pes = groups_.front().pes();
+  for (const PeGroup& group : groups_) {
+    min_pes = std::min(min_pes, group.pes());
+  }
+  return min_pes;
+}
+
+double PeArray::mean_hops_from_sram(int group_id) const {
+  const PeGroup& group = this->group(group_id);
+  // Ports on the west edge, one per row: a PE at column c is c+1 hops from
+  // its row's port (vertical distance is absorbed by the port-per-row).
+  double total = 0;
+  for (int c = group.col0; c < group.col0 + group.cols; ++c) {
+    total += c + 1;
+  }
+  return total / static_cast<double>(group.cols);
+}
+
+double mean_operand_hops(const FabricConfig& config, int groups) {
+  const PeArray array(config, groups);
+  double total = 0;
+  for (int g = 0; g < array.group_count(); ++g) {
+    total += array.mean_hops_from_sram(g);
+  }
+  return total / static_cast<double>(array.group_count());
+}
+
+std::int64_t plan_context_words(const FabricConfig& config, int groups,
+                                bool uses_compression) {
+  MOCHA_CHECK(groups >= 1, "bad group count");
+  // Per-PE sequencer context: loop bounds, address strides, MAC mode —
+  // 8 words, matching DRRA-class register-file/DPU context sizes.
+  std::int64_t words = static_cast<std::int64_t>(config.total_pes()) * 8;
+  // Per-group stream descriptors: 4 words per operand stream (ifmap,
+  // kernel, psum), doubled when the codec path is active (codec kind,
+  // dictionary base, coded length).
+  words += static_cast<std::int64_t>(groups) * 3 * (uses_compression ? 8 : 4);
+  return words;
+}
+
+std::int64_t reconfig_cycles_for(const FabricConfig& config, int groups,
+                                 bool uses_compression) {
+  const std::int64_t words =
+      plan_context_words(config, groups, uses_compression);
+  // The configuration bus loads one word per row per cycle.
+  return util::ceil_div<std::int64_t>(words, config.pe_rows);
+}
+
+}  // namespace mocha::fabric

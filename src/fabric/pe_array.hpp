@@ -1,0 +1,87 @@
+// PE-array geometry and group partitioning.
+//
+// The fabric is a DRRA/SiLago-flavoured grid: each cell holds a 16-bit MAC
+// datapath, a private register file and a sequencer; cells talk over a
+// circuit-switched "sliding window" interconnect of row/column buses. The
+// morph controller partitions the grid into rectangular *groups* — the unit
+// intra/inter feature-map parallelism is expressed in — and this module owns
+// that geometry: which cells belong to which group, how far operands travel
+// (hop counts feed the interconnect energy model), and how large a
+// configuration context a plan loads into the sequencers (reconfiguration
+// latency).
+#pragma once
+
+#include <vector>
+
+#include "fabric/config.hpp"
+
+namespace mocha::fabric {
+
+/// Position of one PE in the grid.
+struct PeCoord {
+  int row = 0;
+  int col = 0;
+
+  bool operator==(const PeCoord&) const = default;
+};
+
+/// A rectangular sub-array assigned to one parallel group.
+struct PeGroup {
+  int id = 0;
+  int row0 = 0;
+  int col0 = 0;
+  int rows = 0;
+  int cols = 0;
+
+  int pes() const { return rows * cols; }
+  bool contains(PeCoord pe) const {
+    return pe.row >= row0 && pe.row < row0 + rows && pe.col >= col0 &&
+           pe.col < col0 + cols;
+  }
+};
+
+/// The grid partitioned into `groups` near-equal rectangles.
+class PeArray {
+ public:
+  PeArray(const FabricConfig& config, int groups);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int group_count() const { return static_cast<int>(groups_.size()); }
+  const PeGroup& group(int id) const;
+  const std::vector<PeGroup>& groups() const { return groups_; }
+
+  /// Group owning a PE (every PE belongs to exactly one group).
+  int group_of(PeCoord pe) const;
+
+  /// Smallest group size — the per-group PE count the schedule builder and
+  /// cost model must provision for (ragged splits waste the remainder).
+  int min_group_pes() const;
+
+  /// Mean Manhattan distance from the scratchpad ports (modelled at the
+  /// grid's west edge, one port per row) to the PEs of `group_id` — the
+  /// operand delivery distance the interconnect energy scales with.
+  double mean_hops_from_sram(int group_id) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<PeGroup> groups_;
+};
+
+/// Mean operand-delivery distance averaged over all groups of a partition —
+/// the single hop factor schedule builders charge NoC energy with.
+double mean_operand_hops(const FabricConfig& config, int groups);
+
+/// Number of 32-bit context words a LayerPlan-shaped configuration loads
+/// into the fabric: per-PE sequencer contexts plus per-group stream/codec
+/// descriptors. Reconfiguration latency = words / config-bus width.
+std::int64_t plan_context_words(const FabricConfig& config, int groups,
+                                bool uses_compression);
+
+/// Cycles to load such a context over the configuration bus (one word per
+/// cycle per row, matching DRRA's parallel context loading).
+std::int64_t reconfig_cycles_for(const FabricConfig& config, int groups,
+                                 bool uses_compression);
+
+}  // namespace mocha::fabric

@@ -1,0 +1,25 @@
+#include "model/area.hpp"
+
+namespace mocha::model {
+
+AreaBreakdown AreaModel::breakdown(const fabric::FabricConfig& config) const {
+  config.validate();
+  AreaBreakdown area;
+  const double pes = static_cast<double>(config.total_pes());
+  area.pe_mm2 = pes * tech_.pe_mm2;
+  area.rf_mm2 = pes * static_cast<double>(config.rf_bytes_per_pe) / 1024.0 *
+                tech_.rf_mm2_per_kib;
+  area.sram_mm2 =
+      static_cast<double>(config.sram_bytes) / 1024.0 * tech_.sram_mm2_per_kib;
+  area.noc_mm2 = pes * tech_.noc_mm2_per_pe;
+  area.dma_mm2 = config.dma_channels * tech_.dma_mm2;
+  area.codec_mm2 =
+      config.has_compression ? config.codec_units * 2 * tech_.codec_unit_mm2
+                             : 0.0;  // one compressor + one decompressor each
+  area.controller_mm2 = config.has_morph_controller
+                            ? tech_.morph_controller_mm2
+                            : tech_.fixed_controller_mm2;
+  return area;
+}
+
+}  // namespace mocha::model

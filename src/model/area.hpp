@@ -1,0 +1,44 @@
+// Area accounting.
+//
+// Sums per-component areas for a fabric configuration. Reproduces the
+// paper's area table (E2): MOCHA pays for codec engines and the morph
+// controller on top of the shared substrate, landing in the abstract's
+// quoted +26-35% overhead band relative to the fixed-strategy baselines.
+#pragma once
+
+#include "fabric/config.hpp"
+#include "model/tech.hpp"
+
+namespace mocha::model {
+
+/// Area split by component, mm^2.
+struct AreaBreakdown {
+  double pe_mm2 = 0;
+  double rf_mm2 = 0;
+  double sram_mm2 = 0;
+  double noc_mm2 = 0;
+  double dma_mm2 = 0;
+  double codec_mm2 = 0;
+  double controller_mm2 = 0;
+
+  double total_mm2() const {
+    return pe_mm2 + rf_mm2 + sram_mm2 + noc_mm2 + dma_mm2 + codec_mm2 +
+           controller_mm2;
+  }
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(TechParams tech) : tech_(tech) {}
+
+  AreaBreakdown breakdown(const fabric::FabricConfig& config) const;
+
+  double total_mm2(const fabric::FabricConfig& config) const {
+    return breakdown(config).total_mm2();
+  }
+
+ private:
+  TechParams tech_;
+};
+
+}  // namespace mocha::model

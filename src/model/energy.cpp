@@ -1,0 +1,26 @@
+#include "model/energy.hpp"
+
+namespace mocha::model {
+
+EnergyBreakdown EnergyModel::energy(const ActionCounts& counts) const {
+  EnergyBreakdown e;
+  e.mac_pj = static_cast<double>(counts.macs) * tech_.mac_pj;
+  e.rf_pj = static_cast<double>(counts.rf_bytes) * tech_.rf_pj_per_byte;
+  e.sram_pj =
+      static_cast<double>(counts.sram_read_bytes + counts.sram_write_bytes) *
+      tech_.sram_pj_per_byte;
+  e.dram_pj =
+      static_cast<double>(counts.dram_read_bytes + counts.dram_write_bytes) *
+      tech_.dram_pj_per_byte;
+  e.codec_pj = static_cast<double>(counts.codec_bytes) * tech_.codec_pj_per_byte;
+  e.noc_pj =
+      static_cast<double>(counts.noc_byte_hops) * tech_.noc_pj_per_byte_hop;
+  e.control_pj = static_cast<double>(counts.reconfigs) * tech_.reconfig_pj;
+  // Leakage: P_static = area * density; energy = P * t = P * cycles / f.
+  // mW * ns = pJ, so the unit algebra below is exact.
+  const double ns = static_cast<double>(counts.cycles) / clock_ghz_;
+  e.leakage_pj = tech_.leakage_mw_per_mm2 * area_mm2_ * ns;
+  return e;
+}
+
+}  // namespace mocha::model

@@ -1,0 +1,81 @@
+// Energy accounting.
+//
+// The simulator counts *events* (MACs, bytes moved at each hierarchy level,
+// codec bytes, reconfigurations, cycles); this model converts counts into
+// energy using the shared TechParams, and adds leakage proportional to the
+// configuration's area and the run's duration.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/config.hpp"
+#include "model/area.hpp"
+#include "model/tech.hpp"
+
+namespace mocha::model {
+
+/// Raw event counts accumulated during a simulation.
+struct ActionCounts {
+  std::int64_t macs = 0;
+  std::int64_t rf_bytes = 0;          // register-file traffic (both dirs)
+  std::int64_t sram_read_bytes = 0;
+  std::int64_t sram_write_bytes = 0;
+  std::int64_t dram_read_bytes = 0;   // bytes on the DRAM bus (coded size)
+  std::int64_t dram_write_bytes = 0;
+  std::int64_t codec_bytes = 0;       // raw bytes through codec engines
+  /// Interconnect traffic: operand bytes weighted by Manhattan hops from
+  /// the scratchpad ports to the consuming PE group.
+  std::int64_t noc_byte_hops = 0;
+  std::int64_t reconfigs = 0;
+  std::int64_t cycles = 0;
+
+  ActionCounts& operator+=(const ActionCounts& other) {
+    macs += other.macs;
+    rf_bytes += other.rf_bytes;
+    sram_read_bytes += other.sram_read_bytes;
+    sram_write_bytes += other.sram_write_bytes;
+    dram_read_bytes += other.dram_read_bytes;
+    dram_write_bytes += other.dram_write_bytes;
+    codec_bytes += other.codec_bytes;
+    noc_byte_hops += other.noc_byte_hops;
+    reconfigs += other.reconfigs;
+    cycles += other.cycles;
+    return *this;
+  }
+};
+
+/// Energy split by component, picojoules.
+struct EnergyBreakdown {
+  double mac_pj = 0;
+  double rf_pj = 0;
+  double sram_pj = 0;
+  double dram_pj = 0;
+  double codec_pj = 0;
+  double noc_pj = 0;
+  double control_pj = 0;
+  double leakage_pj = 0;
+
+  double total_pj() const {
+    return mac_pj + rf_pj + sram_pj + dram_pj + codec_pj + noc_pj +
+           control_pj + leakage_pj;
+  }
+};
+
+class EnergyModel {
+ public:
+  EnergyModel(TechParams tech, const fabric::FabricConfig& config)
+      : tech_(tech), area_mm2_(AreaModel(tech).total_mm2(config)),
+        clock_ghz_(config.clock_ghz) {}
+
+  /// Converts event counts into a per-component energy breakdown.
+  EnergyBreakdown energy(const ActionCounts& counts) const;
+
+  const TechParams& tech() const { return tech_; }
+
+ private:
+  TechParams tech_;
+  double area_mm2_;
+  double clock_ghz_;
+};
+
+}  // namespace mocha::model

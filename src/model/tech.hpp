@@ -1,0 +1,58 @@
+// Technology operating point.
+//
+// Substitutes the paper's post-layout synthesis (65 nm PDK, unavailable
+// offline) with per-action energies and per-component areas in the ranges
+// published for contemporaneous 65 nm CNN accelerators (Eyeriss ISSCC'16,
+// ShiDianNao ISCA'15, Origami). Relative comparisons between accelerator
+// configurations — the paper's actual claims — depend on event counts times
+// these shared constants, so they survive constant rescaling.
+#pragma once
+
+namespace mocha::model {
+
+struct TechParams {
+  // ---- Dynamic energy per action (picojoules) ----
+  /// One 16-bit multiply-accumulate.
+  double mac_pj = 1.0;
+  /// Register-file access, per byte (≈0.5x MAC per 16-bit word).
+  double rf_pj_per_byte = 0.25;
+  /// Scratchpad SRAM access, per byte (≈6x MAC per 16-bit word).
+  double sram_pj_per_byte = 3.0;
+  /// Off-chip DRAM access, per byte (≈200x MAC per 16-bit word).
+  double dram_pj_per_byte = 100.0;
+  /// Codec engine work, per *raw* byte passed through.
+  double codec_pj_per_byte = 0.6;
+  /// Interconnect wire energy per byte per Manhattan hop (circuit-switched
+  /// DRRA-style buses; one hop ~ one cell pitch of wire + repeater).
+  double noc_pj_per_byte_hop = 0.06;
+  /// Control / sequencing overhead per fabric reconfiguration.
+  double reconfig_pj = 2000.0;
+
+  // ---- Leakage (milliwatts per component, scaled by area share) ----
+  /// Static power per mm^2 of logic/SRAM at the 65 nm LP operating point.
+  double leakage_mw_per_mm2 = 1.2;
+
+  // ---- Area per component (mm^2) ----
+  /// One PE: 16-bit MAC datapath + sequencer (excl. register file).
+  double pe_mm2 = 0.016;
+  /// Register file / SRAM macro area per KiB.
+  double rf_mm2_per_kib = 0.012;
+  double sram_mm2_per_kib = 0.008;
+  /// One (de)compressor engine (ZRLE+bitmask+Huffman datapaths with the
+  /// canonical-code tables).
+  double codec_unit_mm2 = 0.18;
+  /// One DMA engine with descriptor logic.
+  double dma_mm2 = 0.05;
+  /// Interconnect share per PE (circuit-switched DRRA-style sliding window).
+  double noc_mm2_per_pe = 0.006;
+  /// Fixed-function layer sequencer (baselines).
+  double fixed_controller_mm2 = 0.10;
+  /// MOCHA's morph controller: per-layer plan/context store plus the
+  /// interleaving/cascading sequencer.
+  double morph_controller_mm2 = 0.60;
+};
+
+/// The operating point all experiments share.
+inline TechParams default_tech() { return TechParams{}; }
+
+}  // namespace mocha::model

@@ -1,0 +1,84 @@
+#include "nn/generate.hpp"
+
+namespace mocha::nn {
+
+ValueTensor random_tensor(Shape4 shape, double sparsity, util::Rng& rng,
+                          Value lo, Value hi) {
+  MOCHA_CHECK(sparsity >= 0.0 && sparsity <= 1.0, "sparsity=" << sparsity);
+  MOCHA_CHECK(lo <= hi && !(lo == 0 && hi == 0), "empty value range");
+  ValueTensor t(shape);
+  for (Index i = 0; i < t.size(); ++i) {
+    if (rng.bernoulli(sparsity)) {
+      t.flat(i) = 0;
+    } else {
+      Value v = 0;
+      while (v == 0) {
+        v = static_cast<Value>(rng.uniform_int(lo, hi));
+      }
+      t.flat(i) = v;
+    }
+  }
+  return t;
+}
+
+std::vector<ValueTensor> random_weights(const Network& net,
+                                        double kernel_sparsity,
+                                        util::Rng& rng) {
+  std::vector<ValueTensor> weights;
+  weights.reserve(net.layers.size());
+  for (const LayerSpec& layer : net.layers) {
+    if (layer.has_weights()) {
+      // Small weight magnitudes keep post-requantization activations in a
+      // useful dynamic range across deep stacks.
+      weights.push_back(
+          random_tensor(layer.weight_shape(), kernel_sparsity, rng, -8, 8));
+    } else {
+      weights.emplace_back();
+    }
+  }
+  return weights;
+}
+
+namespace {
+/// Position of `layer_index` among the weighted (conv/fc) layers, as a
+/// fraction in [0, 1]; pooling layers inherit their predecessor's position.
+double depth_fraction(const Network& net, std::size_t layer_index) {
+  std::size_t weighted_before = 0;
+  std::size_t weighted_total = 0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    if (!net.layers[i].has_weights()) continue;
+    ++weighted_total;
+    if (i < layer_index) ++weighted_before;
+  }
+  if (weighted_total <= 1) return 0.0;
+  return static_cast<double>(weighted_before) /
+         static_cast<double>(weighted_total - 1);
+}
+}  // namespace
+
+double SparsityProfile::ifmap_sparsity(const Network& net,
+                                       std::size_t layer_index) const {
+  MOCHA_CHECK(layer_index < net.layers.size(), "layer index out of range");
+  if (layer_index == 0) return input_sparsity;
+  // The incoming map was produced by the previous layer; if any weighted
+  // layer with ReLU precedes, the ramped post-ReLU sparsity applies.
+  bool any_relu_before = false;
+  for (std::size_t i = 0; i < layer_index; ++i) {
+    if (net.layers[i].relu) any_relu_before = true;
+  }
+  if (!any_relu_before) return input_sparsity;
+  const double f = depth_fraction(net, layer_index);
+  return first_activation_sparsity +
+         f * (last_activation_sparsity - first_activation_sparsity);
+}
+
+double SparsityProfile::kernel_sparsity(const Network& net,
+                                        std::size_t layer_index) const {
+  MOCHA_CHECK(layer_index < net.layers.size(), "layer index out of range");
+  if (!net.layers[layer_index].has_weights()) return 0.0;
+  const double f = depth_fraction(net, layer_index);
+  return first_kernel_sparsity +
+         f * (last_kernel_sparsity - first_kernel_sparsity);
+}
+
+}  // namespace mocha::nn

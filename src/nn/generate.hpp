@@ -1,0 +1,49 @@
+// Synthetic workload data.
+//
+// The paper evaluated on real network weights/inputs we do not have; per the
+// substitution rule, compression behaviour depends on sparsity statistics,
+// so these generators synthesize tensors with *controlled* sparsity matching
+// the ranges reported for AlexNet/VGG in the 2016/17 accelerator literature
+// (post-ReLU activation sparsity ~40-75%, pruned-kernel sparsity ~10-40%).
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace mocha::nn {
+
+/// Uniform non-zero values in [lo, hi] (zero excluded so the realized
+/// sparsity equals the requested one), zeroed with probability `sparsity`.
+ValueTensor random_tensor(Shape4 shape, double sparsity, util::Rng& rng,
+                          Value lo = -96, Value hi = 96);
+
+/// One weight tensor per layer (empty tensor for pooling layers).
+std::vector<ValueTensor> random_weights(const Network& net,
+                                        double kernel_sparsity,
+                                        util::Rng& rng);
+
+/// Per-layer sparsity assumptions used by performance-mode simulation when
+/// no measured tensors are available. Depth is the layer's position among
+/// the conv/fc layers of its network (0-based).
+struct SparsityProfile {
+  /// Raw network input (images): essentially dense.
+  double input_sparsity = 0.05;
+  /// Post-ReLU activation sparsity grows with depth; these anchor the ramp
+  /// (median of the per-layer figures reported for AlexNet/VGG in the
+  /// 2016/17 accelerator literature).
+  double first_activation_sparsity = 0.38;
+  double last_activation_sparsity = 0.62;
+  /// Magnitude-pruned kernels; shallow layers prune less.
+  double first_kernel_sparsity = 0.10;
+  double last_kernel_sparsity = 0.30;
+
+  /// Sparsity of the feature map *entering* layer `layer_index` of `net`.
+  double ifmap_sparsity(const Network& net, std::size_t layer_index) const;
+  /// Sparsity of the kernels of layer `layer_index` (0 for pooling).
+  double kernel_sparsity(const Network& net, std::size_t layer_index) const;
+};
+
+}  // namespace mocha::nn

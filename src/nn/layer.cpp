@@ -1,0 +1,125 @@
+#include "nn/layer.hpp"
+
+#include <sstream>
+
+namespace mocha::nn {
+
+void LayerSpec::validate() const {
+  MOCHA_CHECK(!name.empty(), "layer has no name");
+  MOCHA_CHECK(in_c > 0 && in_h > 0 && in_w > 0,
+              name << ": non-positive input dims");
+  switch (kind) {
+    case LayerKind::Conv:
+      MOCHA_CHECK(out_c > 0, name << ": conv needs out_c");
+      [[fallthrough]];
+    case LayerKind::DepthwiseConv:
+      MOCHA_CHECK(kernel > 0 && stride > 0 && pad >= 0,
+                  name << ": bad conv params");
+      MOCHA_CHECK(in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
+                  name << ": kernel " << kernel << " exceeds padded input "
+                       << in_h + 2 * pad << "x" << in_w + 2 * pad);
+      MOCHA_CHECK(out_h() > 0 && out_w() > 0, name << ": empty output");
+      break;
+    case LayerKind::Pool:
+      MOCHA_CHECK(kernel > 0 && stride > 0 && pad == 0,
+                  name << ": bad pool params (padding unsupported)");
+      MOCHA_CHECK(in_h >= kernel && in_w >= kernel,
+                  name << ": pool window exceeds input");
+      break;
+    case LayerKind::FullyConnected:
+      MOCHA_CHECK(out_c > 0, name << ": fc needs out_c");
+      break;
+  }
+}
+
+std::string LayerSpec::summary() const {
+  std::ostringstream os;
+  switch (kind) {
+    case LayerKind::Conv:
+      os << "Conv " << in_c << "x" << in_h << "x" << in_w << " -> " << out_c
+         << "x" << out_h() << "x" << out_w() << " k" << kernel << " s"
+         << stride << " p" << pad;
+      break;
+    case LayerKind::DepthwiseConv:
+      os << "DWConv " << in_c << "x" << in_h << "x" << in_w << " -> " << in_c
+         << "x" << out_h() << "x" << out_w() << " k" << kernel << " s"
+         << stride << " p" << pad;
+      break;
+    case LayerKind::Pool:
+      os << (pool_op == PoolOp::Max ? "MaxPool " : "AvgPool ") << in_c << "x"
+         << in_h << "x" << in_w << " -> " << in_c << "x" << out_h() << "x"
+         << out_w() << " k" << kernel << " s" << stride;
+      break;
+    case LayerKind::FullyConnected:
+      os << "FC " << in_c * in_h * in_w << " -> " << out_c;
+      break;
+  }
+  if (relu) os << " +ReLU";
+  return os.str();
+}
+
+LayerSpec conv_layer(std::string name, Index in_c, Index in_h, Index in_w,
+                     Index out_c, Index kernel, Index stride, Index pad,
+                     bool relu) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::Conv;
+  layer.in_c = in_c;
+  layer.in_h = in_h;
+  layer.in_w = in_w;
+  layer.out_c = out_c;
+  layer.kernel = kernel;
+  layer.stride = stride;
+  layer.pad = pad;
+  layer.relu = relu;
+  layer.validate();
+  return layer;
+}
+
+LayerSpec depthwise_layer(std::string name, Index channels, Index in_h,
+                          Index in_w, Index kernel, Index stride, Index pad,
+                          bool relu) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::DepthwiseConv;
+  layer.in_c = channels;
+  layer.in_h = in_h;
+  layer.in_w = in_w;
+  layer.out_c = channels;
+  layer.kernel = kernel;
+  layer.stride = stride;
+  layer.pad = pad;
+  layer.relu = relu;
+  layer.validate();
+  return layer;
+}
+
+LayerSpec pool_layer(std::string name, Index in_c, Index in_h, Index in_w,
+                     Index kernel, Index stride, PoolOp op) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::Pool;
+  layer.in_c = in_c;
+  layer.in_h = in_h;
+  layer.in_w = in_w;
+  layer.kernel = kernel;
+  layer.stride = stride;
+  layer.pool_op = op;
+  layer.validate();
+  return layer;
+}
+
+LayerSpec fc_layer(std::string name, Index fan_in, Index fan_out, bool relu) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::FullyConnected;
+  layer.in_c = fan_in;
+  layer.in_h = 1;
+  layer.in_w = 1;
+  layer.out_c = fan_out;
+  layer.relu = relu;
+  layer.validate();
+  return layer;
+}
+
+}  // namespace mocha::nn

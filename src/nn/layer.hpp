@@ -1,0 +1,135 @@
+// CNN layer descriptions.
+//
+// A LayerSpec is the unit the morphing controller reasons about: its
+// dimensions determine which locality optimizations pay off, and its derived
+// quantities (MACs, stream sizes) feed the analytical cost model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace mocha::nn {
+
+enum class LayerKind { Conv, DepthwiseConv, Pool, FullyConnected };
+
+enum class PoolOp { Max, Average };
+
+/// One layer of a CNN. Conv and Pool carry spatial parameters; FC is the
+/// degenerate spatial case (treated as a 1x1 "image" with in_c = fan-in).
+struct LayerSpec {
+  std::string name;
+  LayerKind kind = LayerKind::Conv;
+
+  // Input feature-map dimensions.
+  Index in_c = 0;
+  Index in_h = 0;
+  Index in_w = 0;
+
+  // Conv / FC: number of output feature maps. Pool: ignored (== in_c).
+  Index out_c = 0;
+
+  // Conv / Pool spatial parameters. FC: ignored.
+  Index kernel = 1;
+  Index stride = 1;
+  Index pad = 0;
+
+  PoolOp pool_op = PoolOp::Max;
+
+  /// ReLU folded into this layer's output (standard for conv/FC layers).
+  bool relu = false;
+
+  // ---- Derived geometry ------------------------------------------------
+
+  Index out_channels() const {
+    return kind == LayerKind::Pool || kind == LayerKind::DepthwiseConv
+               ? in_c
+               : out_c;
+  }
+
+  Index out_h() const {
+    if (kind == LayerKind::FullyConnected) return 1;
+    return (in_h + 2 * pad - kernel) / stride + 1;
+  }
+
+  Index out_w() const {
+    if (kind == LayerKind::FullyConnected) return 1;
+    return (in_w + 2 * pad - kernel) / stride + 1;
+  }
+
+  Shape4 input_shape() const { return {1, in_c, in_h, in_w}; }
+  Shape4 output_shape() const { return {1, out_channels(), out_h(), out_w()}; }
+
+  /// Weight tensor shape: [out_c, in_c, k, k] for conv; [in_c, 1, k, k]
+  /// for depthwise conv (one filter per channel); [out_c, in_c, 1, 1] for
+  /// FC (fan-in flattened into in_c); empty for pooling.
+  Shape4 weight_shape() const {
+    switch (kind) {
+      case LayerKind::Conv:
+        return {out_c, in_c, kernel, kernel};
+      case LayerKind::DepthwiseConv:
+        return {in_c, 1, kernel, kernel};
+      case LayerKind::FullyConnected:
+        return {out_c, in_c * in_h * in_w, 1, 1};
+      case LayerKind::Pool:
+        return {0, 0, 0, 0};
+    }
+    MOCHA_UNREACHABLE("bad LayerKind");
+  }
+
+  // ---- Derived work / traffic quantities --------------------------------
+
+  /// Multiply-accumulate count (the throughput denominator; pooling counted
+  /// as one op per window element, the convention of the accelerator papers).
+  std::int64_t macs() const {
+    switch (kind) {
+      case LayerKind::Conv:
+        return out_c * out_h() * out_w() * in_c * kernel * kernel;
+      case LayerKind::DepthwiseConv:
+        return in_c * out_h() * out_w() * kernel * kernel;
+      case LayerKind::FullyConnected:
+        return out_c * in_c * in_h * in_w;
+      case LayerKind::Pool:
+        return in_c * out_h() * out_w() * kernel * kernel;
+    }
+    MOCHA_UNREACHABLE("bad LayerKind");
+  }
+
+  Index ifmap_elems() const { return in_c * in_h * in_w; }
+  Index ofmap_elems() const { return out_channels() * out_h() * out_w(); }
+  Index weight_elems() const { return weight_shape().elems(); }
+
+  std::int64_t ifmap_bytes() const {
+    return ifmap_elems() * static_cast<Index>(sizeof(Value));
+  }
+  std::int64_t ofmap_bytes() const {
+    return ofmap_elems() * static_cast<Index>(sizeof(Value));
+  }
+  std::int64_t weight_bytes() const {
+    return weight_elems() * static_cast<Index>(sizeof(Value));
+  }
+
+  bool has_weights() const { return kind != LayerKind::Pool; }
+
+  /// Validates internal consistency; throws util::CheckFailure on errors
+  /// (e.g. kernel larger than padded input, non-positive dims).
+  void validate() const;
+
+  /// "Conv 96x55x55 k11 s4 p0"-style one-liner for reports.
+  std::string summary() const;
+};
+
+/// Convenience factories keeping the network definitions terse.
+LayerSpec conv_layer(std::string name, Index in_c, Index in_h, Index in_w,
+                     Index out_c, Index kernel, Index stride, Index pad,
+                     bool relu = true);
+LayerSpec pool_layer(std::string name, Index in_c, Index in_h, Index in_w,
+                     Index kernel, Index stride, PoolOp op = PoolOp::Max);
+LayerSpec depthwise_layer(std::string name, Index channels, Index in_h,
+                          Index in_w, Index kernel, Index stride, Index pad,
+                          bool relu = true);
+LayerSpec fc_layer(std::string name, Index fan_in, Index fan_out,
+                   bool relu = true);
+
+}  // namespace mocha::nn

@@ -1,0 +1,173 @@
+#include "nn/reference.hpp"
+
+namespace mocha::nn {
+
+ValueTensor conv2d_ref(const ValueTensor& input, const ValueTensor& weights,
+                       const LayerSpec& layer, const Quant& quant) {
+  MOCHA_CHECK(layer.kind == LayerKind::Conv, layer.name << ": not a conv");
+  MOCHA_CHECK(input.shape() == layer.input_shape(),
+              layer.name << ": input shape mismatch");
+  MOCHA_CHECK(weights.shape() == layer.weight_shape(),
+              layer.name << ": weight shape mismatch");
+
+  ValueTensor out(layer.output_shape());
+  const Index oh = layer.out_h();
+  const Index ow = layer.out_w();
+  for (Index m = 0; m < layer.out_c; ++m) {
+    for (Index y = 0; y < oh; ++y) {
+      for (Index x = 0; x < ow; ++x) {
+        Accum acc = 0;
+        for (Index c = 0; c < layer.in_c; ++c) {
+          for (Index ky = 0; ky < layer.kernel; ++ky) {
+            const Index iy = y * layer.stride + ky - layer.pad;
+            if (iy < 0 || iy >= layer.in_h) continue;
+            for (Index kx = 0; kx < layer.kernel; ++kx) {
+              const Index ix = x * layer.stride + kx - layer.pad;
+              if (ix < 0 || ix >= layer.in_w) continue;
+              acc += static_cast<Accum>(input.at(0, c, iy, ix)) *
+                     static_cast<Accum>(weights.at(m, c, ky, kx));
+            }
+          }
+        }
+        out.at(0, m, y, x) = quant.requantize(acc, layer.relu);
+      }
+    }
+  }
+  return out;
+}
+
+ValueTensor depthwise_ref(const ValueTensor& input, const ValueTensor& weights,
+                          const LayerSpec& layer, const Quant& quant) {
+  MOCHA_CHECK(layer.kind == LayerKind::DepthwiseConv,
+              layer.name << ": not a depthwise conv");
+  MOCHA_CHECK(input.shape() == layer.input_shape(),
+              layer.name << ": input shape mismatch");
+  MOCHA_CHECK(weights.shape() == layer.weight_shape(),
+              layer.name << ": weight shape mismatch");
+
+  ValueTensor out(layer.output_shape());
+  const Index oh = layer.out_h();
+  const Index ow = layer.out_w();
+  for (Index c = 0; c < layer.in_c; ++c) {
+    for (Index y = 0; y < oh; ++y) {
+      for (Index x = 0; x < ow; ++x) {
+        Accum acc = 0;
+        for (Index ky = 0; ky < layer.kernel; ++ky) {
+          const Index iy = y * layer.stride + ky - layer.pad;
+          if (iy < 0 || iy >= layer.in_h) continue;
+          for (Index kx = 0; kx < layer.kernel; ++kx) {
+            const Index ix = x * layer.stride + kx - layer.pad;
+            if (ix < 0 || ix >= layer.in_w) continue;
+            acc += static_cast<Accum>(input.at(0, c, iy, ix)) *
+                   static_cast<Accum>(weights.at(c, 0, ky, kx));
+          }
+        }
+        out.at(0, c, y, x) = quant.requantize(acc, layer.relu);
+      }
+    }
+  }
+  return out;
+}
+
+ValueTensor pool_ref(const ValueTensor& input, const LayerSpec& layer) {
+  MOCHA_CHECK(layer.kind == LayerKind::Pool, layer.name << ": not a pool");
+  MOCHA_CHECK(input.shape() == layer.input_shape(),
+              layer.name << ": input shape mismatch");
+
+  ValueTensor out(layer.output_shape());
+  const Index oh = layer.out_h();
+  const Index ow = layer.out_w();
+  const Index window = layer.kernel * layer.kernel;
+  for (Index c = 0; c < layer.in_c; ++c) {
+    for (Index y = 0; y < oh; ++y) {
+      for (Index x = 0; x < ow; ++x) {
+        if (layer.pool_op == PoolOp::Max) {
+          Value best = std::numeric_limits<Value>::min();
+          for (Index ky = 0; ky < layer.kernel; ++ky) {
+            for (Index kx = 0; kx < layer.kernel; ++kx) {
+              best = std::max(best, input.at(0, c, y * layer.stride + ky,
+                                             x * layer.stride + kx));
+            }
+          }
+          out.at(0, c, y, x) = best;
+        } else {
+          Accum sum = 0;
+          for (Index ky = 0; ky < layer.kernel; ++ky) {
+            for (Index kx = 0; kx < layer.kernel; ++kx) {
+              sum += input.at(0, c, y * layer.stride + ky,
+                              x * layer.stride + kx);
+            }
+          }
+          // Truncating division toward zero: what a shift-free hardware
+          // divider-by-constant emits for the 2x2/3x3 windows used here.
+          out.at(0, c, y, x) = static_cast<Value>(sum / window);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ValueTensor fc_ref(const ValueTensor& input, const ValueTensor& weights,
+                   const LayerSpec& layer, const Quant& quant) {
+  MOCHA_CHECK(layer.kind == LayerKind::FullyConnected,
+              layer.name << ": not an fc layer");
+  const Index fan_in = layer.ifmap_elems();
+  MOCHA_CHECK(input.size() == fan_in, layer.name << ": fan-in mismatch");
+  MOCHA_CHECK(weights.shape() == layer.weight_shape(),
+              layer.name << ": weight shape mismatch");
+
+  ValueTensor out(layer.output_shape());
+  for (Index m = 0; m < layer.out_c; ++m) {
+    Accum acc = 0;
+    for (Index i = 0; i < fan_in; ++i) {
+      acc += static_cast<Accum>(input.flat(i)) *
+             static_cast<Accum>(weights.at(m, i, 0, 0));
+    }
+    out.at(0, m, 0, 0) = quant.requantize(acc, layer.relu);
+  }
+  return out;
+}
+
+ValueTensor run_layer_ref(const ValueTensor& input, const ValueTensor& weights,
+                          const LayerSpec& layer, const Quant& quant) {
+  switch (layer.kind) {
+    case LayerKind::Conv:
+      return conv2d_ref(input, weights, layer, quant);
+    case LayerKind::DepthwiseConv:
+      return depthwise_ref(input, weights, layer, quant);
+    case LayerKind::Pool:
+      return pool_ref(input, layer);
+    case LayerKind::FullyConnected:
+      return fc_ref(input, weights, layer, quant);
+  }
+  MOCHA_UNREACHABLE("bad LayerKind");
+}
+
+std::vector<ValueTensor> run_network_ref(
+    const Network& net, const ValueTensor& input,
+    const std::vector<ValueTensor>& weights, const Quant& quant) {
+  MOCHA_CHECK(weights.size() == net.layers.size(),
+              net.name << ": weights for " << weights.size() << " of "
+                       << net.layers.size() << " layers");
+  std::vector<ValueTensor> outputs;
+  outputs.reserve(net.layers.size());
+  const ValueTensor* current = &input;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const LayerSpec& layer = net.layers[i];
+    ValueTensor activation;
+    if (layer.kind == LayerKind::FullyConnected &&
+        current->shape() != layer.input_shape()) {
+      // Flatten the spatial predecessor into the FC's input layout.
+      MOCHA_CHECK(current->size() == layer.ifmap_elems(),
+                  layer.name << ": cannot flatten predecessor");
+      activation = ValueTensor(layer.input_shape(), current->storage());
+      current = &activation;
+    }
+    outputs.push_back(run_layer_ref(*current, weights[i], layer, quant));
+    current = &outputs.back();
+  }
+  return outputs;
+}
+
+}  // namespace mocha::nn

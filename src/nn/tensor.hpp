@@ -1,0 +1,122 @@
+// Dense 4-D tensors in NCHW layout.
+//
+// All functional-mode data (feature maps, kernels) lives in Tensor4. The
+// simulator's performance mode never touches element data — it only needs
+// shapes and sparsity statistics — so this type stays deliberately simple:
+// owning, contiguous, bounds-checked access.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mocha::nn {
+
+using Index = std::int64_t;
+
+/// NCHW shape. For weight tensors the convention is
+/// n = output channels, c = input channels, h = w = kernel size.
+struct Shape4 {
+  Index n = 1;
+  Index c = 1;
+  Index h = 1;
+  Index w = 1;
+
+  Index elems() const { return n * c * h * w; }
+
+  bool operator==(const Shape4&) const = default;
+};
+
+template <typename T>
+class Tensor4 {
+ public:
+  Tensor4() : shape_{0, 0, 0, 0} {}
+
+  explicit Tensor4(Shape4 shape)
+      : shape_(shape), data_(static_cast<std::size_t>(shape.elems()), T{}) {
+    MOCHA_CHECK(shape.n >= 0 && shape.c >= 0 && shape.h >= 0 && shape.w >= 0,
+                "negative dimension");
+  }
+
+  Tensor4(Shape4 shape, std::vector<T> data)
+      : shape_(shape), data_(std::move(data)) {
+    MOCHA_CHECK(static_cast<Index>(data_.size()) == shape.elems(),
+                "data size " << data_.size() << " != shape elems "
+                             << shape.elems());
+  }
+
+  const Shape4& shape() const { return shape_; }
+  Index size() const { return shape_.elems(); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Bounds-checked element access.
+  T& at(Index n, Index c, Index h, Index w) {
+    return data_[static_cast<std::size_t>(offset(n, c, h, w))];
+  }
+  const T& at(Index n, Index c, Index h, Index w) const {
+    return data_[static_cast<std::size_t>(offset(n, c, h, w))];
+  }
+
+  T& operator()(Index n, Index c, Index h, Index w) { return at(n, c, h, w); }
+  const T& operator()(Index n, Index c, Index h, Index w) const {
+    return at(n, c, h, w);
+  }
+
+  /// Flat (row-major NCHW) access, bounds-checked.
+  T& flat(Index i) {
+    MOCHA_CHECK(i >= 0 && i < size(), "flat index " << i << " of " << size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  const T& flat(Index i) const {
+    MOCHA_CHECK(i >= 0 && i < size(), "flat index " << i << " of " << size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Fraction of elements equal to zero (used to drive compression models).
+  double sparsity() const {
+    if (data_.empty()) return 0.0;
+    std::size_t zeros = 0;
+    for (const T& v : data_) {
+      if (v == T{}) ++zeros;
+    }
+    return static_cast<double>(zeros) / static_cast<double>(data_.size());
+  }
+
+  bool operator==(const Tensor4& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+  const std::vector<T>& storage() const { return data_; }
+
+ private:
+  Index offset(Index n, Index c, Index h, Index w) const {
+    MOCHA_CHECK(n >= 0 && n < shape_.n && c >= 0 && c < shape_.c && h >= 0 &&
+                    h < shape_.h && w >= 0 && w < shape_.w,
+                "index (" << n << "," << c << "," << h << "," << w
+                          << ") out of shape (" << shape_.n << "," << shape_.c
+                          << "," << shape_.h << "," << shape_.w << ")");
+    return ((n * shape_.c + c) * shape_.h + h) * shape_.w + w;
+  }
+
+  Shape4 shape_;
+  std::vector<T> data_;
+};
+
+/// Element type used for feature maps and kernels throughout the fabric:
+/// 16-bit fixed point, the precision class the 2016/17 embedded CNN
+/// accelerators (including the DRRA fabric MOCHA builds on) operate at.
+using Value = std::int16_t;
+/// Accumulator wide enough for K*K*C MACs of Value operands.
+using Accum = std::int64_t;
+
+using ValueTensor = Tensor4<Value>;
+using AccumTensor = Tensor4<Accum>;
+
+}  // namespace mocha::nn

@@ -1,0 +1,23 @@
+// Graphviz export of task graphs.
+//
+// `dot -Tsvg schedule.dot` renders the schedule the builder produced —
+// invaluable when a dependency chain or buffer barrier isn't doing what the
+// builder intended. Nodes carry the post-run start/finish stamps when the
+// graph has been executed.
+#pragma once
+
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace mocha::sim {
+
+/// Renders the graph in Graphviz dot syntax. Tasks are colored by kind and
+/// annotated with duration (and [start, finish) if the engine ran the
+/// graph). `max_tasks` truncates huge graphs to keep the output renderable;
+/// the truncation is reported in a comment node.
+std::string to_dot(const TaskGraph& graph,
+                   const std::vector<ResourceSpec>& resources,
+                   std::size_t max_tasks = 2000);
+
+}  // namespace mocha::sim

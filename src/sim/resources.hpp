@@ -1,0 +1,42 @@
+// Resource layout shared by the schedule builder and the accelerator.
+//
+// Each fusion group is simulated as one engine run; its resource set is
+// derived from the fabric configuration plus the plan's parallelism degree
+// (PE groups are interchangeable, so they form one resource with capacity G).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "fabric/config.hpp"
+#include "sim/engine.hpp"
+
+namespace mocha::sim {
+
+struct ResourceLayout {
+  std::vector<ResourceSpec> specs;
+  ResourceId dram = -1;   // DRAM bus, capacity 1
+  ResourceId codec = -1;  // codec engines, capacity = codec_units (-1 if none)
+  ResourceId pe = -1;     // PE groups, capacity = parallelism degree
+  ResourceId ctrl = -1;   // sequencer, capacity 1 (reconfig tasks)
+};
+
+inline ResourceLayout make_resource_layout(const fabric::FabricConfig& config,
+                                           int pe_groups) {
+  MOCHA_CHECK(pe_groups >= 1 && pe_groups <= config.total_pes(),
+              "bad group count " << pe_groups);
+  ResourceLayout layout;
+  layout.dram = static_cast<ResourceId>(layout.specs.size());
+  layout.specs.push_back({"dram_channels", std::max(1, config.dma_channels)});
+  layout.pe = static_cast<ResourceId>(layout.specs.size());
+  layout.specs.push_back({"pe_groups", pe_groups});
+  layout.ctrl = static_cast<ResourceId>(layout.specs.size());
+  layout.specs.push_back({"sequencer", 1});
+  if (config.has_compression && config.codec_units > 0) {
+    layout.codec = static_cast<ResourceId>(layout.specs.size());
+    layout.specs.push_back({"codec_units", config.codec_units});
+  }
+  return layout;
+}
+
+}  // namespace mocha::sim

@@ -1,0 +1,88 @@
+#include "sim/task.hpp"
+
+namespace mocha::sim {
+
+const char* task_kind_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::DmaLoad:
+      return "dma_load";
+    case TaskKind::DmaStore:
+      return "dma_store";
+    case TaskKind::Decompress:
+      return "decompress";
+    case TaskKind::Compress:
+      return "compress";
+    case TaskKind::Compute:
+      return "compute";
+    case TaskKind::Reconfig:
+      return "reconfig";
+    case TaskKind::Barrier:
+      return "barrier";
+  }
+  MOCHA_UNREACHABLE("bad TaskKind");
+}
+
+TaskId TaskGraph::add(Task task) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  task.id = id;
+  for (TaskId dep : task.deps) {
+    MOCHA_CHECK(dep >= 0 && dep < id,
+                "task '" << task.label << "' depends on not-yet-added task "
+                         << dep);
+  }
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+void TaskGraph::add_dep(TaskId before, TaskId after) {
+  MOCHA_CHECK(before >= 0 && static_cast<std::size_t>(before) < tasks_.size(),
+              "bad dep source " << before);
+  MOCHA_CHECK(after >= 0 && static_cast<std::size_t>(after) < tasks_.size(),
+              "bad dep target " << after);
+  MOCHA_CHECK(before != after, "self-dependency on task " << before);
+  tasks_[static_cast<std::size_t>(after)].deps.push_back(before);
+}
+
+void TaskGraph::validate() const {
+  // Kahn's algorithm; anything left unprocessed is on a cycle.
+  std::vector<int> indegree(tasks_.size(), 0);
+  for (const Task& t : tasks_) {
+    for (TaskId dep : t.deps) {
+      MOCHA_CHECK(dep >= 0 && static_cast<std::size_t>(dep) < tasks_.size(),
+                  "task '" << t.label << "' has out-of-range dep " << dep);
+      ++indegree[static_cast<std::size_t>(t.id)];
+    }
+    MOCHA_CHECK(!t.resources.empty(),
+                "task '" << t.label << "' not bound to any resource");
+    for (ResourceId r : t.resources) {
+      MOCHA_CHECK(r >= 0, "task '" << t.label << "' has negative resource");
+    }
+  }
+  // Dependents adjacency for the traversal.
+  std::vector<std::vector<TaskId>> dependents(tasks_.size());
+  for (const Task& t : tasks_) {
+    for (TaskId dep : t.deps) {
+      dependents[static_cast<std::size_t>(dep)].push_back(t.id);
+    }
+  }
+  std::vector<TaskId> frontier;
+  for (const Task& t : tasks_) {
+    if (indegree[static_cast<std::size_t>(t.id)] == 0) frontier.push_back(t.id);
+  }
+  std::size_t processed = 0;
+  while (!frontier.empty()) {
+    const TaskId id = frontier.back();
+    frontier.pop_back();
+    ++processed;
+    for (TaskId next : dependents[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(next)] == 0) {
+        frontier.push_back(next);
+      }
+    }
+  }
+  MOCHA_CHECK(processed == tasks_.size(),
+              "task graph has a cycle (" << tasks_.size() - processed
+                                         << " tasks unreachable)");
+}
+
+}  // namespace mocha::sim

@@ -1,0 +1,95 @@
+// Task graphs: the unit of work the discrete-event engine executes.
+//
+// A schedule (built in src/dataflow from a LayerPlan) is a DAG of tasks,
+// each bound to one hardware resource (DRAM bus, codec engine, PE group,
+// ...) with a precomputed duration and an ActionCounts contribution for the
+// energy model. Dependencies express the dataflow: a compute tile cannot
+// start before its operand transfers (and decompressions) finish.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/energy.hpp"
+#include "util/assert.hpp"
+
+namespace mocha::sim {
+
+using TaskId = std::int32_t;
+using ResourceId = std::int32_t;
+using Cycle = std::uint64_t;
+
+inline constexpr TaskId kInvalidTask = -1;
+
+enum class TaskKind {
+  DmaLoad,     // DRAM -> scratchpad
+  DmaStore,    // scratchpad -> DRAM
+  Decompress,  // scratchpad coded -> PE-side raw
+  Compress,    // PE-side raw -> scratchpad coded
+  Compute,     // MAC work on a PE group
+  Reconfig,    // fabric context switch between layer plans
+  Barrier,     // zero-cost synchronization / buffer-release point
+};
+
+const char* task_kind_name(TaskKind kind);
+
+struct Task {
+  TaskId id = kInvalidTask;
+  TaskKind kind = TaskKind::Compute;
+  std::string label;
+  /// Resources this task occupies for its whole duration, acquired
+  /// atomically at dispatch. Most tasks hold one; a compute task streaming
+  /// compressed operands holds its PE group *and* a codec engine.
+  std::vector<ResourceId> resources;
+  Cycle duration = 0;
+  std::vector<TaskId> deps;
+
+  /// Energy-relevant event counts this task contributes when it completes.
+  model::ActionCounts actions;
+
+  /// Scratchpad bytes reserved when this task starts / released when it
+  /// finishes. A load allocates its destination buffer; the last consumer
+  /// of a buffer carries the matching free.
+  std::int64_t sram_alloc_bytes = 0;
+  std::int64_t sram_free_bytes = 0;
+
+  // Filled in by the engine.
+  Cycle start = 0;
+  Cycle finish = 0;
+};
+
+/// Growable DAG with cycle detection. Task ids are dense indices.
+class TaskGraph {
+ public:
+  /// Adds a task; returns its id. Dependencies may be added later.
+  TaskId add(Task task);
+
+  /// Declares that `after` cannot start before `before` finishes.
+  void add_dep(TaskId before, TaskId after);
+
+  Task& task(TaskId id) {
+    MOCHA_CHECK(id >= 0 && static_cast<std::size_t>(id) < tasks_.size(),
+                "bad task id " << id);
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+  const Task& task(TaskId id) const {
+    MOCHA_CHECK(id >= 0 && static_cast<std::size_t>(id) < tasks_.size(),
+                "bad task id " << id);
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+  std::vector<Task>& tasks() { return tasks_; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  /// Throws util::CheckFailure if the dependency relation has a cycle or
+  /// references out-of-range ids. Called by the engine before running.
+  void validate() const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace mocha::sim

@@ -1,0 +1,50 @@
+// Lightweight always-on checked assertions for the MOCHA libraries.
+//
+// Simulator correctness depends on internal invariants (task graphs acyclic,
+// tile bounds inside tensors, codec round trips). These checks are cheap
+// relative to simulation work, so they stay on in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mocha::util {
+
+/// Thrown by MOCHA_CHECK on invariant violation. Deriving from
+/// std::logic_error keeps it catchable in tests without terminating.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MOCHA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace mocha::util
+
+/// Always-on invariant check. Throws mocha::util::CheckFailure with
+/// expression, location and an optional streamed message:
+///   MOCHA_CHECK(a < b, "a=" << a << " b=" << b);
+#define MOCHA_CHECK(expr, ...)                                            \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream mocha_check_os_;                                 \
+      mocha_check_os_ << "" __VA_OPT__(<< __VA_ARGS__);                   \
+      ::mocha::util::detail::check_failed(#expr, __FILE__, __LINE__,      \
+                                          mocha_check_os_.str());         \
+    }                                                                     \
+  } while (false)
+
+/// Unreachable-code marker; throws rather than UB so tests can exercise it.
+#define MOCHA_UNREACHABLE(msg)                                            \
+  ::mocha::util::detail::check_failed("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,109 @@
+// Bit-granular writer/reader over byte buffers.
+//
+// The compression codecs (ZRLE, bitmask, Huffman) emit variable-width fields;
+// this pair gives them a single, well-tested bit transport. Bits are packed
+// LSB-first within each byte.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mocha::util {
+
+/// Appends fields of 1..64 bits to a growing byte vector.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `width` bits of `value` (LSB-first in the stream).
+  void put(std::uint64_t value, int width) {
+    MOCHA_CHECK(width >= 1 && width <= 64, "width=" << width);
+    if (width < 64) {
+      MOCHA_CHECK((value >> width) == 0,
+                  "value wider than declared width=" << width);
+    }
+    if (width > 56) {
+      // Split so fill_ (0..7) + width never exceeds 63 — keeps the shift
+      // below defined and the accumulator overflow-free.
+      put(value & 0xFFFFFFFFull, 32);
+      put(value >> 32, width - 32);
+      return;
+    }
+    acc_ |= value << fill_;
+    fill_ += width;
+    while (fill_ >= 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+
+  /// Appends a single bit.
+  void put_bit(bool bit) { put(bit ? 1u : 0u, 1); }
+
+  /// Flushes any partial byte (zero-padded) and returns the buffer.
+  std::vector<std::uint8_t> finish() {
+    if (fill_ > 0) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ = 0;
+      fill_ = 0;
+    }
+    return std::move(bytes_);
+  }
+
+  /// Number of bits appended so far.
+  std::size_t bit_count() const { return bytes_.size() * 8 + fill_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;  // bits pending in acc_ (0..7)
+};
+
+/// Reads fields of 1..64 bits from a byte buffer produced by BitWriter.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : BitReader(bytes.data(), bytes.size()) {}
+
+  /// Reads `width` bits (LSB-first). Reading past the end is an error.
+  std::uint64_t get(int width) {
+    MOCHA_CHECK(width >= 1 && width <= 64, "width=" << width);
+    MOCHA_CHECK(pos_ + static_cast<std::size_t>(width) <= size_ * 8,
+                "bit read past end: pos=" << pos_ << " width=" << width
+                                          << " size_bits=" << size_ * 8);
+    std::uint64_t out = 0;
+    int got = 0;
+    while (got < width) {
+      const std::size_t byte = (pos_ + static_cast<std::size_t>(got)) >> 3;
+      const int bit = static_cast<int>((pos_ + static_cast<std::size_t>(got)) & 7);
+      const int take = std::min(8 - bit, width - got);
+      const std::uint64_t chunk =
+          (static_cast<std::uint64_t>(data_[byte]) >> bit) &
+          ((take == 64) ? ~0ull : ((1ull << take) - 1));
+      out |= chunk << got;
+      got += take;
+    }
+    pos_ += static_cast<std::size_t>(width);
+    return out;
+  }
+
+  bool get_bit() { return get(1) != 0; }
+
+  /// Bits remaining (including any zero padding of the final byte).
+  std::size_t remaining_bits() const { return size_ * 8 - pos_; }
+
+  std::size_t position_bits() const { return pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mocha::util

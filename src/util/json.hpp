@@ -1,0 +1,171 @@
+// Minimal streaming JSON writer.
+//
+// Reports are exported as JSON for downstream plotting; this writer covers
+// exactly what that needs (objects, arrays, strings, numbers, booleans)
+// with correct escaping and without dragging in a dependency.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mocha::util {
+
+/// Emits one JSON document. Usage:
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("name").value("mocha");
+///   json.key("cycles").value(123);
+///   json.key("layers").begin_array();
+///   ... json.end_array();
+///   json.end_object();
+///   std::string text = json.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    prefix();
+    os_ << "{";
+    stack_.push_back(State::ObjectFirst);
+    return *this;
+  }
+
+  JsonWriter& end_object() {
+    MOCHA_CHECK(!stack_.empty() && (stack_.back() == State::ObjectFirst ||
+                                    stack_.back() == State::ObjectNext),
+                "end_object outside object");
+    stack_.pop_back();
+    os_ << "}";
+    return *this;
+  }
+
+  JsonWriter& begin_array() {
+    prefix();
+    os_ << "[";
+    stack_.push_back(State::ArrayFirst);
+    return *this;
+  }
+
+  JsonWriter& end_array() {
+    MOCHA_CHECK(!stack_.empty() && (stack_.back() == State::ArrayFirst ||
+                                    stack_.back() == State::ArrayNext),
+                "end_array outside array");
+    stack_.pop_back();
+    os_ << "]";
+    return *this;
+  }
+
+  /// Starts a key/value pair inside an object.
+  JsonWriter& key(const std::string& name) {
+    MOCHA_CHECK(!stack_.empty() && (stack_.back() == State::ObjectFirst ||
+                                    stack_.back() == State::ObjectNext),
+                "key outside object");
+    if (stack_.back() == State::ObjectNext) os_ << ",";
+    stack_.back() = State::ObjectNext;
+    emit_string(name);
+    os_ << ":";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    prefix();
+    emit_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  JsonWriter& value(bool v) {
+    prefix();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    prefix();
+    MOCHA_CHECK(std::isfinite(v), "non-finite JSON number");
+    // Round-trippable without drowning reports in digits.
+    std::ostringstream tmp;
+    tmp.precision(12);
+    tmp << v;
+    os_ << tmp.str();
+    return *this;
+  }
+
+  JsonWriter& value(std::int64_t v) {
+    prefix();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    prefix();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  /// Finished document (all scopes must be closed).
+  std::string str() const {
+    MOCHA_CHECK(stack_.empty(), "unclosed JSON scope");
+    return os_.str();
+  }
+
+ private:
+  enum class State { ObjectFirst, ObjectNext, ArrayFirst, ArrayNext };
+
+  /// Comma/placement handling before any value or container start.
+  void prefix() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    State& top = stack_.back();
+    MOCHA_CHECK(top == State::ArrayFirst || top == State::ArrayNext,
+                "value in object without key()");
+    if (top == State::ArrayNext) os_ << ",";
+    top = State::ArrayNext;
+  }
+
+  void emit_string(const std::string& s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          os_ << "\\\"";
+          break;
+        case '\\':
+          os_ << "\\\\";
+          break;
+        case '\n':
+          os_ << "\\n";
+          break;
+        case '\t':
+          os_ << "\\t";
+          break;
+        case '\r':
+          os_ << "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostringstream os_;
+  std::vector<State> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mocha::util

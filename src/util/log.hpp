@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The simulator and benches use this instead of raw std::cerr so verbosity is
+// controllable from one place (tests run silent, examples run at Info).
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mocha::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Process-global log configuration. Thread-safe to set and query.
+class Log {
+ public:
+  static LogLevel level() { return instance().level_; }
+  static void set_level(LogLevel level) { instance().level_ = level; }
+
+  static void write(LogLevel level, const std::string& msg) {
+    if (level < instance().level_) return;
+    static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> lock(instance().mu_);
+    std::cerr << "[mocha:" << names[static_cast<int>(level)] << "] " << msg
+              << "\n";
+  }
+
+ private:
+  static Log& instance() {
+    static Log log;
+    return log;
+  }
+
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mu_;
+};
+
+}  // namespace mocha::util
+
+#define MOCHA_LOG(severity, ...)                                          \
+  do {                                                                    \
+    if (::mocha::util::LogLevel::severity >= ::mocha::util::Log::level()) { \
+      std::ostringstream mocha_log_os_;                                   \
+      mocha_log_os_ << __VA_ARGS__;                                       \
+      ::mocha::util::Log::write(::mocha::util::LogLevel::severity,        \
+                                mocha_log_os_.str());                     \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,109 @@
+// Plain-text table rendering for the experiment harnesses.
+//
+// Every bench binary reports rows the way the paper's tables/figures would:
+// a header, aligned columns, and an optional CSV dump so the series can be
+// re-plotted. One formatter keeps all experiment output uniform.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mocha::util {
+
+/// Column-aligned text table with CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& cell(const std::string& value) {
+    MOCHA_CHECK(!rows_.empty(), "cell() before row()");
+    rows_.back().push_back(value);
+    return *this;
+  }
+
+  Table& cell(const char* value) { return cell(std::string(value)); }
+
+  template <typename T>
+  Table& cell(T value, int precision = 2) {
+    std::ostringstream os;
+    if constexpr (std::is_floating_point_v<T>) {
+      os << std::fixed << std::setprecision(precision) << value;
+    } else {
+      os << value;
+    }
+    return cell(os.str());
+  }
+
+  /// Renders with a title, column alignment, and a separator rule.
+  void print(std::ostream& os, const std::string& title = "") const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    if (!title.empty()) os << "== " << title << " ==\n";
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : std::string();
+        os << (c == 0 ? "" : "  ") << std::left
+           << std::setw(static_cast<int>(widths[c])) << v;
+      }
+      os << "\n";
+    };
+    emit(headers_);
+    std::size_t total = headers_.size() > 0 ? (headers_.size() - 1) * 2 : 0;
+    for (auto w : widths) total += w;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) emit(row);
+  }
+
+  /// CSV form (RFC-4180-lite: quotes any cell containing a comma).
+  std::string to_csv() const {
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        const std::string& v = cells[c];
+        if (c) os << ",";
+        if (v.find(',') != std::string::npos || v.find('"') != std::string::npos) {
+          os << '"';
+          for (char ch : v) {
+            if (ch == '"') os << '"';
+            os << ch;
+          }
+          os << '"';
+        } else {
+          os << v;
+        }
+      }
+      os << "\n";
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mocha::util

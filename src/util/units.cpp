@@ -1,0 +1,40 @@
+#include "util/units.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mocha::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (bytes >= static_cast<std::uint64_t>(kMiB) * 1024) {
+    os << static_cast<double>(bytes) / (static_cast<double>(kMiB) * 1024) << " GiB";
+  } else if (bytes >= static_cast<std::uint64_t>(kMiB)) {
+    os << static_cast<double>(bytes) / static_cast<double>(kMiB) << " MiB";
+  } else if (bytes >= static_cast<std::uint64_t>(kKiB)) {
+    os << static_cast<double>(bytes) / static_cast<double>(kKiB) << " KiB";
+  } else {
+    os << bytes << " B";
+    return os.str();
+  }
+  return os.str();
+}
+
+std::string format_si(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  const double mag = value < 0 ? -value : value;
+  if (mag >= kGiga) {
+    os << value / kGiga << "G";
+  } else if (mag >= kMega) {
+    os << value / kMega << "M";
+  } else if (mag >= kKilo) {
+    os << value / kKilo << "k";
+  } else {
+    os << value;
+  }
+  return os.str();
+}
+
+}  // namespace mocha::util

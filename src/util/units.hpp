@@ -1,0 +1,34 @@
+// Unit helpers shared across the energy/area/throughput reporting code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mocha::util {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * 1024;
+
+/// Integer ceiling division for non-negative operands.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b`.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+/// Human-readable byte count ("12.3 KiB", "4.0 MiB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Human-readable count with SI suffix ("3.2M", "1.5G").
+std::string format_si(double value, int precision = 1);
+
+}  // namespace mocha::util

@@ -1,0 +1,202 @@
+#include "compress/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/bitmask.hpp"
+#include "compress/huffman.hpp"
+#include "nn/generate.hpp"
+#include "util/rng.hpp"
+
+namespace mocha::compress {
+namespace {
+
+using nn::Value;
+
+std::vector<Value> random_stream(std::size_t n, double sparsity,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Value> out(n);
+  for (Value& v : out) {
+    if (rng.bernoulli(sparsity)) {
+      v = 0;
+    } else {
+      v = static_cast<Value>(rng.uniform_int(-96, 96));
+      if (v == 0) v = 1;
+    }
+  }
+  return out;
+}
+
+// ---- Parameterized round-trip property over (codec, sparsity, length) ----
+
+struct RoundTripCase {
+  CodecKind kind;
+  double sparsity;
+  std::size_t length;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(CodecRoundTrip, EncodeDecodeIsIdentity) {
+  const RoundTripCase& param = GetParam();
+  const auto codec = make_codec(param.kind);
+  const std::vector<Value> values =
+      random_stream(param.length, param.sparsity, 1234 + param.length);
+  const auto coded = codec->encode(values);
+  const auto back = codec->decode(coded, values.size());
+  EXPECT_EQ(back, values);
+}
+
+std::vector<RoundTripCase> round_trip_cases() {
+  std::vector<RoundTripCase> cases;
+  for (CodecKind kind : kAllCodecKinds) {
+    for (double sparsity : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+      for (std::size_t length : {std::size_t{1}, std::size_t{7},
+                                 std::size_t{256}, std::size_t{10000}}) {
+        cases.push_back({kind, sparsity, length});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecRoundTrip, ::testing::ValuesIn(round_trip_cases()),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return std::string(codec_name(info.param.kind)) + "_s" +
+             std::to_string(static_cast<int>(info.param.sparsity * 100)) +
+             "_n" + std::to_string(info.param.length);
+    });
+
+// ---- Codec-specific behaviour ----
+
+TEST(NullCodec, SizeIsExactlyRaw) {
+  const auto codec = make_codec(CodecKind::None);
+  const auto values = random_stream(100, 0.5, 1);
+  EXPECT_EQ(codec->encode(values).size(), 200u);
+}
+
+TEST(ZrleCodec, AllZerosCompressMassively) {
+  const auto codec = make_codec(CodecKind::Zrle);
+  const std::vector<Value> zeros(10000, 0);
+  const auto coded = codec->encode(zeros);
+  // 10000 zeros = 40 runs of 256 => ~45 bytes.
+  EXPECT_LT(coded.size(), 64u);
+  EXPECT_EQ(codec->decode(coded, zeros.size()), zeros);
+}
+
+TEST(ZrleCodec, DenseStreamsExpandOnlySlightly) {
+  const auto codec = make_codec(CodecKind::Zrle);
+  const auto values = random_stream(1000, 0.0, 2);
+  // 17 bits per literal vs 16 raw: <= 7% expansion.
+  EXPECT_LE(codec->encode(values).size(), 1000u * 2 * 17 / 16 + 8);
+}
+
+TEST(ZrleCodec, ExactRunBoundaries) {
+  const auto codec = make_codec(CodecKind::Zrle);
+  for (std::size_t run : {255u, 256u, 257u, 512u}) {
+    std::vector<Value> values(run, 0);
+    values.push_back(42);
+    const auto coded = codec->encode(values);
+    EXPECT_EQ(codec->decode(coded, values.size()), values) << "run " << run;
+  }
+}
+
+TEST(ZrleCodec, NegativeValuesSurvive) {
+  const auto codec = make_codec(CodecKind::Zrle);
+  const std::vector<Value> values = {-32768, -1, 0, 1, 32767};
+  EXPECT_EQ(codec->decode(codec->encode(values), values.size()), values);
+}
+
+TEST(BitmaskCodec, SizeFormulaExact) {
+  const auto values = random_stream(1000, 0.7, 3);
+  std::int64_t nonzeros = 0;
+  for (Value v : values) nonzeros += v != 0;
+  const auto codec = make_codec(CodecKind::Bitmask);
+  EXPECT_EQ(static_cast<std::int64_t>(codec->encode(values).size()),
+            BitmaskCodec::exact_coded_bytes(
+                static_cast<std::int64_t>(values.size()), nonzeros));
+}
+
+TEST(BitmaskCodec, TruncatedPayloadThrows) {
+  const auto codec = make_codec(CodecKind::Bitmask);
+  const std::vector<Value> values = {1, 2, 3, 4};
+  auto coded = codec->encode(values);
+  coded.pop_back();
+  EXPECT_THROW(codec->decode(coded, values.size()), util::CheckFailure);
+}
+
+TEST(HuffmanCodec, SkewedDistributionBeatsRaw) {
+  // 95% zeros, a handful of distinct non-zeros: entropy far below 16 bits.
+  const auto values = random_stream(20000, 0.95, 4);
+  const auto codec = make_codec(CodecKind::Huffman);
+  const auto coded = codec->encode(values);
+  EXPECT_LT(coded.size(), values.size() * 2 / 4);  // >4x compression
+}
+
+TEST(HuffmanCodec, SingleSymbolStream) {
+  const std::vector<Value> values(100, 7);
+  const auto codec = make_codec(CodecKind::Huffman);
+  const auto coded = codec->encode(values);
+  EXPECT_EQ(codec->decode(coded, values.size()), values);
+  // Header + 100 single-bit codes: well under the 200-byte raw size.
+  EXPECT_LT(coded.size(), 32u);
+}
+
+TEST(HuffmanCodec, CodeLengthsSatisfyKraft) {
+  // Kraft: sum 2^-len <= 1 for any prefix code; Huffman achieves equality.
+  const std::vector<std::uint64_t> freqs = {1, 1, 2, 4, 8, 16, 32};
+  const auto lengths = HuffmanCodec::code_lengths(freqs);
+  double kraft = 0;
+  for (int len : lengths) kraft += std::pow(2.0, -len);
+  EXPECT_NEAR(kraft, 1.0, 1e-12);
+}
+
+TEST(HuffmanCodec, CodeLengthsOrderedByFrequency) {
+  const std::vector<std::uint64_t> freqs = {100, 1, 50};
+  const auto lengths = HuffmanCodec::code_lengths(freqs);
+  EXPECT_LE(lengths[0], lengths[2]);
+  EXPECT_LE(lengths[2], lengths[1]);
+}
+
+TEST(HuffmanCodec, WithinOneBitOfEntropy) {
+  // Shannon: H <= E[len] < H + 1 for Huffman codes.
+  const std::vector<std::uint64_t> freqs = {5, 9, 12, 13, 16, 45};
+  const auto lengths = HuffmanCodec::code_lengths(freqs);
+  const double total = 100.0;
+  double entropy = 0, expected_len = 0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const double p = static_cast<double>(freqs[i]) / total;
+    entropy -= p * std::log2(p);
+    expected_len += p * lengths[i];
+  }
+  EXPECT_GE(expected_len, entropy - 1e-9);
+  EXPECT_LT(expected_len, entropy + 1.0);
+}
+
+TEST(Codec, EmptyStreamRoundTrips) {
+  for (CodecKind kind : kAllCodecKinds) {
+    const auto codec = make_codec(kind);
+    const std::vector<Value> empty;
+    const auto coded = codec->encode(empty);
+    EXPECT_TRUE(codec->decode(coded, 0).empty()) << codec_name(kind);
+  }
+}
+
+TEST(Codec, NamesAreDistinct) {
+  EXPECT_STREQ(codec_name(CodecKind::None), "none");
+  EXPECT_STREQ(codec_name(CodecKind::Zrle), "zrle");
+  EXPECT_STREQ(codec_name(CodecKind::Bitmask), "bitmask");
+  EXPECT_STREQ(codec_name(CodecKind::Huffman), "huffman");
+}
+
+TEST(Codec, FactoryReturnsMatchingKind) {
+  for (CodecKind kind : kAllCodecKinds) {
+    EXPECT_EQ(make_codec(kind)->kind(), kind);
+  }
+}
+
+}  // namespace
+}  // namespace mocha::compress

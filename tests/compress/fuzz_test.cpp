@@ -1,0 +1,95 @@
+// Decoder robustness: corrupted or truncated payloads must fail loudly
+// (CheckFailure from a bounds check) or decode to *something* — never read
+// out of bounds or loop forever. The BitReader's hard bounds make this a
+// checkable contract rather than a hope.
+#include <gtest/gtest.h>
+
+#include "compress/codec.hpp"
+#include "util/rng.hpp"
+
+namespace mocha::compress {
+namespace {
+
+using nn::Value;
+
+std::vector<Value> random_stream(std::size_t n, double sparsity,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Value> out(n);
+  for (Value& v : out) {
+    v = rng.bernoulli(sparsity)
+            ? 0
+            : static_cast<Value>(rng.uniform_int(-96, 96));
+  }
+  return out;
+}
+
+class CodecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecFuzz, TruncatedPayloadFailsLoudlyOrDecodes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (CodecKind kind :
+       {CodecKind::Zrle, CodecKind::Bitmask, CodecKind::Huffman}) {
+    const auto codec = make_codec(kind);
+    const auto stream = random_stream(512, 0.5, rng());
+    auto coded = codec->encode(stream);
+    if (coded.empty()) continue;
+    // Truncate to a random prefix.
+    coded.resize(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(coded.size()) - 1)));
+    try {
+      const auto out = codec->decode(coded, stream.size());
+      // Decoding succeeded from a prefix: the result must still have the
+      // requested logical length.
+      EXPECT_EQ(out.size(), stream.size());
+    } catch (const util::CheckFailure&) {
+      // Loud failure is the expected outcome.
+    }
+  }
+}
+
+TEST_P(CodecFuzz, BitFlippedPayloadFailsLoudlyOrDecodes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  for (CodecKind kind :
+       {CodecKind::Zrle, CodecKind::Bitmask, CodecKind::Huffman}) {
+    const auto codec = make_codec(kind);
+    const auto stream = random_stream(512, 0.5, rng());
+    auto coded = codec->encode(stream);
+    if (coded.empty()) continue;
+    // Flip a handful of random bits.
+    for (int flip = 0; flip < 4; ++flip) {
+      const auto byte = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(coded.size()) - 1));
+      coded[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    }
+    try {
+      const auto out = codec->decode(coded, stream.size());
+      EXPECT_EQ(out.size(), stream.size());
+    } catch (const util::CheckFailure&) {
+      // Acceptable: corruption detected by a bounds/shape check.
+    }
+  }
+}
+
+TEST_P(CodecFuzz, GarbagePayloadFailsLoudlyOrDecodes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  for (CodecKind kind :
+       {CodecKind::Zrle, CodecKind::Bitmask, CodecKind::Huffman}) {
+    const auto codec = make_codec(kind);
+    std::vector<std::uint8_t> garbage(
+        static_cast<std::size_t>(rng.uniform_int(1, 512)));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    try {
+      const auto out = codec->decode(garbage, 64);
+      EXPECT_EQ(out.size(), 64u);
+    } catch (const util::CheckFailure&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace mocha::compress

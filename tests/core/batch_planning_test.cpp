@@ -1,0 +1,70 @@
+// Batch-aware planning at the controller level.
+#include <gtest/gtest.h>
+
+#include "baseline/baselines.hpp"
+#include "core/accelerator.hpp"
+
+namespace mocha::core {
+namespace {
+
+TEST(BatchPlanning, AlexnetFitsAtEveryBatchSize) {
+  const Accelerator acc = make_mocha_accelerator();
+  const nn::Network net = nn::make_alexnet();
+  for (nn::Index batch : {1, 4, 16}) {
+    const RunReport report = acc.run(net, {}, batch);
+    EXPECT_TRUE(report.sram_ok) << "batch " << batch;
+    EXPECT_LE(report.peak_sram_bytes, acc.config().sram_bytes)
+        << "batch " << batch;
+  }
+}
+
+TEST(BatchPlanning, BaselinesFitAtEveryBatchSize) {
+  const nn::Network net = nn::make_alexnet();
+  for (baseline::Strategy strategy : baseline::kAllStrategies) {
+    const core::Accelerator acc = baseline::make_baseline_accelerator(strategy);
+    for (nn::Index batch : {1, 8}) {
+      const RunReport report = acc.run(net, {}, batch);
+      EXPECT_TRUE(report.sram_ok)
+          << baseline::strategy_name(strategy) << " batch " << batch;
+    }
+  }
+}
+
+TEST(BatchPlanning, ThroughputMonotoneInBatch) {
+  // Weight amortization can only help (per-image runtime must not grow).
+  const Accelerator acc = make_mocha_accelerator();
+  const nn::Network net = nn::make_alexnet();
+  double prev_per_image = 1e300;
+  for (nn::Index batch : {1, 2, 4, 8}) {
+    const RunReport report = acc.run(net, {}, batch);
+    const double per_image = report.runtime_ms() / static_cast<double>(batch);
+    EXPECT_LE(per_image, prev_per_image * 1.02) << "batch " << batch;
+    prev_per_image = per_image;
+  }
+}
+
+TEST(BatchPlanning, MochaLeadsAtLargeBatch) {
+  const nn::Network net = nn::make_alexnet();
+  const RunReport mocha = make_mocha_accelerator().run(net, {}, 8);
+  for (baseline::Strategy strategy : baseline::kAllStrategies) {
+    const RunReport base =
+        baseline::make_baseline_accelerator(strategy).run(net, {}, 8);
+    EXPECT_GT(mocha.throughput_gops(), base.throughput_gops())
+        << baseline::strategy_name(strategy);
+  }
+}
+
+TEST(BatchPlanning, BatchTileChosenWhenWholeBatchCannotReside) {
+  // At batch 16, the FC layers' full-batch input stacks exceed the
+  // scratchpad; the planner must pick a sub-batch tile (batch_tile > 0 and
+  // < batch) somewhere rather than overflow.
+  const Accelerator acc = make_mocha_accelerator();
+  const nn::Network net = nn::make_alexnet();
+  const auto stats = assumed_stats(net, nn::SparsityProfile{});
+  const auto plan = acc.plan(net, stats, 16);
+  const RunReport report = acc.run_with_plan(net, plan, stats, 16);
+  EXPECT_TRUE(report.sram_ok);
+}
+
+}  // namespace
+}  // namespace mocha::core

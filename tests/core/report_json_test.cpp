@@ -1,0 +1,71 @@
+#include "core/report_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+
+namespace mocha::core {
+namespace {
+
+TEST(ReportJson, ContainsTopLevelFields) {
+  const RunReport report = make_mocha_accelerator().run(nn::make_lenet5());
+  const std::string json = report_to_json(report);
+  for (const char* field :
+       {"\"accelerator\":\"mocha\"", "\"network\":\"lenet5\"",
+        "\"total_cycles\":", "\"throughput_gops\":",
+        "\"efficiency_gops_per_w\":", "\"groups\":[", "\"plan\":",
+        "\"dram_pj\":", "\"sram_ok\":true"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(ReportJson, GroupCountMatches) {
+  const RunReport report = make_mocha_accelerator().run(nn::make_lenet5());
+  const std::string json = report_to_json(report);
+  std::size_t labels = 0;
+  for (std::size_t at = json.find("\"label\":"); at != std::string::npos;
+       at = json.find("\"label\":", at + 1)) {
+    ++labels;
+  }
+  EXPECT_EQ(labels, report.groups.size());
+}
+
+TEST(ReportJson, BalancedBracesAndQuotes) {
+  const RunReport report = make_mocha_accelerator().run(nn::make_lenet5());
+  const std::string json = report_to_json(report);
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportJson, NumbersSurviveRoundTripSemantics) {
+  // Energy total in JSON must equal the report's.
+  const RunReport report = make_mocha_accelerator().run(nn::make_lenet5());
+  const std::string json = report_to_json(report);
+  const std::string key = "\"total_energy_pj\":";
+  const std::size_t at = json.find(key);
+  ASSERT_NE(at, std::string::npos);
+  const double parsed = std::stod(json.substr(at + key.size()));
+  EXPECT_NEAR(parsed, report.total_energy_pj,
+              std::abs(report.total_energy_pj) * 1e-9);
+}
+
+}  // namespace
+}  // namespace mocha::core

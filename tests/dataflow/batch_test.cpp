@@ -1,0 +1,163 @@
+// Batch-processing semantics: resident weights amortize across the batch;
+// activations scale with it.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "dataflow/cost.hpp"
+#include "dataflow/schedule.hpp"
+#include "dataflow/tiling.hpp"
+
+namespace mocha::dataflow {
+namespace {
+
+struct Harness {
+  nn::Network net;
+  NetworkPlan plan;
+  fabric::FabricConfig config = fabric::mocha_default_config();
+  std::vector<LayerStreamStats> stats;
+
+  explicit Harness(nn::Network n) : net(std::move(n)) {
+    for (const nn::LayerSpec& layer : net.layers) {
+      LayerPlan lp;
+      lp.tile = {layer.out_h(), layer.out_w(), layer.in_c,
+                 layer.out_channels()};
+      plan.layers.push_back(lp);
+    }
+    stats.assign(net.layers.size(), {0.5, 0.3, 0.5});
+  }
+
+  sim::RunResult run(Index batch) {
+    BuiltSchedule built =
+        build_group_schedule(net, plan, {0, net.layers.size() - 1}, config,
+                             stats, batch);
+    return sim::Engine(built.layout.specs).run(built.graph);
+  }
+};
+
+TEST(Batch, WeightStationaryLoadsWeightsOnce) {
+  Harness h(nn::make_single_conv(4, 16, 16, 8, 3, 1, 1));
+  h.plan.layers[0].order = LoopOrder::WeightStationary;
+  const auto b1 = h.run(1);
+  const auto b4 = h.run(4);
+  const nn::LayerSpec& layer = h.net.layers[0];
+  // Activations scale 4x; the weight stream does not.
+  EXPECT_EQ(b4.totals.dram_read_bytes - layer.weight_bytes(),
+            4 * (b1.totals.dram_read_bytes - layer.weight_bytes()));
+  EXPECT_EQ(b4.totals.dram_write_bytes, 4 * b1.totals.dram_write_bytes);
+  EXPECT_EQ(b4.totals.macs, 4 * b1.totals.macs);
+}
+
+TEST(Batch, InputStationaryStreamsWeightsOncePerTileNotPerImage) {
+  nn::Network net;
+  net.name = "fc";
+  net.layers = {nn::fc_layer("f", 512, 128, false)};
+  Harness h(std::move(net));
+  h.plan.layers[0].order = LoopOrder::InputStationary;
+  h.plan.layers[0].tile = {1, 1, 128, 32};
+  const auto b1 = h.run(1);
+  const auto b8 = h.run(8);
+  const nn::LayerSpec& layer = h.net.layers[0];
+  // FC is a single spatial tile: weights stream exactly once regardless of
+  // batch; only the tiny activations scale.
+  EXPECT_EQ(b1.totals.dram_read_bytes,
+            layer.weight_bytes() + layer.ifmap_bytes());
+  EXPECT_EQ(b8.totals.dram_read_bytes,
+            layer.weight_bytes() + 8 * layer.ifmap_bytes());
+  EXPECT_EQ(b8.totals.macs, 8 * b1.totals.macs);
+}
+
+TEST(Batch, FcThroughputScalesWithBatch) {
+  // The whole point: batched FC amortizes the weight wall.
+  nn::Network net;
+  net.name = "fc";
+  net.layers = {nn::fc_layer("f", 2048, 512, false)};
+  Harness h(std::move(net));
+  h.plan.layers[0].order = LoopOrder::InputStationary;
+  h.plan.layers[0].tile = {1, 1, 256, 64};
+  const auto b1 = h.run(1);
+  const auto b8 = h.run(8);
+  const double rate1 = static_cast<double>(b1.totals.macs) /
+                       static_cast<double>(b1.makespan);
+  const double rate8 = static_cast<double>(b8.totals.macs) /
+                       static_cast<double>(b8.makespan);
+  EXPECT_GT(rate8, 3.0 * rate1);
+}
+
+TEST(Batch, FusedGroupLoadsWeightsOnce) {
+  Harness h(nn::make_synthetic("pair", 16, 16, {8, 8}, 3, false));
+  h.plan.layers[0].fuse_with_next = true;
+  const auto b1 = h.run(1);
+  const auto b4 = h.run(4);
+  std::int64_t weight_bytes = 0;
+  for (const auto& layer : h.net.layers) weight_bytes += layer.weight_bytes();
+  EXPECT_EQ(b4.totals.dram_read_bytes - weight_bytes,
+            4 * (b1.totals.dram_read_bytes - weight_bytes));
+}
+
+TEST(Batch, PoolScalesActivations) {
+  nn::Network net;
+  net.name = "p";
+  net.layers = {nn::pool_layer("p", 8, 16, 16, 2, 2)};
+  Harness h(std::move(net));
+  const auto b1 = h.run(1);
+  const auto b3 = h.run(3);
+  EXPECT_EQ(b3.totals.dram_read_bytes, 3 * b1.totals.dram_read_bytes);
+  EXPECT_EQ(b3.totals.dram_write_bytes, 3 * b1.totals.dram_write_bytes);
+}
+
+TEST(Batch, SramStillBalances) {
+  Harness h(nn::make_single_conv(4, 16, 16, 8, 3, 1, 1));
+  h.plan.layers[0].order = LoopOrder::InputStationary;
+  h.plan.layers[0].tile = {8, 8, 2, 4};
+  BuiltSchedule built = build_group_schedule(h.net, h.plan, {0, 0}, h.config,
+                                             h.stats, 4);
+  std::int64_t balance = 0;
+  for (const sim::Task& t : built.graph.tasks()) {
+    balance += t.sram_alloc_bytes - t.sram_free_bytes;
+  }
+  EXPECT_EQ(balance, 0);
+  const auto run = sim::Engine(built.layout.specs).run(built.graph);
+  EXPECT_LE(run.peak_sram_bytes, built.footprint_bytes);
+}
+
+TEST(Batch, InvalidBatchRejected) {
+  Harness h(nn::make_single_conv(4, 16, 16, 8, 3, 1, 1));
+  EXPECT_THROW(h.run(0), util::CheckFailure);
+}
+
+TEST(BatchAccelerator, ReportScalesDenseMacs) {
+  const core::Accelerator acc = core::make_mocha_accelerator();
+  const nn::Network net = nn::make_lenet5();
+  const auto b1 = acc.run(net, {}, 1);
+  const auto b4 = acc.run(net, {}, 4);
+  EXPECT_EQ(b4.total_dense_macs, 4 * b1.total_dense_macs);
+  // Per-inference work amortizes: batch-4 takes less than 4x the cycles.
+  EXPECT_LT(b4.total_cycles, 4 * b1.total_cycles);
+}
+
+TEST(BatchAccelerator, BatchImprovesFcBoundNetworkEfficiency) {
+  nn::Network net;
+  net.name = "mlp";
+  net.layers = {nn::fc_layer("f1", 1024, 1024), nn::fc_layer("f2", 1024, 256, false)};
+  net.validate();
+  const core::Accelerator acc = core::make_mocha_accelerator();
+  const auto b1 = acc.run(net, {}, 1);
+  const auto b16 = acc.run(net, {}, 16);
+  EXPECT_GT(b16.throughput_gops(), 2.0 * b1.throughput_gops());
+  EXPECT_GT(b16.efficiency_gops_per_w(), 1.5 * b1.efficiency_gops_per_w());
+}
+
+TEST(BatchAccelerator, CostModelTracksBatchedSimulation) {
+  Harness h(nn::make_single_conv(16, 32, 32, 32, 3, 1, 1));
+  h.plan.layers[0].tile = {16, 16, 16, 8};
+  const auto est = estimate_group_cost(h.net, h.plan, {0, 0}, h.config,
+                                       h.stats, model::default_tech(), 4);
+  const auto run = h.run(4);
+  const auto sim_bytes = static_cast<double>(run.totals.dram_read_bytes +
+                                             run.totals.dram_write_bytes);
+  EXPECT_NEAR(static_cast<double>(est.dram_bytes) / sim_bytes, 1.0, 0.10);
+  EXPECT_NEAR(est.cycles / static_cast<double>(run.makespan), 1.0, 0.30);
+}
+
+}  // namespace
+}  // namespace mocha::dataflow

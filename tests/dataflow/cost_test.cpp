@@ -1,0 +1,177 @@
+// The analytical cost model must track the built-and-simulated schedules it
+// prunes for: these tests compare the two on representative plans.
+#include "dataflow/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/schedule.hpp"
+
+namespace mocha::dataflow {
+namespace {
+
+struct Case {
+  nn::Network net;
+  NetworkPlan plan;
+  fabric::FabricConfig config = fabric::mocha_default_config();
+  std::vector<LayerStreamStats> stats;
+  model::TechParams tech = model::default_tech();
+
+  explicit Case(nn::Network n) : net(std::move(n)) {
+    for (const nn::LayerSpec& layer : net.layers) {
+      LayerPlan lp;
+      lp.tile = {layer.out_h(), layer.out_w(), layer.in_c,
+                 layer.out_channels()};
+      plan.layers.push_back(lp);
+    }
+    stats.assign(net.layers.size(), {0.5, 0.3, 0.5});
+  }
+
+  CostEstimate estimate(std::size_t first, std::size_t last) const {
+    return estimate_group_cost(net, plan, {first, last}, config, stats, tech);
+  }
+
+  sim::RunResult simulate(std::size_t first, std::size_t last) const {
+    BuiltSchedule built =
+        build_group_schedule(net, plan, {first, last}, config, stats);
+    return sim::Engine(built.layout.specs).run(built.graph);
+  }
+};
+
+TEST(Cost, CyclesTrackSimulationOnConv) {
+  Case c(nn::make_single_conv(16, 32, 32, 32, 3, 1, 1));
+  c.plan.layers[0].tile = {16, 16, 16, 8};
+  const CostEstimate est = c.estimate(0, 0);
+  const sim::RunResult run = c.simulate(0, 0);
+  EXPECT_NEAR(est.cycles / static_cast<double>(run.makespan), 1.0, 0.25)
+      << "est " << est.cycles << " sim " << run.makespan;
+}
+
+TEST(Cost, DramBytesTrackSimulation) {
+  Case c(nn::make_single_conv(16, 32, 32, 32, 3, 1, 1));
+  c.plan.layers[0].tile = {16, 16, 16, 8};
+  const CostEstimate est = c.estimate(0, 0);
+  const sim::RunResult run = c.simulate(0, 0);
+  const auto sim_bytes = static_cast<double>(run.totals.dram_read_bytes +
+                                             run.totals.dram_write_bytes);
+  EXPECT_NEAR(static_cast<double>(est.dram_bytes) / sim_bytes, 1.0, 0.10);
+}
+
+TEST(Cost, EnergyTracksSimulation) {
+  Case c(nn::make_single_conv(16, 32, 32, 32, 3, 1, 1));
+  c.plan.layers[0].tile = {16, 16, 16, 8};
+  c.plan.layers[0].ifmap_codec = compress::CodecKind::Zrle;
+  c.plan.layers[0].kernel_codec = compress::CodecKind::Bitmask;
+  const CostEstimate est = c.estimate(0, 0);
+  const sim::RunResult run = c.simulate(0, 0);
+  const model::EnergyModel energy(c.tech, c.config);
+  const double sim_pj = energy.energy(run.totals).total_pj();
+  EXPECT_NEAR(est.energy_pj / sim_pj, 1.0, 0.25);
+}
+
+TEST(Cost, FootprintBoundsSimulatedPeak) {
+  // The analytical footprint is what the planner checks against the
+  // scratchpad; it must not underestimate the real peak by more than the
+  // engine/builder slack.
+  for (nn::Index th : {32, 16, 8}) {
+    Case c(nn::make_single_conv(16, 32, 32, 32, 3, 1, 1));
+    c.plan.layers[0].tile = {th, th, 16, 8};
+    const CostEstimate est = c.estimate(0, 0);
+    const sim::RunResult run = c.simulate(0, 0);
+    EXPECT_GE(est.footprint_bytes, run.peak_sram_bytes) << "th=" << th;
+  }
+}
+
+TEST(Cost, CompressionReducesEstimatedTraffic) {
+  Case plain(nn::make_single_conv(16, 32, 32, 32, 3, 1, 1));
+  Case coded(nn::make_single_conv(16, 32, 32, 32, 3, 1, 1));
+  coded.plan.layers[0].ifmap_codec = compress::CodecKind::Zrle;
+  coded.plan.layers[0].kernel_codec = compress::CodecKind::Bitmask;
+  coded.plan.layers[0].ofmap_codec = compress::CodecKind::Zrle;
+  EXPECT_LT(coded.estimate(0, 0).dram_bytes, plain.estimate(0, 0).dram_bytes);
+}
+
+TEST(Cost, SmallerTilesRaiseHaloTraffic) {
+  Case big(nn::make_single_conv(16, 32, 32, 32, 3, 1, 1));
+  big.plan.layers[0].tile = {32, 32, 16, 32};
+  Case small(nn::make_single_conv(16, 32, 32, 32, 3, 1, 1));
+  small.plan.layers[0].tile = {4, 4, 16, 32};
+  EXPECT_GT(small.estimate(0, 0).dram_bytes, big.estimate(0, 0).dram_bytes);
+}
+
+TEST(Cost, WeightStationarySavesWeightTraffic) {
+  // Small maps, big kernels: WS loads weights once; IS re-streams per tile.
+  Case ws(nn::make_single_conv(64, 16, 16, 64, 3, 1, 1));
+  ws.plan.layers[0].tile = {4, 4, 64, 16};
+  ws.plan.layers[0].order = LoopOrder::WeightStationary;
+  Case is(nn::make_single_conv(64, 16, 16, 64, 3, 1, 1));
+  is.plan.layers[0].tile = {4, 4, 64, 16};
+  is.plan.layers[0].order = LoopOrder::InputStationary;
+  EXPECT_LT(ws.estimate(0, 0).dram_bytes, is.estimate(0, 0).dram_bytes);
+}
+
+TEST(Cost, FusionTradesDramForRecompute) {
+  Case c(nn::make_synthetic("pair", 32, 32, {16, 16}, 3, false));
+  c.plan.layers[0].fuse_with_next = true;
+  c.plan.layers[1].tile.th = 8;
+  c.plan.layers[1].tile.tw = 8;
+  const CostEstimate fused = c.estimate(0, 1);
+
+  Case u(nn::make_synthetic("pair", 32, 32, {16, 16}, 3, false));
+  const auto est0 = u.estimate(0, 0);
+  const auto est1 = u.estimate(1, 1);
+  // Fusion removes the intermediate map's round trip...
+  EXPECT_LT(fused.dram_bytes, est0.dram_bytes + est1.dram_bytes);
+  // ...but charges halo recompute.
+  EXPECT_GT(fused.counts.macs, est0.counts.macs + est1.counts.macs);
+}
+
+TEST(Cost, FitsChecksScratchpad) {
+  Case c(nn::make_single_conv(16, 32, 32, 32, 3, 1, 1));
+  CostEstimate est = c.estimate(0, 0);
+  est.footprint_bytes = c.config.sram_bytes + 1;
+  EXPECT_FALSE(est.fits(c.config));
+  est.footprint_bytes = c.config.sram_bytes;
+  EXPECT_TRUE(est.fits(c.config));
+}
+
+TEST(Cost, EdpIsProduct) {
+  CostEstimate est;
+  est.cycles = 10;
+  est.energy_pj = 5;
+  EXPECT_DOUBLE_EQ(est.edp(), 50.0);
+}
+
+TEST(Cost, PoolLayerEstimate) {
+  Case c(nn::Network{});
+  c.net = nn::make_lenet5();
+  c.plan.layers.clear();
+  for (const nn::LayerSpec& layer : c.net.layers) {
+    LayerPlan lp;
+    lp.tile = {layer.out_h(), layer.out_w(), layer.in_c,
+               layer.out_channels()};
+    c.plan.layers.push_back(lp);
+  }
+  c.stats.assign(c.net.layers.size(), {0.5, 0.3, 0.5});
+  const CostEstimate est = c.estimate(1, 1);  // s2 pool
+  const sim::RunResult run = c.simulate(1, 1);
+  const auto sim_bytes = static_cast<double>(run.totals.dram_read_bytes +
+                                             run.totals.dram_write_bytes);
+  EXPECT_NEAR(static_cast<double>(est.dram_bytes) / sim_bytes, 1.0, 0.05);
+}
+
+TEST(Cost, FcLayerEstimateTracksSimulation) {
+  nn::Network net;
+  net.name = "fc";
+  net.layers = {nn::fc_layer("f", 1024, 256, false)};
+  Case c(std::move(net));
+  c.plan.layers[0].order = LoopOrder::InputStationary;
+  c.plan.layers[0].tile = {1, 1, 256, 64};
+  const CostEstimate est = c.estimate(0, 0);
+  const sim::RunResult run = c.simulate(0, 0);
+  const auto sim_bytes = static_cast<double>(run.totals.dram_read_bytes +
+                                             run.totals.dram_write_bytes);
+  EXPECT_NEAR(static_cast<double>(est.dram_bytes) / sim_bytes, 1.0, 0.10);
+}
+
+}  // namespace
+}  // namespace mocha::dataflow

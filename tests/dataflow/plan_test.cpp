@@ -1,0 +1,109 @@
+#include "dataflow/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::dataflow {
+namespace {
+
+LayerPlan full_plan(const nn::LayerSpec& layer) {
+  LayerPlan plan;
+  plan.tile = {layer.out_h(), layer.out_w(), layer.in_c,
+               layer.out_channels()};
+  return plan;
+}
+
+NetworkPlan full_network_plan(const nn::Network& net) {
+  NetworkPlan plan;
+  for (const nn::LayerSpec& layer : net.layers) {
+    plan.layers.push_back(full_plan(layer));
+  }
+  return plan;
+}
+
+TEST(Plan, FullPlanValidates) {
+  const nn::Network net = nn::make_lenet5();
+  const NetworkPlan plan = full_network_plan(net);
+  EXPECT_NO_THROW(plan.validate(net));
+}
+
+TEST(Plan, SizeMismatchRejected) {
+  const nn::Network net = nn::make_lenet5();
+  NetworkPlan plan = full_network_plan(net);
+  plan.layers.pop_back();
+  EXPECT_THROW(plan.validate(net), util::CheckFailure);
+}
+
+TEST(Plan, TileBoundsChecked) {
+  const nn::Network net = nn::make_lenet5();
+  NetworkPlan plan = full_network_plan(net);
+  plan.layers[0].tile.th = net.layers[0].out_h() + 1;
+  EXPECT_THROW(plan.validate(net), util::CheckFailure);
+  plan.layers[0].tile.th = 0;
+  EXPECT_THROW(plan.validate(net), util::CheckFailure);
+}
+
+TEST(Plan, FusionGroupsFromFlags) {
+  const nn::Network net = nn::make_lenet5();  // 7 layers
+  NetworkPlan plan = full_network_plan(net);
+  plan.layers[0].fuse_with_next = true;  // c1+s2
+  plan.layers[2].fuse_with_next = true;  // c3+s4
+  const auto groups = plan.fusion_groups();
+  ASSERT_EQ(groups.size(), 5u);
+  EXPECT_EQ(groups[0].first, 0u);
+  EXPECT_EQ(groups[0].last, 1u);
+  EXPECT_EQ(groups[1].first, 2u);
+  EXPECT_EQ(groups[1].last, 3u);
+  EXPECT_EQ(groups[2].size(), 1u);
+}
+
+TEST(Plan, TrailingFuseFlagIgnored) {
+  const nn::Network net = nn::make_lenet5();
+  NetworkPlan plan = full_network_plan(net);
+  plan.layers.back().fuse_with_next = true;  // nothing after: no-op
+  const auto groups = plan.fusion_groups();
+  EXPECT_EQ(groups.back().first, groups.back().last);
+}
+
+TEST(Plan, FusedMembersMustTakeFullDepth) {
+  const nn::Network net = nn::make_lenet5();
+  NetworkPlan plan = full_network_plan(net);
+  plan.layers[0].fuse_with_next = true;
+  plan.layers[1].tile.tm = 1;  // pool member must keep tm = out_c
+  EXPECT_THROW(plan.validate(net), util::CheckFailure);
+}
+
+TEST(Plan, FusionHeadMustProduceAllMaps) {
+  const nn::Network net = nn::make_lenet5();
+  NetworkPlan plan = full_network_plan(net);
+  plan.layers[0].fuse_with_next = true;
+  plan.layers[0].tile.tm = 1;
+  EXPECT_THROW(plan.validate(net), util::CheckFailure);
+}
+
+TEST(Plan, SummaryDescribesChoices) {
+  const nn::Network net = nn::make_lenet5();
+  LayerPlan plan = full_plan(net.layers[0]);
+  plan.ifmap_codec = compress::CodecKind::Zrle;
+  plan.inter_groups = 2;
+  plan.intra_groups = 4;
+  plan.fuse_with_next = true;
+  const std::string s = plan.summary();
+  EXPECT_NE(s.find("zrle"), std::string::npos);
+  EXPECT_NE(s.find("2x4"), std::string::npos);
+  EXPECT_NE(s.find("+fuse"), std::string::npos);
+}
+
+TEST(Plan, LoopOrderNames) {
+  EXPECT_STREQ(loop_order_name(LoopOrder::WeightStationary), "WS");
+  EXPECT_STREQ(loop_order_name(LoopOrder::InputStationary), "IS");
+}
+
+TEST(Plan, TotalGroupsIsProduct) {
+  LayerPlan plan;
+  plan.inter_groups = 3;
+  plan.intra_groups = 2;
+  EXPECT_EQ(plan.total_groups(), 6);
+}
+
+}  // namespace
+}  // namespace mocha::dataflow

@@ -1,0 +1,100 @@
+#include "dataflow/streams.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::dataflow {
+namespace {
+
+using compress::CodecKind;
+
+fabric::FabricConfig config() { return fabric::mocha_default_config(); }
+
+TEST(Streams, CodedBytesCollapseWithoutHardware) {
+  auto cfg = fabric::baseline_config("b");
+  EXPECT_EQ(coded_stream_bytes(cfg, CodecKind::Zrle, 1000, 0.9), 2000);
+  EXPECT_EQ(effective_codec(cfg, CodecKind::Zrle), CodecKind::None);
+}
+
+TEST(Streams, CodedBytesUseEstimatorWithHardware) {
+  const auto cfg = config();
+  EXPECT_EQ(coded_stream_bytes(cfg, CodecKind::Zrle, 1000, 0.9),
+            compress::estimate_coded_bytes(CodecKind::Zrle, 1000, 0.9));
+  EXPECT_EQ(effective_codec(cfg, CodecKind::Bitmask), CodecKind::Bitmask);
+}
+
+TEST(Streams, MacFractionOneWhenUncoded) {
+  EXPECT_DOUBLE_EQ(
+      effective_mac_fraction(config(), CodecKind::None, 0.9), 1.0);
+}
+
+TEST(Streams, MacFractionFollowsSparsityAboveFloor) {
+  const auto cfg = config();
+  EXPECT_DOUBLE_EQ(effective_mac_fraction(cfg, CodecKind::Zrle, 0.1), 0.9);
+  EXPECT_DOUBLE_EQ(effective_mac_fraction(cfg, CodecKind::Zrle, 0.95),
+                   cfg.zero_skip_floor);
+}
+
+TEST(Streams, MacFractionOneWhenSkipDisabled) {
+  auto cfg = config();
+  cfg.zero_skip_compute = false;
+  EXPECT_DOUBLE_EQ(effective_mac_fraction(cfg, CodecKind::Zrle, 0.9), 1.0);
+}
+
+TEST(Streams, ChunkCyclesScaleWithWork) {
+  const auto cfg = config();
+  const auto base =
+      compute_chunk_cycles(cfg, 64, 100, 16, 0.0, CodecKind::None);
+  const auto doubled =
+      compute_chunk_cycles(cfg, 128, 100, 16, 0.0, CodecKind::None);
+  // Double positions at exact PE multiples: double the wavefronts.
+  EXPECT_NEAR(static_cast<double>(doubled) / static_cast<double>(base), 2.0,
+              0.05);
+}
+
+TEST(Streams, ChunkCyclesPayCeilWaste) {
+  const auto cfg = config();
+  // 17 positions on 16 PEs: two wavefronts, same as 32 positions.
+  EXPECT_EQ(compute_chunk_cycles(cfg, 17, 100, 16, 0.0, CodecKind::None),
+            compute_chunk_cycles(cfg, 32, 100, 16, 0.0, CodecKind::None));
+}
+
+TEST(Streams, ChunkCyclesShrinkWithSkipping) {
+  const auto cfg = config();
+  const auto dense =
+      compute_chunk_cycles(cfg, 64, 100, 16, 0.0, CodecKind::Zrle);
+  const auto sparse =
+      compute_chunk_cycles(cfg, 64, 100, 16, 0.25, CodecKind::Zrle);
+  EXPECT_LT(sparse, dense);
+}
+
+TEST(Streams, ZeroWorkIsFree) {
+  const auto cfg = config();
+  EXPECT_EQ(compute_chunk_cycles(cfg, 0, 100, 16, 0.0, CodecKind::None), 0u);
+  EXPECT_EQ(compute_chunk_cycles(cfg, 64, 0, 16, 0.0, CodecKind::None), 0u);
+}
+
+TEST(Streams, BadChunkRejected) {
+  EXPECT_THROW(compute_chunk_cycles(config(), -1, 10, 16, 0.0,
+                                    CodecKind::None),
+               util::CheckFailure);
+  EXPECT_THROW(compute_chunk_cycles(config(), 10, 10, 0, 0.0,
+                                    CodecKind::None),
+               util::CheckFailure);
+}
+
+TEST(Streams, CodecCyclesRates) {
+  const auto cfg = config();  // 8 B/cycle engines
+  EXPECT_EQ(codec_cycles(cfg, CodecKind::Zrle, 800), 100u);
+  EXPECT_EQ(codec_cycles(cfg, CodecKind::Bitmask, 800), 100u);
+  // Huffman decodes serially at a quarter rate.
+  EXPECT_EQ(codec_cycles(cfg, CodecKind::Huffman, 800), 400u);
+  EXPECT_EQ(codec_cycles(cfg, CodecKind::None, 800), 0u);
+  EXPECT_EQ(codec_cycles(cfg, CodecKind::Zrle, 0), 0u);
+}
+
+TEST(Streams, CodecCyclesRoundUp) {
+  EXPECT_EQ(codec_cycles(config(), CodecKind::Zrle, 9), 2u);
+}
+
+}  // namespace
+}  // namespace mocha::dataflow

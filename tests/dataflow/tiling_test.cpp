@@ -1,0 +1,156 @@
+#include "dataflow/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::dataflow {
+namespace {
+
+TEST(InputRange, UnitStrideNoPad) {
+  // 3-wide kernel over output rows [2,5): input rows [2, 7).
+  const Range r = input_range({2, 3}, 1, 3, 0, 100);
+  EXPECT_EQ(r.begin, 2);
+  EXPECT_EQ(r.size, 5);
+}
+
+TEST(InputRange, PaddingClampsAtStart) {
+  const Range r = input_range({0, 2}, 1, 3, 1, 100);
+  EXPECT_EQ(r.begin, 0);  // -1 clamped
+  EXPECT_EQ(r.size, 3);
+}
+
+TEST(InputRange, ClampsAtEnd) {
+  const Range r = input_range({6, 2}, 1, 3, 1, 8);
+  // Rows 5..9 wanted, clamped to [5, 8).
+  EXPECT_EQ(r.begin, 5);
+  EXPECT_EQ(r.end(), 8);
+}
+
+TEST(InputRange, StridedWindow) {
+  const Range r = input_range({1, 2}, 2, 3, 0, 100);
+  // Outputs 1,2 read rows 2..4 and 4..6 -> [2, 7).
+  EXPECT_EQ(r.begin, 2);
+  EXPECT_EQ(r.size, 5);
+}
+
+TEST(InputRange, EmptyOutputThrows) {
+  EXPECT_THROW(input_range({0, 0}, 1, 3, 0, 10), util::CheckFailure);
+}
+
+TEST(TileGrid, PartitionsOutputExactly) {
+  const nn::LayerSpec layer = nn::conv_layer("c", 3, 16, 16, 8, 3, 1, 1);
+  const auto grid = tile_grid(layer, 5, 7);
+  // 16 = 5+5+5+1 rows, 16 = 7+7+2 cols -> 4*3 tiles.
+  EXPECT_EQ(grid.size(), 12u);
+  Index covered = 0;
+  for (const TileGeometry& geo : grid) covered += geo.out_positions();
+  EXPECT_EQ(covered, 16 * 16);
+}
+
+TEST(TileGrid, SingleTileCoversAll) {
+  const nn::LayerSpec layer = nn::conv_layer("c", 3, 8, 8, 8, 3, 1, 1);
+  const auto grid = tile_grid(layer, 8, 8);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid[0].in_y.size, 8);  // clamped to input
+  EXPECT_EQ(grid[0].in_x.size, 8);
+}
+
+TEST(TileGrid, HaloOverlapCounted) {
+  // 3x3 kernel, stride 1, no pad, 6x6 output from 8x8 input, tiles of 3:
+  // each 3-row tile reads 5 input rows; two tiles read 10 > 8.
+  const nn::LayerSpec layer = nn::conv_layer("c", 1, 8, 8, 1, 3, 1, 0);
+  EXPECT_GT(pass_input_positions(layer, 3, 6), 8 * 8);
+}
+
+TEST(TileGrid, NoOverlapWhenStrideEqualsKernel) {
+  const nn::LayerSpec layer = nn::conv_layer("c", 1, 8, 8, 1, 2, 2, 0);
+  EXPECT_EQ(pass_input_positions(layer, 2, 2), 8 * 8);
+}
+
+TEST(TileGrid, OversizeTileThrows) {
+  const nn::LayerSpec layer = nn::conv_layer("c", 1, 8, 8, 1, 3, 1, 1);
+  EXPECT_THROW(tile_grid(layer, 9, 8), util::CheckFailure);
+  EXPECT_THROW(tile_grid(layer, 0, 8), util::CheckFailure);
+}
+
+TEST(TileGeometryTest, FcHasUnitGeometry) {
+  const nn::LayerSpec fc = nn::fc_layer("f", 100, 10);
+  const TileGeometry geo = tile_geometry(fc, {0, 1}, {0, 1});
+  EXPECT_EQ(geo.in_positions(), 1);
+  EXPECT_EQ(geo.out_positions(), 1);
+}
+
+TEST(FusedPyramid, ConvPoolChain) {
+  // conv (3x3, s1, p1) -> pool (2x2, s2): pool tile 4x4 needs conv output
+  // 8x8, which needs input 10x10 (clamped).
+  nn::Network net;
+  net.name = "t";
+  net.layers = {nn::conv_layer("c", 3, 16, 16, 8, 3, 1, 1),
+                nn::pool_layer("p", 8, 16, 16, 2, 2)};
+  net.validate();
+  const auto pyramid = fused_pyramid(net, 0, 1, {0, 4}, {0, 4});
+  ASSERT_EQ(pyramid.size(), 2u);
+  EXPECT_EQ(pyramid[1].out_y.size, 4);
+  EXPECT_EQ(pyramid[1].in_y.size, 8);   // pool input = conv output tile
+  EXPECT_EQ(pyramid[0].out_y.size, 8);
+  EXPECT_EQ(pyramid[0].in_y.begin, 0);
+  EXPECT_EQ(pyramid[0].in_y.size, 9);   // 8 rows + 1 halo row (pad clamps top)
+}
+
+TEST(FusedPyramid, InteriorTileHasFullHalo) {
+  nn::Network net;
+  net.name = "t";
+  net.layers = {nn::conv_layer("c1", 3, 32, 32, 8, 3, 1, 1),
+                nn::conv_layer("c2", 8, 32, 32, 8, 3, 1, 1)};
+  net.validate();
+  const auto pyramid = fused_pyramid(net, 0, 1, {8, 8}, {8, 8});
+  // c2 tile 8x8 needs c1 output 10x10, which needs input 12x12.
+  EXPECT_EQ(pyramid[1].in_y.size, 10);
+  EXPECT_EQ(pyramid[0].in_y.size, 12);
+}
+
+TEST(FusedPyramid, SingleLayerDegeneratesToTileGeometry) {
+  nn::Network net = nn::make_single_conv(3, 16, 16, 8, 3, 1, 1);
+  const auto pyramid = fused_pyramid(net, 0, 0, {0, 8}, {0, 8});
+  const TileGeometry direct = tile_geometry(net.layers[0], {0, 8}, {0, 8});
+  ASSERT_EQ(pyramid.size(), 1u);
+  EXPECT_EQ(pyramid[0].in_y, direct.in_y);
+  EXPECT_EQ(pyramid[0].in_x, direct.in_x);
+}
+
+TEST(FusedPyramid, BadRangeThrows) {
+  nn::Network net = nn::make_single_conv(3, 16, 16, 8, 3, 1, 1);
+  EXPECT_THROW(fused_pyramid(net, 0, 5, {0, 8}, {0, 8}), util::CheckFailure);
+}
+
+/// Property: for every layer of the benchmark nets and several tile sizes,
+/// tiles partition the output and input regions stay in bounds.
+class GridProperty
+    : public ::testing::TestWithParam<std::tuple<int, Index, Index>> {};
+
+TEST_P(GridProperty, TilesPartitionAndStayInBounds) {
+  const auto [net_id, th, tw] = GetParam();
+  const nn::Network net = net_id == 0 ? nn::make_alexnet() : nn::make_vgg16();
+  for (const nn::LayerSpec& layer : net.layers) {
+    if (layer.kind == nn::LayerKind::FullyConnected) continue;
+    const Index eth = std::min(th, layer.out_h());
+    const Index etw = std::min(tw, layer.out_w());
+    Index covered = 0;
+    for (const TileGeometry& geo : tile_grid(layer, eth, etw)) {
+      covered += geo.out_positions();
+      EXPECT_GE(geo.in_y.begin, 0);
+      EXPECT_LE(geo.in_y.end(), layer.in_h);
+      EXPECT_GE(geo.in_x.begin, 0);
+      EXPECT_LE(geo.in_x.end(), layer.in_w);
+    }
+    EXPECT_EQ(covered, layer.out_h() * layer.out_w()) << layer.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BenchmarkNets, GridProperty,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values<Index>(1, 3, 8, 64),
+                       ::testing::Values<Index>(2, 7, 16)));
+
+}  // namespace
+}  // namespace mocha::dataflow

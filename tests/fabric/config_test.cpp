@@ -1,0 +1,63 @@
+#include "fabric/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::fabric {
+namespace {
+
+TEST(FabricConfig, DefaultValidates) {
+  EXPECT_NO_THROW(mocha_default_config().validate());
+  EXPECT_NO_THROW(baseline_config("b").validate());
+}
+
+TEST(FabricConfig, PeakRatesDeriveFromGeometry) {
+  const FabricConfig config = mocha_default_config();
+  EXPECT_EQ(config.total_pes(), config.pe_rows * config.pe_cols);
+  EXPECT_EQ(config.peak_macs_per_cycle(),
+            static_cast<std::int64_t>(config.total_pes()) *
+                config.macs_per_pe_per_cycle);
+  EXPECT_DOUBLE_EQ(config.peak_gops(),
+                   2.0 * static_cast<double>(config.peak_macs_per_cycle()) *
+                       config.clock_ghz);
+}
+
+TEST(FabricConfig, BaselineStripsMochaHardware) {
+  const FabricConfig base = baseline_config("tiling");
+  EXPECT_FALSE(base.has_compression);
+  EXPECT_FALSE(base.has_morph_controller);
+  EXPECT_EQ(base.codec_units, 0);
+  EXPECT_EQ(base.name, "tiling");
+}
+
+TEST(FabricConfig, ValidationCatchesBrokenConfigs) {
+  FabricConfig config = mocha_default_config();
+  config.pe_rows = 0;
+  EXPECT_THROW(config.validate(), util::CheckFailure);
+
+  config = mocha_default_config();
+  config.sram_bytes = 100;  // not divisible by banks
+  config.sram_banks = 8;
+  EXPECT_THROW(config.validate(), util::CheckFailure);
+
+  config = mocha_default_config();
+  config.has_compression = true;
+  config.codec_units = 0;
+  EXPECT_THROW(config.validate(), util::CheckFailure);
+
+  config = mocha_default_config();
+  config.clock_ghz = 0;
+  EXPECT_THROW(config.validate(), util::CheckFailure);
+
+  config = mocha_default_config();
+  config.dram_row_bytes = 0;
+  EXPECT_THROW(config.validate(), util::CheckFailure);
+}
+
+TEST(FabricConfig, ZeroSkipFloorSane) {
+  const FabricConfig config = mocha_default_config();
+  EXPECT_GT(config.zero_skip_floor, 0.0);
+  EXPECT_LE(config.zero_skip_floor, 1.0);
+}
+
+}  // namespace
+}  // namespace mocha::fabric

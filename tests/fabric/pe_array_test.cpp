@@ -1,0 +1,133 @@
+#include "fabric/pe_array.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::fabric {
+namespace {
+
+FabricConfig grid(int rows, int cols) {
+  FabricConfig config = mocha_default_config();
+  config.pe_rows = rows;
+  config.pe_cols = cols;
+  return config;
+}
+
+TEST(PeArray, SingleGroupCoversGrid) {
+  const PeArray array(grid(8, 8), 1);
+  ASSERT_EQ(array.group_count(), 1);
+  EXPECT_EQ(array.group(0).pes(), 64);
+  EXPECT_EQ(array.min_group_pes(), 64);
+}
+
+TEST(PeArray, FourGroupsSplitSquare) {
+  const PeArray array(grid(8, 8), 4);
+  ASSERT_EQ(array.group_count(), 4);
+  for (const PeGroup& group : array.groups()) {
+    EXPECT_EQ(group.pes(), 16);
+    EXPECT_EQ(group.rows, 4);
+    EXPECT_EQ(group.cols, 4);
+  }
+}
+
+TEST(PeArray, EveryPeBelongsToExactlyOneGroup) {
+  for (int groups : {1, 2, 3, 4, 6, 8, 16}) {
+    const PeArray array(grid(8, 8), groups);
+    for (int r = 0; r < 8; ++r) {
+      for (int c = 0; c < 8; ++c) {
+        int owners = 0;
+        for (const PeGroup& group : array.groups()) {
+          owners += group.contains({r, c}) ? 1 : 0;
+        }
+        EXPECT_EQ(owners, 1) << "PE (" << r << "," << c << ") with "
+                             << groups << " groups";
+        EXPECT_GE(array.group_of({r, c}), 0);
+      }
+    }
+  }
+}
+
+TEST(PeArray, GroupPesSumToGrid) {
+  for (int groups : {1, 2, 3, 5, 7, 8}) {
+    const PeArray array(grid(8, 8), groups);
+    int total = 0;
+    for (const PeGroup& group : array.groups()) total += group.pes();
+    EXPECT_EQ(total, 64) << groups << " groups";
+  }
+}
+
+TEST(PeArray, RaggedSplitKeepsMinGroupPositive) {
+  // 3 groups on 8x8: 3x1 split with rows 3/3/2.
+  const PeArray array(grid(8, 8), 3);
+  EXPECT_GE(array.min_group_pes(), 16);
+  EXPECT_LE(array.min_group_pes(), 64 / 3 + 8);
+}
+
+TEST(PeArray, NonSquareGrid) {
+  const PeArray array(grid(4, 16), 4);
+  int total = 0;
+  for (const PeGroup& group : array.groups()) total += group.pes();
+  EXPECT_EQ(total, 64);
+  EXPECT_EQ(array.min_group_pes(), 16);
+}
+
+TEST(PeArray, BadGroupCountThrows) {
+  EXPECT_THROW(PeArray(grid(8, 8), 0), util::CheckFailure);
+  EXPECT_THROW(PeArray(grid(8, 8), 65), util::CheckFailure);
+}
+
+TEST(PeArray, OutOfGridPeThrows) {
+  const PeArray array(grid(8, 8), 4);
+  EXPECT_THROW(array.group_of({8, 0}), util::CheckFailure);
+  EXPECT_THROW(array.group_of({0, -1}), util::CheckFailure);
+}
+
+TEST(PeArray, HopsGrowWithColumnDistance) {
+  const PeArray array(grid(8, 8), 2);  // 1x2 split: west + east halves
+  // The east group sits farther from the west-edge scratchpad ports.
+  double west = 1e300, east = 0;
+  for (int g = 0; g < array.group_count(); ++g) {
+    west = std::min(west, array.mean_hops_from_sram(g));
+    east = std::max(east, array.mean_hops_from_sram(g));
+  }
+  EXPECT_LT(west, east);
+}
+
+TEST(PeArray, MeanOperandHopsAveragesGroups) {
+  const double one = mean_operand_hops(mocha_default_config(), 1);
+  const double four = mean_operand_hops(mocha_default_config(), 4);
+  // A single whole-grid group and a uniform 4-way split share the same
+  // average column distance.
+  EXPECT_NEAR(one, four, 1e-9);
+  EXPECT_GT(one, 1.0);
+}
+
+TEST(ContextWords, CompressionCostsMoreContext) {
+  const auto config = mocha_default_config();
+  EXPECT_GT(plan_context_words(config, 4, true),
+            plan_context_words(config, 4, false));
+}
+
+TEST(ContextWords, MoreGroupsMoreDescriptors) {
+  const auto config = mocha_default_config();
+  EXPECT_GT(plan_context_words(config, 8, false),
+            plan_context_words(config, 1, false));
+}
+
+TEST(ContextWords, ReconfigScalesWithWordsOverRows) {
+  const auto config = mocha_default_config();
+  const std::int64_t words = plan_context_words(config, 4, true);
+  EXPECT_EQ(reconfig_cycles_for(config, 4, true),
+            (words + config.pe_rows - 1) / config.pe_rows);
+}
+
+TEST(ContextWords, BiggerFabricLongerReconfig) {
+  auto small = mocha_default_config();
+  auto large = mocha_default_config();
+  large.pe_rows = large.pe_cols = 16;
+  // Words grow with PE count faster than rows grow, so latency rises.
+  EXPECT_GT(reconfig_cycles_for(large, 4, true),
+            reconfig_cycles_for(small, 4, true));
+}
+
+}  // namespace
+}  // namespace mocha::fabric

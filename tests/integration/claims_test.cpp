@@ -1,0 +1,105 @@
+// Reproduction of the abstract's quantitative claims, in *shape*:
+//   - up to 63% higher energy efficiency      (we check: substantial win)
+//   - up to 42% higher throughput             (we check: substantial win)
+//   - up to 30% less storage                  (we check: meaningful saving)
+//   - at 26-35% additional area               (we check: inside the band)
+// "Up to" is a maximum over layers/networks, so the per-layer maxima are
+// what must land in the right regime; exact magnitudes depend on the
+// authors' testbed and are recorded in EXPERIMENTS.md, not asserted here.
+#include <gtest/gtest.h>
+
+#include "baseline/baselines.hpp"
+#include "core/accelerator.hpp"
+#include "model/area.hpp"
+
+namespace mocha {
+namespace {
+
+struct Comparison {
+  core::RunReport mocha;
+  baseline::NextBest best;
+};
+
+const Comparison& alexnet_comparison() {
+  static const Comparison comparison = [] {
+    Comparison c;
+    c.mocha = core::make_mocha_accelerator().run(nn::make_alexnet());
+    c.best = baseline::next_best(nn::make_alexnet());
+    return c;
+  }();
+  return comparison;
+}
+
+TEST(Claims, AreaOverheadWithinPaperBand) {
+  const model::AreaModel area(model::default_tech());
+  const double mocha = area.total_mm2(fabric::mocha_default_config());
+  const double base = area.total_mm2(fabric::baseline_config("base"));
+  const double overhead = mocha / base - 1.0;
+  // Paper: 26-35% additional area. Allow the band edges a little slack —
+  // the exact split depends on macro areas we estimated.
+  EXPECT_GE(overhead, 0.20);
+  EXPECT_LE(overhead, 0.40);
+}
+
+TEST(Claims, ThroughputGainSubstantial) {
+  const Comparison& c = alexnet_comparison();
+  const double gain =
+      c.mocha.throughput_gops() / c.best.report.throughput_gops() - 1.0;
+  // Paper: up to +42%. Require a gain clearly in that regime (>= 15%)
+  // and sane (< 4x — a larger win would mean the baselines are strawmen).
+  EXPECT_GE(gain, 0.15) << "gain " << gain;
+  EXPECT_LE(gain, 3.0) << "gain " << gain;
+}
+
+TEST(Claims, EnergyEfficiencyGainSubstantial) {
+  const Comparison& c = alexnet_comparison();
+  const double gain = c.mocha.efficiency_gops_per_w() /
+                          c.best.report.efficiency_gops_per_w() -
+                      1.0;
+  // Paper: up to +63%.
+  EXPECT_GE(gain, 0.25) << "gain " << gain;
+  EXPECT_LE(gain, 4.0) << "gain " << gain;
+}
+
+TEST(Claims, StorageReductionMeaningful) {
+  const Comparison& c = alexnet_comparison();
+  const double saving =
+      1.0 - static_cast<double>(c.mocha.peak_sram_bytes) /
+                static_cast<double>(c.best.report.peak_sram_bytes);
+  // Paper: up to 30% less storage.
+  EXPECT_GE(saving, 0.10) << "saving " << saving;
+}
+
+TEST(Claims, PerLayerMaximaExceedAggregates) {
+  // "Up to" claims are layer maxima; verify at least one layer shows a
+  // throughput gain >= the aggregate gain (sanity of the reporting method).
+  const Comparison& c = alexnet_comparison();
+  double max_layer_gain = 0;
+  for (const core::GroupReport& mg : c.mocha.groups) {
+    // Compare layer-aligned groups only (both unfused on this layer).
+    const core::GroupReport* bg =
+        c.best.report.group_for_layer(mg.first_layer);
+    if (bg == nullptr) continue;
+    const double mocha_rate =
+        static_cast<double>(mg.dense_macs) / static_cast<double>(mg.cycles);
+    const double base_rate =
+        static_cast<double>(bg->dense_macs) / static_cast<double>(bg->cycles);
+    // Normalize by covered MACs in case grouping differs.
+    max_layer_gain = std::max(max_layer_gain, mocha_rate / base_rate - 1.0);
+  }
+  const double aggregate_gain =
+      c.mocha.throughput_gops() / c.best.report.throughput_gops() - 1.0;
+  EXPECT_GE(max_layer_gain, aggregate_gain * 0.8);
+}
+
+TEST(Claims, MochaWinsOnVggToo) {
+  const core::RunReport mocha =
+      core::make_mocha_accelerator().run(nn::make_vgg16());
+  const baseline::NextBest best = baseline::next_best(nn::make_vgg16());
+  EXPECT_GT(mocha.throughput_gops(), best.report.throughput_gops());
+  EXPECT_GT(mocha.efficiency_gops_per_w(),
+            best.report.efficiency_gops_per_w());
+}
+
+}  // namespace
+}  // namespace mocha

@@ -1,0 +1,72 @@
+#include "model/area.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::model {
+namespace {
+
+TEST(Area, BreakdownSumsToTotal) {
+  const AreaModel model(default_tech());
+  const auto config = fabric::mocha_default_config();
+  const AreaBreakdown area = model.breakdown(config);
+  EXPECT_NEAR(area.total_mm2(),
+              area.pe_mm2 + area.rf_mm2 + area.sram_mm2 + area.noc_mm2 +
+                  area.dma_mm2 + area.codec_mm2 + area.controller_mm2,
+              1e-12);
+  EXPECT_GT(area.total_mm2(), 0.0);
+}
+
+TEST(Area, MochaPaysForCodecsAndController) {
+  const AreaModel model(default_tech());
+  const auto mocha = model.breakdown(fabric::mocha_default_config());
+  const auto base = model.breakdown(fabric::baseline_config("base"));
+  EXPECT_GT(mocha.codec_mm2, 0.0);
+  EXPECT_EQ(base.codec_mm2, 0.0);
+  EXPECT_GT(mocha.controller_mm2, base.controller_mm2);
+  // Shared substrate identical.
+  EXPECT_DOUBLE_EQ(mocha.pe_mm2, base.pe_mm2);
+  EXPECT_DOUBLE_EQ(mocha.sram_mm2, base.sram_mm2);
+}
+
+TEST(Area, OverheadInPaperBand) {
+  // The abstract: MOCHA costs 26-35% additional area vs the next best.
+  const AreaModel model(default_tech());
+  const double mocha = model.total_mm2(fabric::mocha_default_config());
+  const double base = model.total_mm2(fabric::baseline_config("base"));
+  const double overhead = mocha / base - 1.0;
+  EXPECT_GE(overhead, 0.20) << "overhead " << overhead;
+  EXPECT_LE(overhead, 0.40) << "overhead " << overhead;
+}
+
+TEST(Area, ScalesWithPeArray) {
+  const AreaModel model(default_tech());
+  auto small = fabric::mocha_default_config();
+  small.pe_rows = small.pe_cols = 4;
+  auto large = fabric::mocha_default_config();
+  large.pe_rows = large.pe_cols = 16;
+  EXPECT_LT(model.total_mm2(small), model.total_mm2(large));
+}
+
+TEST(Area, ScalesWithSram) {
+  const AreaModel model(default_tech());
+  auto small = fabric::mocha_default_config();
+  auto large = fabric::mocha_default_config();
+  large.sram_bytes = small.sram_bytes * 4;
+  large.sram_banks = small.sram_banks;
+  const double delta =
+      model.breakdown(large).sram_mm2 - model.breakdown(small).sram_mm2;
+  EXPECT_NEAR(delta,
+              3.0 * static_cast<double>(small.sram_bytes) / 1024.0 *
+                  default_tech().sram_mm2_per_kib,
+              1e-9);
+}
+
+TEST(Area, InvalidConfigRejected) {
+  const AreaModel model(default_tech());
+  auto bad = fabric::mocha_default_config();
+  bad.pe_rows = 0;
+  EXPECT_THROW(model.breakdown(bad), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace mocha::model

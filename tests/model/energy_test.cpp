@@ -1,0 +1,100 @@
+#include "model/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::model {
+namespace {
+
+EnergyModel make_model() {
+  return EnergyModel(default_tech(), fabric::mocha_default_config());
+}
+
+TEST(Energy, ZeroCountsOnlyLeakFromCycles) {
+  const EnergyModel model = make_model();
+  ActionCounts counts;
+  EXPECT_DOUBLE_EQ(model.energy(counts).total_pj(), 0.0);
+  counts.cycles = 1000;
+  const EnergyBreakdown e = model.energy(counts);
+  EXPECT_GT(e.leakage_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.mac_pj, 0.0);
+}
+
+TEST(Energy, ComponentsScaleLinearly) {
+  const EnergyModel model = make_model();
+  ActionCounts counts;
+  counts.macs = 100;
+  const double once = model.energy(counts).mac_pj;
+  counts.macs = 200;
+  EXPECT_DOUBLE_EQ(model.energy(counts).mac_pj, 2 * once);
+}
+
+TEST(Energy, DramDominatesPerByte) {
+  // The memory-hierarchy energy ordering the whole paper rests on:
+  // DRAM >> SRAM > RF per byte.
+  const TechParams tech = default_tech();
+  EXPECT_GT(tech.dram_pj_per_byte, 10 * tech.sram_pj_per_byte);
+  EXPECT_GT(tech.sram_pj_per_byte, tech.rf_pj_per_byte);
+}
+
+TEST(Energy, BreakdownSumsToTotal) {
+  const EnergyModel model = make_model();
+  ActionCounts counts;
+  counts.macs = 1000;
+  counts.rf_bytes = 4000;
+  counts.sram_read_bytes = 500;
+  counts.sram_write_bytes = 300;
+  counts.dram_read_bytes = 100;
+  counts.dram_write_bytes = 50;
+  counts.codec_bytes = 200;
+  counts.reconfigs = 2;
+  counts.cycles = 12345;
+  const EnergyBreakdown e = model.energy(counts);
+  EXPECT_NEAR(e.total_pj(),
+              e.mac_pj + e.rf_pj + e.sram_pj + e.dram_pj + e.codec_pj +
+                  e.control_pj + e.leakage_pj,
+              1e-9);
+  EXPECT_GT(e.dram_pj, 0.0);
+  EXPECT_GT(e.control_pj, 0.0);
+}
+
+TEST(Energy, LeakageUnitsCheck) {
+  // mW * ns = pJ exactly: a 1 mm^2 / 1.2 mW/mm^2 config leaking over
+  // 1 GHz-cycle (1 ns) costs 1.2 pJ.
+  TechParams tech = default_tech();
+  tech.leakage_mw_per_mm2 = 1.0;
+  auto config = fabric::mocha_default_config();
+  config.clock_ghz = 1.0;
+  const EnergyModel model(tech, config);
+  ActionCounts counts;
+  counts.cycles = 1;
+  const double area = AreaModel(tech).total_mm2(config);
+  EXPECT_NEAR(model.energy(counts).leakage_pj, area, 1e-9);
+}
+
+TEST(Energy, SlowerClockLeaksMorePerCycle) {
+  const TechParams tech = default_tech();
+  auto fast = fabric::mocha_default_config();
+  fast.clock_ghz = 1.0;
+  auto slow = fabric::mocha_default_config();
+  slow.clock_ghz = 0.1;
+  ActionCounts counts;
+  counts.cycles = 1000;
+  EXPECT_GT(EnergyModel(tech, slow).energy(counts).leakage_pj,
+            EnergyModel(tech, fast).energy(counts).leakage_pj);
+}
+
+TEST(ActionCounts, AccumulateAdds) {
+  ActionCounts a;
+  a.macs = 1;
+  a.dram_read_bytes = 2;
+  ActionCounts b;
+  b.macs = 10;
+  b.cycles = 5;
+  a += b;
+  EXPECT_EQ(a.macs, 11);
+  EXPECT_EQ(a.dram_read_bytes, 2);
+  EXPECT_EQ(a.cycles, 5);
+}
+
+}  // namespace
+}  // namespace mocha::model

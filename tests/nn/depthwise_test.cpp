@@ -1,0 +1,98 @@
+// Depthwise convolution: layer semantics, reference kernel, MobileNet-v1.
+#include <gtest/gtest.h>
+
+#include "nn/generate.hpp"
+#include "nn/reference.hpp"
+
+namespace mocha::nn {
+namespace {
+
+Quant identity_quant() {
+  Quant q;
+  q.frac_shift = 0;
+  return q;
+}
+
+TEST(Depthwise, LayerGeometry) {
+  const LayerSpec dw = depthwise_layer("dw", 32, 56, 56, 3, 1, 1);
+  EXPECT_EQ(dw.out_channels(), 32);
+  EXPECT_EQ(dw.out_h(), 56);
+  EXPECT_EQ(dw.weight_shape(), (Shape4{32, 1, 3, 3}));
+  // Depthwise MACs: C * OH * OW * K^2 — an in_c-th of a full conv.
+  EXPECT_EQ(dw.macs(), 32LL * 56 * 56 * 9);
+  EXPECT_TRUE(dw.has_weights());
+}
+
+TEST(Depthwise, StridedGeometry) {
+  const LayerSpec dw = depthwise_layer("dw", 64, 56, 56, 3, 2, 1);
+  EXPECT_EQ(dw.out_h(), 28);
+  EXPECT_EQ(dw.out_w(), 28);
+}
+
+TEST(Depthwise, HandComputedChannelIndependence) {
+  // Two channels, each with its own 1x1 "filter": channels never mix.
+  LayerSpec dw = depthwise_layer("dw", 2, 2, 2, 1, 1, 0, /*relu=*/false);
+  ValueTensor in({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  ValueTensor w({2, 1, 1, 1}, {2, 3});
+  const ValueTensor out = depthwise_ref(in, w, dw, identity_quant());
+  EXPECT_EQ(out.at(0, 0, 0, 0), 2);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 8);
+  EXPECT_EQ(out.at(0, 1, 0, 0), 30);
+  EXPECT_EQ(out.at(0, 1, 1, 1), 120);
+}
+
+TEST(Depthwise, MatchesGroupedFullConv) {
+  // A depthwise conv equals a full conv whose weight tensor is diagonal in
+  // channels (w[m][c] == 0 for m != c).
+  const Index C = 4, H = 8;
+  const LayerSpec dw = depthwise_layer("dw", C, H, H, 3, 1, 1, false);
+  const LayerSpec full = conv_layer("full", C, H, H, C, 3, 1, 1, false);
+  util::Rng rng(33);
+  const ValueTensor in = random_tensor({1, C, H, H}, 0.2, rng);
+  const ValueTensor dw_w = random_tensor(dw.weight_shape(), 0.2, rng, -8, 8);
+  ValueTensor full_w(full.weight_shape());
+  for (Index c = 0; c < C; ++c) {
+    for (Index ky = 0; ky < 3; ++ky) {
+      for (Index kx = 0; kx < 3; ++kx) {
+        full_w.at(c, c, ky, kx) = dw_w.at(c, 0, ky, kx);
+      }
+    }
+  }
+  const Quant q;
+  EXPECT_TRUE(depthwise_ref(in, dw_w, dw, q) ==
+              conv2d_ref(in, full_w, full, q));
+}
+
+TEST(Depthwise, MobilenetShape) {
+  const Network net = make_mobilenet_v1();
+  EXPECT_NO_THROW(net.validate());
+  // 1 conv + 13 (dw+pw) blocks + gap + fc = 1 + 26 + 2 = 29 layers.
+  EXPECT_EQ(net.layers.size(), 29u);
+  // Published: ~569M MACs for MobileNet-v1 1.0/224.
+  std::int64_t conv_macs = 0;
+  for (const LayerSpec& layer : net.layers) {
+    if (layer.kind != LayerKind::Pool) conv_macs += layer.macs();
+  }
+  EXPECT_NEAR(static_cast<double>(conv_macs), 569e6, 15e6);
+  // Published: ~4.2M weights.
+  EXPECT_NEAR(static_cast<double>(net.total_weight_bytes()) / 2.0, 4.2e6,
+              0.2e6);
+}
+
+TEST(Depthwise, MobilenetDepthwiseShareIsSmall) {
+  // The hallmark: depthwise layers are ~3% of MACs but ~30 of 64 the
+  // bandwidth problem — here just check the MAC share is under 10%.
+  const Network net = make_mobilenet_v1();
+  std::int64_t dw_macs = 0;
+  std::int64_t all_macs = 0;
+  for (const LayerSpec& layer : net.layers) {
+    if (layer.kind == LayerKind::Pool) continue;
+    all_macs += layer.macs();
+    if (layer.kind == LayerKind::DepthwiseConv) dw_macs += layer.macs();
+  }
+  EXPECT_LT(static_cast<double>(dw_macs) / static_cast<double>(all_macs),
+            0.10);
+}
+
+}  // namespace
+}  // namespace mocha::nn

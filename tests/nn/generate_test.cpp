@@ -1,0 +1,104 @@
+#include "nn/generate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::nn {
+namespace {
+
+TEST(Generate, SparsityIsControlled) {
+  util::Rng rng(5);
+  const ValueTensor t = random_tensor({1, 8, 32, 32}, 0.6, rng);
+  EXPECT_NEAR(t.sparsity(), 0.6, 0.03);
+}
+
+TEST(Generate, DenseTensorHasNoZeros) {
+  util::Rng rng(6);
+  const ValueTensor t = random_tensor({1, 4, 16, 16}, 0.0, rng);
+  EXPECT_DOUBLE_EQ(t.sparsity(), 0.0);
+}
+
+TEST(Generate, AllZeroTensor) {
+  util::Rng rng(7);
+  const ValueTensor t = random_tensor({1, 1, 8, 8}, 1.0, rng);
+  EXPECT_DOUBLE_EQ(t.sparsity(), 1.0);
+}
+
+TEST(Generate, ValuesWithinRange) {
+  util::Rng rng(8);
+  const ValueTensor t = random_tensor({1, 2, 16, 16}, 0.3, rng, -10, 10);
+  for (Index i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.flat(i), -10);
+    EXPECT_LE(t.flat(i), 10);
+  }
+}
+
+TEST(Generate, DeterministicPerSeed) {
+  util::Rng a(9);
+  util::Rng b(9);
+  const ValueTensor ta = random_tensor({1, 2, 8, 8}, 0.4, a);
+  const ValueTensor tb = random_tensor({1, 2, 8, 8}, 0.4, b);
+  EXPECT_TRUE(ta == tb);
+}
+
+TEST(Generate, InvalidSparsityThrows) {
+  util::Rng rng(10);
+  EXPECT_THROW(random_tensor({1, 1, 2, 2}, 1.5, rng), util::CheckFailure);
+  EXPECT_THROW(random_tensor({1, 1, 2, 2}, -0.1, rng), util::CheckFailure);
+}
+
+TEST(Generate, WeightsMatchLayerShapes) {
+  const Network net = make_lenet5();
+  util::Rng rng(11);
+  const auto weights = random_weights(net, 0.25, rng);
+  ASSERT_EQ(weights.size(), net.layers.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (net.layers[i].has_weights()) {
+      EXPECT_EQ(weights[i].shape(), net.layers[i].weight_shape());
+    } else {
+      EXPECT_TRUE(weights[i].empty());
+    }
+  }
+}
+
+TEST(SparsityProfile, InputLayerIsDense) {
+  const Network net = make_alexnet();
+  const SparsityProfile profile;
+  EXPECT_DOUBLE_EQ(profile.ifmap_sparsity(net, 0), profile.input_sparsity);
+}
+
+TEST(SparsityProfile, SparsityGrowsWithDepth) {
+  const Network net = make_vgg16();
+  const SparsityProfile profile;
+  const double early = profile.ifmap_sparsity(net, 1);
+  const double late = profile.ifmap_sparsity(net, net.layers.size() - 1);
+  EXPECT_LT(early, late);
+  EXPECT_GE(early, profile.first_activation_sparsity - 1e-9);
+  EXPECT_LE(late, profile.last_activation_sparsity + 1e-9);
+}
+
+TEST(SparsityProfile, KernelSparsityZeroForPool) {
+  const Network net = make_alexnet();
+  const SparsityProfile profile;
+  EXPECT_DOUBLE_EQ(profile.kernel_sparsity(net, 1), 0.0);  // pool1
+}
+
+TEST(SparsityProfile, KernelSparsityInConfiguredBand) {
+  const Network net = make_alexnet();
+  const SparsityProfile profile;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    if (!net.layers[i].has_weights()) continue;
+    const double s = profile.kernel_sparsity(net, i);
+    EXPECT_GE(s, profile.first_kernel_sparsity - 1e-9);
+    EXPECT_LE(s, profile.last_kernel_sparsity + 1e-9);
+  }
+}
+
+TEST(SparsityProfile, OutOfRangeLayerThrows) {
+  const Network net = make_lenet5();
+  const SparsityProfile profile;
+  EXPECT_THROW(profile.ifmap_sparsity(net, net.layers.size()),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace mocha::nn

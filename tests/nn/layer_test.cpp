@@ -1,0 +1,92 @@
+#include "nn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::nn {
+namespace {
+
+TEST(Layer, ConvGeometry) {
+  // AlexNet conv1: 227x227x3, 96 maps, k=11, s=4, p=0 -> 55x55.
+  const LayerSpec conv = conv_layer("conv1", 3, 227, 227, 96, 11, 4, 0);
+  EXPECT_EQ(conv.out_h(), 55);
+  EXPECT_EQ(conv.out_w(), 55);
+  EXPECT_EQ(conv.out_channels(), 96);
+  EXPECT_EQ(conv.macs(), 96LL * 55 * 55 * 3 * 11 * 11);
+}
+
+TEST(Layer, ConvSamePadding) {
+  const LayerSpec conv = conv_layer("c", 64, 56, 56, 128, 3, 1, 1);
+  EXPECT_EQ(conv.out_h(), 56);
+  EXPECT_EQ(conv.out_w(), 56);
+}
+
+TEST(Layer, PoolGeometry) {
+  const LayerSpec pool = pool_layer("p", 96, 55, 55, 3, 2);
+  EXPECT_EQ(pool.out_h(), 27);
+  EXPECT_EQ(pool.out_w(), 27);
+  EXPECT_EQ(pool.out_channels(), 96);
+  EXPECT_FALSE(pool.has_weights());
+  EXPECT_EQ(pool.weight_elems(), 0);
+}
+
+TEST(Layer, FcGeometry) {
+  const LayerSpec fc = fc_layer("fc", 9216, 4096);
+  EXPECT_EQ(fc.out_h(), 1);
+  EXPECT_EQ(fc.out_w(), 1);
+  EXPECT_EQ(fc.macs(), 9216LL * 4096);
+  EXPECT_EQ(fc.weight_shape().elems(), 9216LL * 4096);
+}
+
+TEST(Layer, ByteCountsUse16BitValues) {
+  const LayerSpec conv = conv_layer("c", 3, 8, 8, 4, 3, 1, 1);
+  EXPECT_EQ(conv.ifmap_bytes(), 3 * 8 * 8 * 2);
+  EXPECT_EQ(conv.ofmap_bytes(), 4 * 8 * 8 * 2);
+  EXPECT_EQ(conv.weight_bytes(), 4 * 3 * 3 * 3 * 2);
+}
+
+TEST(Layer, WeightShapes) {
+  const LayerSpec conv = conv_layer("c", 16, 8, 8, 32, 3, 1, 1);
+  EXPECT_EQ(conv.weight_shape(), (Shape4{32, 16, 3, 3}));
+  const LayerSpec fc = fc_layer("f", 100, 10);
+  EXPECT_EQ(fc.weight_shape(), (Shape4{10, 100, 1, 1}));
+}
+
+TEST(Layer, ValidateRejectsKernelLargerThanInput) {
+  LayerSpec bad = conv_layer("ok", 3, 8, 8, 4, 3, 1, 1);
+  bad.kernel = 11;
+  EXPECT_THROW(bad.validate(), util::CheckFailure);
+}
+
+TEST(Layer, ValidateRejectsNonPositiveDims) {
+  LayerSpec bad = conv_layer("ok", 3, 8, 8, 4, 3, 1, 1);
+  bad.in_c = 0;
+  EXPECT_THROW(bad.validate(), util::CheckFailure);
+}
+
+TEST(Layer, ValidateRejectsPaddedPool) {
+  LayerSpec bad = pool_layer("p", 4, 8, 8, 2, 2);
+  bad.pad = 1;
+  EXPECT_THROW(bad.validate(), util::CheckFailure);
+}
+
+TEST(Layer, FactoryRejectsInvalid) {
+  EXPECT_THROW(conv_layer("bad", 3, 4, 4, 8, 5, 1, 0), util::CheckFailure);
+}
+
+TEST(Layer, SummaryMentionsGeometry) {
+  const LayerSpec conv = conv_layer("c", 3, 227, 227, 96, 11, 4, 0);
+  const std::string s = conv.summary();
+  EXPECT_NE(s.find("Conv"), std::string::npos);
+  EXPECT_NE(s.find("k11"), std::string::npos);
+  EXPECT_NE(s.find("s4"), std::string::npos);
+  EXPECT_NE(s.find("ReLU"), std::string::npos);
+}
+
+TEST(Layer, StridedConvGeometry) {
+  // Output formula (H + 2P - K) / S + 1 truncates.
+  const LayerSpec conv = conv_layer("c", 1, 7, 7, 1, 3, 2, 0);
+  EXPECT_EQ(conv.out_h(), 3);
+}
+
+}  // namespace
+}  // namespace mocha::nn

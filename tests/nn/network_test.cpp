@@ -1,0 +1,111 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::nn {
+namespace {
+
+TEST(Network, AlexNetShape) {
+  const Network net = make_alexnet();
+  EXPECT_EQ(net.layers.size(), 11u);
+  // Single-tower (ungrouped) AlexNet: ~1.07G conv MACs + ~58.6M FC MACs.
+  // (The original paper's two-GPU version splits conv2/4/5 into groups,
+  // halving those layers' MACs to the often-quoted ~724M total.)
+  const std::int64_t conv_fc_macs = [&] {
+    std::int64_t total = 0;
+    for (const LayerSpec& layer : net.layers) {
+      if (layer.kind != LayerKind::Pool) total += layer.macs();
+    }
+    return total;
+  }();
+  EXPECT_NEAR(static_cast<double>(conv_fc_macs), 1135e6, 10e6);
+  // Final classifier emits 1000 classes.
+  EXPECT_EQ(net.layers.back().out_c, 1000);
+}
+
+TEST(Network, Vgg16Shape) {
+  const Network net = make_vgg16();
+  // 13 conv + 5 pool + 3 fc.
+  EXPECT_EQ(net.layers.size(), 21u);
+  EXPECT_EQ(net.conv_layer_indices().size(), 13u);
+  // Published: ~15.3G conv MACs.
+  std::int64_t conv_macs = 0;
+  for (std::size_t i : net.conv_layer_indices()) {
+    conv_macs += net.layers[i].macs();
+  }
+  EXPECT_NEAR(static_cast<double>(conv_macs), 15.3e9, 0.2e9);
+  // Published: ~138M parameters.
+  EXPECT_NEAR(static_cast<double>(net.total_weight_bytes()) / 2.0, 138e6,
+              2e6);
+}
+
+TEST(Network, LeNetShape) {
+  const Network net = make_lenet5();
+  EXPECT_EQ(net.layers.back().out_c, 10);
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(Network, NinShape) {
+  const Network net = make_nin();
+  EXPECT_NO_THROW(net.validate());
+  // No FC layers; final class scores come from global average pooling.
+  for (const LayerSpec& layer : net.layers) {
+    EXPECT_NE(layer.kind, LayerKind::FullyConnected) << layer.name;
+  }
+  EXPECT_EQ(net.layers.back().out_h(), 1);
+  EXPECT_EQ(net.layers.back().out_channels(), 1000);
+  // Published: ~1.1G MACs for NiN-ImageNet.
+  EXPECT_NEAR(static_cast<double>(net.total_macs()), 1.1e9, 0.15e9);
+}
+
+TEST(Network, ValidateCatchesShapeMismatch) {
+  Network net = make_lenet5();
+  net.layers[0].out_c = 7;  // breaks chaining into s2
+  EXPECT_THROW(net.validate(), util::CheckFailure);
+}
+
+TEST(Network, ValidateCatchesFcFanInMismatch) {
+  Network net = make_alexnet();
+  net.layers[8].in_c = 1234;  // fc6 fan-in no longer matches pool5 output
+  EXPECT_THROW(net.validate(), util::CheckFailure);
+}
+
+TEST(Network, EmptyNetworkInvalid) {
+  Network net;
+  net.name = "empty";
+  EXPECT_THROW(net.validate(), util::CheckFailure);
+}
+
+TEST(Network, SyntheticBuilderChainsShapes) {
+  const Network net = make_synthetic("syn", 32, 32, {8, 16, 32}, 3, true);
+  EXPECT_NO_THROW(net.validate());
+  EXPECT_EQ(net.conv_layer_indices().size(), 3u);
+}
+
+TEST(Network, SyntheticWithoutPooling) {
+  const Network net = make_synthetic("syn", 16, 16, {4, 4}, 3, false);
+  EXPECT_EQ(net.layers.size(), 2u);
+  EXPECT_EQ(net.layers[1].out_h(), 16);
+}
+
+TEST(Network, SingleConvFactory) {
+  const Network net = make_single_conv(3, 16, 16, 8, 3, 1, 1);
+  EXPECT_EQ(net.layers.size(), 1u);
+  EXPECT_EQ(net.layers[0].out_h(), 16);
+}
+
+TEST(Network, TotalMacsSumsLayers) {
+  const Network net = make_lenet5();
+  std::int64_t expect = 0;
+  for (const LayerSpec& layer : net.layers) expect += layer.macs();
+  EXPECT_EQ(net.total_macs(), expect);
+}
+
+TEST(Network, BenchmarkNetworksValidate) {
+  for (const Network& net : benchmark_networks()) {
+    EXPECT_NO_THROW(net.validate()) << net.name;
+  }
+}
+
+}  // namespace
+}  // namespace mocha::nn

@@ -1,0 +1,166 @@
+#include "nn/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/generate.hpp"
+
+namespace mocha::nn {
+namespace {
+
+/// Quant with no rescaling so tiny hand-computed cases stay literal.
+Quant identity_quant() {
+  Quant q;
+  q.frac_shift = 0;
+  return q;
+}
+
+TEST(ConvRef, HandComputed1x1Kernel) {
+  const LayerSpec layer = conv_layer("c", 1, 2, 2, 1, 1, 1, 0, /*relu=*/false);
+  ValueTensor in({1, 1, 2, 2}, {1, 2, 3, 4});
+  ValueTensor w({1, 1, 1, 1}, {3});
+  const ValueTensor out = conv2d_ref(in, w, layer, identity_quant());
+  EXPECT_EQ(out.at(0, 0, 0, 0), 3);
+  EXPECT_EQ(out.at(0, 0, 0, 1), 6);
+  EXPECT_EQ(out.at(0, 0, 1, 0), 9);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 12);
+}
+
+TEST(ConvRef, HandComputed3x3SumKernel) {
+  // All-ones 3x3 kernel on all-ones input with pad=1: each output counts
+  // the valid neighbours (4 at corners, 6 at edges, 9 inside).
+  const LayerSpec layer = conv_layer("c", 1, 3, 3, 1, 3, 1, 1, /*relu=*/false);
+  ValueTensor in({1, 1, 3, 3});
+  in.fill(1);
+  ValueTensor w({1, 1, 3, 3});
+  w.fill(1);
+  const ValueTensor out = conv2d_ref(in, w, layer, identity_quant());
+  EXPECT_EQ(out.at(0, 0, 0, 0), 4);
+  EXPECT_EQ(out.at(0, 0, 0, 1), 6);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 9);
+  EXPECT_EQ(out.at(0, 0, 2, 2), 4);
+}
+
+TEST(ConvRef, MultiChannelAccumulation) {
+  const LayerSpec layer = conv_layer("c", 2, 1, 1, 1, 1, 1, 0, /*relu=*/false);
+  ValueTensor in({1, 2, 1, 1}, {5, 7});
+  ValueTensor w({1, 2, 1, 1}, {2, 3});
+  const ValueTensor out = conv2d_ref(in, w, layer, identity_quant());
+  EXPECT_EQ(out.at(0, 0, 0, 0), 5 * 2 + 7 * 3);
+}
+
+TEST(ConvRef, ReluClampsNegative) {
+  const LayerSpec layer = conv_layer("c", 1, 1, 1, 1, 1, 1, 0, /*relu=*/true);
+  ValueTensor in({1, 1, 1, 1}, {5});
+  ValueTensor w({1, 1, 1, 1}, {-2});
+  const ValueTensor out = conv2d_ref(in, w, layer, identity_quant());
+  EXPECT_EQ(out.at(0, 0, 0, 0), 0);
+}
+
+TEST(ConvRef, StrideSkipsPositions) {
+  const LayerSpec layer = conv_layer("c", 1, 4, 4, 1, 2, 2, 0, /*relu=*/false);
+  ValueTensor in({1, 1, 4, 4});
+  for (Index i = 0; i < 16; ++i) in.flat(i) = static_cast<Value>(i);
+  ValueTensor w({1, 1, 2, 2});
+  w.fill(1);
+  const ValueTensor out = conv2d_ref(in, w, layer, identity_quant());
+  EXPECT_EQ(out.shape(), (Shape4{1, 1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 0 + 1 + 4 + 5);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 10 + 11 + 14 + 15);
+}
+
+TEST(QuantBehavior, FracShiftScalesDown) {
+  Quant q;
+  q.frac_shift = 8;
+  EXPECT_EQ(q.requantize(512, false), 2);
+  EXPECT_EQ(q.requantize(-512, false), -2);
+  EXPECT_EQ(q.requantize(-512, true), 0);
+}
+
+TEST(QuantBehavior, Saturates) {
+  Quant q;
+  q.frac_shift = 0;
+  EXPECT_EQ(q.requantize(1'000'000, false), 32767);
+  EXPECT_EQ(q.requantize(-1'000'000, false), -32768);
+}
+
+TEST(PoolRef, MaxPool) {
+  const LayerSpec layer = pool_layer("p", 1, 4, 4, 2, 2);
+  ValueTensor in({1, 1, 4, 4});
+  for (Index i = 0; i < 16; ++i) in.flat(i) = static_cast<Value>(i);
+  const ValueTensor out = pool_ref(in, layer);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 5);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 15);
+}
+
+TEST(PoolRef, MaxPoolHandlesNegatives) {
+  const LayerSpec layer = pool_layer("p", 1, 2, 2, 2, 2);
+  ValueTensor in({1, 1, 2, 2}, {-5, -3, -9, -7});
+  const ValueTensor out = pool_ref(in, layer);
+  EXPECT_EQ(out.at(0, 0, 0, 0), -3);
+}
+
+TEST(PoolRef, AveragePoolTruncatesTowardZero) {
+  const LayerSpec layer = pool_layer("p", 1, 2, 2, 2, 2, PoolOp::Average);
+  ValueTensor in({1, 1, 2, 2}, {1, 2, 3, 5});
+  const ValueTensor out = pool_ref(in, layer);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 2);  // 11/4 truncated
+}
+
+TEST(PoolRef, OverlappingWindows) {
+  // AlexNet-style 3x3 stride-2 pooling.
+  const LayerSpec layer = pool_layer("p", 1, 5, 5, 3, 2);
+  ValueTensor in({1, 1, 5, 5});
+  in.at(0, 0, 2, 2) = 100;  // centre belongs to all four windows
+  const ValueTensor out = pool_ref(in, layer);
+  for (Index y = 0; y < 2; ++y) {
+    for (Index x = 0; x < 2; ++x) EXPECT_EQ(out.at(0, 0, y, x), 100);
+  }
+}
+
+TEST(FcRef, DotProduct) {
+  const LayerSpec layer = fc_layer("f", 3, 2, /*relu=*/false);
+  ValueTensor in({1, 3, 1, 1}, {1, 2, 3});
+  ValueTensor w({2, 3, 1, 1}, {1, 1, 1, 1, 2, 3});
+  const ValueTensor out = fc_ref(in, w, layer, identity_quant());
+  EXPECT_EQ(out.at(0, 0, 0, 0), 6);
+  EXPECT_EQ(out.at(0, 1, 0, 0), 1 + 4 + 9);
+}
+
+TEST(NetworkRef, RunsLeNetEndToEnd) {
+  const Network net = make_lenet5();
+  util::Rng rng(1);
+  const ValueTensor input =
+      random_tensor(net.layers.front().input_shape(), 0.1, rng);
+  const auto weights = random_weights(net, 0.2, rng);
+  const auto outputs = run_network_ref(net, input, weights, Quant{});
+  ASSERT_EQ(outputs.size(), net.layers.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    EXPECT_EQ(outputs[i].shape(), net.layers[i].output_shape());
+  }
+}
+
+TEST(NetworkRef, FlattensIntoFc) {
+  // conv output (c,h,w) feeding FC must flatten, not crash.
+  Network net;
+  net.name = "mini";
+  net.layers = {conv_layer("c", 1, 4, 4, 2, 3, 1, 0),
+                fc_layer("f", 2 * 2 * 2, 3, false)};
+  net.validate();
+  util::Rng rng(2);
+  const ValueTensor input = random_tensor({1, 1, 4, 4}, 0.0, rng);
+  const auto weights = random_weights(net, 0.0, rng);
+  EXPECT_NO_THROW(run_network_ref(net, input, weights, Quant{}));
+}
+
+TEST(NetworkRef, RejectsWrongWeightCount) {
+  const Network net = make_lenet5();
+  util::Rng rng(3);
+  const ValueTensor input =
+      random_tensor(net.layers.front().input_shape(), 0.1, rng);
+  std::vector<ValueTensor> weights;  // empty
+  EXPECT_THROW(run_network_ref(net, input, weights, Quant{}),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace mocha::nn

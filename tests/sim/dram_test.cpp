@@ -1,0 +1,78 @@
+#include "sim/dram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::sim {
+namespace {
+
+fabric::FabricConfig config_with(int bus, std::int64_t row_bytes, int hit,
+                                 int miss) {
+  auto config = fabric::mocha_default_config();
+  config.dma_channels = 1;  // tests pin one channel so cycles are literal
+  config.dram_bytes_per_cycle = bus;
+  config.dram_row_bytes = row_bytes;
+  config.dram_row_hit_latency = hit;
+  config.dram_row_miss_penalty = miss;
+  return config;
+}
+
+TEST(Dram, ZeroBytesFree) {
+  const DramModel dram(config_with(8, 2048, 6, 24));
+  EXPECT_EQ(dram.transfer_cycles(0), 0u);
+}
+
+TEST(Dram, SmallTransferDominatedByLatency) {
+  const DramModel dram(config_with(8, 2048, 6, 24));
+  // 8 bytes: 6 (latency) + 24 (one row) + 1 (bus) = 31.
+  EXPECT_EQ(dram.transfer_cycles(8), 31u);
+}
+
+TEST(Dram, LargeTransferDominatedByBus) {
+  const DramModel dram(config_with(8, 2048, 6, 24));
+  const std::int64_t bytes = 1 << 20;
+  // bus = 2^20/8 = 131072; rows = 512 -> 12288 penalty; + 6.
+  EXPECT_EQ(dram.transfer_cycles(bytes), 131072u + 12288u + 6u);
+}
+
+TEST(Dram, RowCrossingPaysExtraMiss) {
+  const DramModel dram(config_with(8, 2048, 6, 24));
+  // 2049 bytes touch two rows where 2048 touch one: one extra row miss
+  // plus one extra bus cycle (2049 rounds up to 257 bus beats).
+  const std::uint64_t one_row = dram.transfer_cycles(2048);
+  const std::uint64_t two_rows = dram.transfer_cycles(2049);
+  EXPECT_EQ(two_rows, one_row + 24 + 1);
+}
+
+TEST(Dram, MonotoneInBytes) {
+  const DramModel dram(config_with(8, 2048, 6, 24));
+  std::uint64_t prev = 0;
+  for (std::int64_t bytes = 1; bytes < 10000; bytes += 97) {
+    const std::uint64_t cycles = dram.transfer_cycles(bytes);
+    EXPECT_GE(cycles, prev);
+    prev = cycles;
+  }
+}
+
+TEST(Dram, EffectiveBandwidthApproachesPeak) {
+  const DramModel dram(config_with(8, 2048, 6, 24));
+  const double small = dram.effective_bandwidth(64);
+  const double large = dram.effective_bandwidth(1 << 22);
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, 8.0 * 0.85);  // within 15% of the 8 B/cycle peak
+  EXPECT_LE(large, 8.0);
+}
+
+TEST(Dram, NegativeBytesThrow) {
+  const DramModel dram(config_with(8, 2048, 6, 24));
+  EXPECT_THROW(dram.transfer_cycles(-1), util::CheckFailure);
+}
+
+TEST(Dram, HalvedBusDoublesStreamingTime) {
+  const DramModel fast(config_with(16, 2048, 0, 0));
+  const DramModel slow(config_with(8, 2048, 0, 0));
+  const std::int64_t bytes = 1 << 16;
+  EXPECT_EQ(slow.transfer_cycles(bytes), 2 * fast.transfer_cycles(bytes));
+}
+
+}  // namespace
+}  // namespace mocha::sim

@@ -1,0 +1,253 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mocha::sim {
+namespace {
+
+Task make_task(std::vector<ResourceId> resources, Cycle duration,
+               std::vector<TaskId> deps = {}) {
+  Task t;
+  t.resources = std::move(resources);
+  t.duration = duration;
+  t.deps = std::move(deps);
+  return t;
+}
+
+TEST(Engine, SingleTask) {
+  Engine engine({{"r", 1}});
+  TaskGraph graph;
+  graph.add(make_task({0}, 10));
+  const RunResult result = engine.run(graph);
+  EXPECT_EQ(result.makespan, 10u);
+  EXPECT_EQ(graph.task(0).start, 0u);
+  EXPECT_EQ(graph.task(0).finish, 10u);
+}
+
+TEST(Engine, DependentTasksSerialize) {
+  Engine engine({{"r", 4}});
+  TaskGraph graph;
+  const TaskId a = graph.add(make_task({0}, 5));
+  graph.add(make_task({0}, 7, {a}));
+  const RunResult result = engine.run(graph);
+  EXPECT_EQ(result.makespan, 12u);
+}
+
+TEST(Engine, IndependentTasksOverlapAcrossCapacity) {
+  Engine engine({{"r", 2}});
+  TaskGraph graph;
+  graph.add(make_task({0}, 10));
+  graph.add(make_task({0}, 10));
+  EXPECT_EQ(engine.run(graph).makespan, 10u);
+}
+
+TEST(Engine, CapacityOneSerializes) {
+  Engine engine({{"r", 1}});
+  TaskGraph graph;
+  graph.add(make_task({0}, 10));
+  graph.add(make_task({0}, 10));
+  EXPECT_EQ(engine.run(graph).makespan, 20u);
+}
+
+TEST(Engine, DistinctResourcesOverlap) {
+  Engine engine({{"a", 1}, {"b", 1}});
+  TaskGraph graph;
+  graph.add(make_task({0}, 10));
+  graph.add(make_task({1}, 15));
+  EXPECT_EQ(engine.run(graph).makespan, 15u);
+}
+
+TEST(Engine, MultiResourceTaskHoldsBoth) {
+  // Task 0 holds resources {a, b}; task 1 needs b and must wait.
+  Engine engine({{"a", 1}, {"b", 1}});
+  TaskGraph graph;
+  graph.add(make_task({0, 1}, 10));
+  graph.add(make_task({1}, 5));
+  const RunResult result = engine.run(graph);
+  EXPECT_EQ(result.makespan, 15u);
+  EXPECT_EQ(graph.task(1).start, 10u);
+}
+
+TEST(Engine, FifoByTaskIdAmongReady) {
+  Engine engine({{"r", 1}});
+  TaskGraph graph;
+  graph.add(make_task({0}, 1));
+  graph.add(make_task({0}, 1));
+  graph.add(make_task({0}, 1));
+  engine.run(graph);
+  EXPECT_LT(graph.task(0).start, graph.task(1).start);
+  EXPECT_LT(graph.task(1).start, graph.task(2).start);
+}
+
+TEST(Engine, DiamondDependency) {
+  Engine engine({{"r", 2}});
+  TaskGraph graph;
+  const TaskId a = graph.add(make_task({0}, 3));
+  const TaskId b = graph.add(make_task({0}, 5, {a}));
+  const TaskId c = graph.add(make_task({0}, 7, {a}));
+  graph.add(make_task({0}, 2, {b, c}));
+  // a:0-3, b:3-8, c:3-10 (parallel), d:10-12.
+  EXPECT_EQ(engine.run(graph).makespan, 12u);
+}
+
+TEST(Engine, ZeroDurationTasks) {
+  Engine engine({{"r", 1}});
+  TaskGraph graph;
+  const TaskId a = graph.add(make_task({0}, 0));
+  graph.add(make_task({0}, 0, {a}));
+  EXPECT_EQ(engine.run(graph).makespan, 0u);
+}
+
+TEST(Engine, ActionsAccumulate) {
+  Engine engine({{"r", 1}});
+  TaskGraph graph;
+  Task t1 = make_task({0}, 4);
+  t1.actions.macs = 100;
+  t1.actions.dram_read_bytes = 64;
+  Task t2 = make_task({0}, 6);
+  t2.actions.macs = 50;
+  graph.add(std::move(t1));
+  graph.add(std::move(t2));
+  const RunResult result = engine.run(graph);
+  EXPECT_EQ(result.totals.macs, 150);
+  EXPECT_EQ(result.totals.dram_read_bytes, 64);
+  EXPECT_EQ(result.totals.cycles, 10);
+}
+
+TEST(Engine, SramPeakTracksAllocFree) {
+  Engine engine({{"r", 1}});
+  TaskGraph graph;
+  Task alloc1 = make_task({0}, 5);
+  alloc1.sram_alloc_bytes = 100;
+  const TaskId a = graph.add(std::move(alloc1));
+  Task alloc2 = make_task({0}, 5, {a});
+  alloc2.sram_alloc_bytes = 50;
+  const TaskId b = graph.add(std::move(alloc2));
+  Task freer = make_task({0}, 5, {b});
+  freer.sram_free_bytes = 150;
+  graph.add(std::move(freer));
+  const RunResult result = engine.run(graph);
+  EXPECT_EQ(result.peak_sram_bytes, 150);
+}
+
+TEST(Engine, SramNegativeBalanceDetected) {
+  Engine engine({{"r", 1}});
+  TaskGraph graph;
+  Task t = make_task({0}, 1);
+  t.sram_free_bytes = 10;  // frees what was never allocated
+  graph.add(std::move(t));
+  EXPECT_THROW(engine.run(graph), util::CheckFailure);
+}
+
+TEST(Engine, BusyCyclesAndUtilization) {
+  Engine engine({{"r", 2}});
+  TaskGraph graph;
+  graph.add(make_task({0}, 10));
+  graph.add(make_task({0}, 10));
+  const RunResult result = engine.run(graph);
+  EXPECT_EQ(result.resource_busy_cycles[0], 20u);
+  EXPECT_DOUBLE_EQ(result.utilization(0), 1.0);
+}
+
+TEST(Engine, UtilizationBelowOneWhenIdle) {
+  Engine engine({{"r", 1}});
+  TaskGraph graph;
+  const TaskId a = graph.add(make_task({0}, 10));
+  Task gap = make_task({0}, 10, {a});
+  graph.add(std::move(gap));
+  const RunResult result = engine.run(graph);
+  EXPECT_DOUBLE_EQ(result.utilization(0), 1.0);  // no idle: back to back
+}
+
+TEST(Engine, KindCyclesSplit) {
+  Engine engine({{"r", 2}});
+  TaskGraph graph;
+  Task load = make_task({0}, 7);
+  load.kind = TaskKind::DmaLoad;
+  Task compute = make_task({0}, 9);
+  compute.kind = TaskKind::Compute;
+  graph.add(std::move(load));
+  graph.add(std::move(compute));
+  const RunResult result = engine.run(graph);
+  EXPECT_EQ(result.kind_cycles.at(TaskKind::DmaLoad), 7u);
+  EXPECT_EQ(result.kind_cycles.at(TaskKind::Compute), 9u);
+}
+
+TEST(Engine, UnknownResourceRejected) {
+  Engine engine({{"r", 1}});
+  TaskGraph graph;
+  graph.add(make_task({3}, 1));
+  EXPECT_THROW(engine.run(graph), util::CheckFailure);
+}
+
+TEST(Engine, ZeroCapacityResourceRejected) {
+  EXPECT_THROW(Engine({{"r", 0}}), util::CheckFailure);
+}
+
+TEST(Engine, EmptyGraphRuns) {
+  Engine engine({{"r", 1}});
+  TaskGraph graph;
+  const RunResult result = engine.run(graph);
+  EXPECT_EQ(result.makespan, 0u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  Engine engine({{"a", 2}, {"b", 1}});
+  TaskGraph g1, g2;
+  for (TaskGraph* g : {&g1, &g2}) {
+    std::vector<TaskId> prev;
+    for (int i = 0; i < 50; ++i) {
+      Task t = make_task({i % 2 == 0 ? 0 : 1}, static_cast<Cycle>(i % 7 + 1));
+      if (!prev.empty() && i % 3 == 0) t.deps = {prev.back()};
+      prev.push_back(g->add(std::move(t)));
+    }
+  }
+  const RunResult r1 = engine.run(g1);
+  const RunResult r2 = engine.run(g2);
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_EQ(g1.task(static_cast<TaskId>(i)).start,
+              g2.task(static_cast<TaskId>(i)).start);
+  }
+}
+
+/// Property: makespan is at least the critical path and at most the serial
+/// sum, for randomized DAGs.
+class EngineBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineBounds, MakespanWithinBounds) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Engine engine({{"a", 2}, {"b", 3}});
+  TaskGraph graph;
+  std::vector<Cycle> longest_to(100, 0);
+  Cycle serial_sum = 0;
+  Cycle critical = 0;
+  for (int i = 0; i < 100; ++i) {
+    Task t = make_task({static_cast<ResourceId>(rng.uniform_int(0, 1))},
+                       static_cast<Cycle>(rng.uniform_int(1, 20)));
+    Cycle longest_dep = 0;
+    if (i > 0) {
+      const int deps = static_cast<int>(rng.uniform_int(0, 2));
+      for (int d = 0; d < deps; ++d) {
+        const auto dep = static_cast<TaskId>(rng.uniform_int(0, i - 1));
+        t.deps.push_back(dep);
+        longest_dep = std::max(longest_dep,
+                               longest_to[static_cast<std::size_t>(dep)]);
+      }
+    }
+    serial_sum += t.duration;
+    longest_to[static_cast<std::size_t>(i)] = longest_dep + t.duration;
+    critical = std::max(critical, longest_to[static_cast<std::size_t>(i)]);
+    graph.add(std::move(t));
+  }
+  const RunResult result = engine.run(graph);
+  EXPECT_GE(result.makespan, critical);
+  EXPECT_LE(result.makespan, serial_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineBounds, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace mocha::sim

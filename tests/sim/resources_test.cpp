@@ -1,0 +1,51 @@
+#include "sim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::sim {
+namespace {
+
+TEST(Resources, MochaLayoutHasAllResources) {
+  const auto config = fabric::mocha_default_config();
+  const ResourceLayout layout = make_resource_layout(config, 4);
+  EXPECT_GE(layout.dram, 0);
+  EXPECT_GE(layout.pe, 0);
+  EXPECT_GE(layout.ctrl, 0);
+  EXPECT_GE(layout.codec, 0);
+  EXPECT_EQ(layout.specs[static_cast<std::size_t>(layout.pe)].capacity, 4);
+  EXPECT_EQ(layout.specs[static_cast<std::size_t>(layout.codec)].capacity,
+            config.codec_units);
+  EXPECT_EQ(layout.specs[static_cast<std::size_t>(layout.dram)].capacity,
+            std::max(1, config.dma_channels));
+}
+
+TEST(Resources, BaselineLayoutHasNoCodec) {
+  const ResourceLayout layout =
+      make_resource_layout(fabric::baseline_config("b"), 1);
+  EXPECT_EQ(layout.codec, -1);
+  EXPECT_GE(layout.dram, 0);
+}
+
+TEST(Resources, ResourceIdsDistinct) {
+  const ResourceLayout layout =
+      make_resource_layout(fabric::mocha_default_config(), 2);
+  EXPECT_NE(layout.dram, layout.pe);
+  EXPECT_NE(layout.pe, layout.ctrl);
+  EXPECT_NE(layout.dram, layout.ctrl);
+}
+
+TEST(Resources, BadGroupCountRejected) {
+  const auto config = fabric::mocha_default_config();
+  EXPECT_THROW(make_resource_layout(config, 0), util::CheckFailure);
+  EXPECT_THROW(make_resource_layout(config, config.total_pes() + 1),
+               util::CheckFailure);
+}
+
+TEST(Resources, LayoutUsableByEngine) {
+  const ResourceLayout layout =
+      make_resource_layout(fabric::mocha_default_config(), 2);
+  EXPECT_NO_THROW(Engine(layout.specs));
+}
+
+}  // namespace
+}  // namespace mocha::sim

@@ -1,0 +1,40 @@
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::util {
+namespace {
+
+TEST(Assert, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(MOCHA_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(MOCHA_CHECK(true, "with message"));
+}
+
+TEST(Assert, FailingCheckThrowsWithContext) {
+  try {
+    const int a = 3;
+    const int b = 2;
+    MOCHA_CHECK(a < b, "a=" << a << " b=" << b);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("a < b"), std::string::npos);
+    EXPECT_NE(what.find("a=3 b=2"), std::string::npos);
+    EXPECT_NE(what.find("assert_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Assert, MessagelessCheckStillThrows) {
+  EXPECT_THROW(MOCHA_CHECK(false), CheckFailure);
+}
+
+TEST(Assert, UnreachableThrows) {
+  EXPECT_THROW(MOCHA_UNREACHABLE("should not happen"), CheckFailure);
+}
+
+TEST(Assert, CheckFailureIsLogicError) {
+  EXPECT_THROW(MOCHA_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mocha::util

@@ -1,0 +1,128 @@
+#include "util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mocha::util {
+namespace {
+
+TEST(BitIo, SingleBitsRoundTrip) {
+  BitWriter writer;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (bool b : pattern) writer.put_bit(b);
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);  // 7 bits fit in one byte
+  BitReader reader(bytes);
+  for (bool b : pattern) EXPECT_EQ(reader.get_bit(), b);
+}
+
+TEST(BitIo, ByteAlignedFields) {
+  BitWriter writer;
+  writer.put(0xAB, 8);
+  writer.put(0xCDEF, 16);
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 3u);
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.get(8), 0xABu);
+  EXPECT_EQ(reader.get(16), 0xCDEFu);
+}
+
+TEST(BitIo, UnalignedFieldsRoundTrip) {
+  BitWriter writer;
+  writer.put(0x5, 3);
+  writer.put(0x1FF, 9);
+  writer.put(0x1, 1);
+  writer.put(0x3FFFF, 18);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.get(3), 0x5u);
+  EXPECT_EQ(reader.get(9), 0x1FFu);
+  EXPECT_EQ(reader.get(1), 0x1u);
+  EXPECT_EQ(reader.get(18), 0x3FFFFu);
+}
+
+TEST(BitIo, Full64BitField) {
+  BitWriter writer;
+  writer.put_bit(true);  // force misalignment first
+  writer.put(0xDEADBEEFCAFEBABEull, 64);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_TRUE(reader.get_bit());
+  EXPECT_EQ(reader.get(64), 0xDEADBEEFCAFEBABEull);
+}
+
+TEST(BitIo, BitCountTracksAppends) {
+  BitWriter writer;
+  EXPECT_EQ(writer.bit_count(), 0u);
+  writer.put(1, 1);
+  EXPECT_EQ(writer.bit_count(), 1u);
+  writer.put(0xFF, 8);
+  EXPECT_EQ(writer.bit_count(), 9u);
+  writer.put(0, 13);
+  EXPECT_EQ(writer.bit_count(), 22u);
+}
+
+TEST(BitIo, FinishPadsToByte) {
+  BitWriter writer;
+  writer.put(0x3, 2);
+  const auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x3);
+}
+
+TEST(BitIo, ValueWiderThanFieldThrows) {
+  BitWriter writer;
+  EXPECT_THROW(writer.put(0x10, 4), CheckFailure);
+}
+
+TEST(BitIo, BadWidthThrows) {
+  BitWriter writer;
+  EXPECT_THROW(writer.put(0, 0), CheckFailure);
+  EXPECT_THROW(writer.put(0, 65), CheckFailure);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter writer;
+  writer.put(0xFF, 8);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  reader.get(8);
+  EXPECT_THROW(reader.get(1), CheckFailure);
+}
+
+TEST(BitIo, RemainingBits) {
+  BitWriter writer;
+  writer.put(0xABCD, 16);
+  const auto bytes = writer.finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.remaining_bits(), 16u);
+  reader.get(5);
+  EXPECT_EQ(reader.remaining_bits(), 11u);
+  EXPECT_EQ(reader.position_bits(), 5u);
+}
+
+/// Property: any random sequence of (value, width) fields round-trips.
+TEST(BitIoProperty, RandomFieldsRoundTrip) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<std::uint64_t, int>> fields;
+    BitWriter writer;
+    const int count = static_cast<int>(rng.uniform_int(1, 200));
+    for (int i = 0; i < count; ++i) {
+      const int width = static_cast<int>(rng.uniform_int(1, 64));
+      std::uint64_t value = rng();
+      if (width < 64) value &= (1ull << width) - 1;
+      fields.emplace_back(value, width);
+      writer.put(value, width);
+    }
+    const auto bytes = writer.finish();
+    BitReader reader(bytes);
+    for (const auto& [value, width] : fields) {
+      EXPECT_EQ(reader.get(width), value) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mocha::util

@@ -1,0 +1,101 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::util {
+namespace {
+
+TEST(Json, EmptyObject) {
+  JsonWriter json;
+  json.begin_object().end_object();
+  EXPECT_EQ(json.str(), "{}");
+}
+
+TEST(Json, EmptyArray) {
+  JsonWriter json;
+  json.begin_array().end_array();
+  EXPECT_EQ(json.str(), "[]");
+}
+
+TEST(Json, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("s").value("hi");
+  json.key("i").value(static_cast<std::int64_t>(-42));
+  json.key("d").value(1.5);
+  json.key("b").value(true);
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"s":"hi","i":-42,"d":1.5,"b":true})");
+}
+
+TEST(Json, ArrayCommas) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(1).value(2).value(3);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[1,2,3]");
+}
+
+TEST(Json, NestedStructures) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("list").begin_array();
+  json.begin_object();
+  json.key("x").value(1);
+  json.end_object();
+  json.begin_object();
+  json.key("x").value(2);
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"list":[{"x":1},{"x":2}]})");
+}
+
+TEST(Json, StringEscaping) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("q").value("say \"hi\"\npath\\x\ttab");
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"q":"say \"hi\"\npath\\x\ttab"})");
+}
+
+TEST(Json, ControlCharacterEscaped) {
+  JsonWriter json;
+  std::string s = "a";
+  s.push_back('\x01');
+  json.begin_array().value(s).end_array();
+  EXPECT_EQ(json.str(), "[\"a\\u0001\"]");
+}
+
+TEST(Json, UnclosedScopeThrows) {
+  JsonWriter json;
+  json.begin_object();
+  EXPECT_THROW(json.str(), CheckFailure);
+}
+
+TEST(Json, ValueWithoutKeyInObjectThrows) {
+  JsonWriter json;
+  json.begin_object();
+  EXPECT_THROW(json.value(1), CheckFailure);
+}
+
+TEST(Json, KeyOutsideObjectThrows) {
+  JsonWriter json;
+  json.begin_array();
+  EXPECT_THROW(json.key("k"), CheckFailure);
+}
+
+TEST(Json, MismatchedCloseThrows) {
+  JsonWriter json;
+  json.begin_object();
+  EXPECT_THROW(json.end_array(), CheckFailure);
+}
+
+TEST(Json, NonFiniteNumberThrows) {
+  JsonWriter json;
+  json.begin_array();
+  EXPECT_THROW(json.value(std::nan("")), CheckFailure);
+}
+
+}  // namespace
+}  // namespace mocha::util

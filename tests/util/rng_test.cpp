@@ -1,0 +1,91 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsWellMixed) {
+  Rng rng(0);
+  // splitmix64 initialization must not leave the all-zero degenerate state.
+  std::uint64_t x = rng();
+  std::uint64_t y = rng();
+  EXPECT_NE(x, 0u);
+  EXPECT_NE(x, y);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 5);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(19);
+  EXPECT_THROW(rng.uniform_int(5, 4), CheckFailure);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(31);
+  const std::uint64_t first = rng();
+  rng();
+  rng.reseed(31);
+  EXPECT_EQ(rng(), first);
+}
+
+}  // namespace
+}  // namespace mocha::util

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mocha::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(12);
+  t.row().cell("beta").cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.row().cell("longvalue").cell("x");
+  t.row().cell("s").cell("y");
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream lines(os.str());
+  std::string header, rule, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  // Column b starts at the same offset in both rows.
+  EXPECT_EQ(row1.find('x'), row2.find('y'));
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("oops"), CheckFailure);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"k", "v"});
+  t.row().cell("a,b").cell("say \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"k"});
+  t.row().cell("plain");
+  EXPECT_EQ(t.to_csv(), "k\nplain\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("1").cell("2").cell("3");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, IntegerCellsNotFixedPointFormatted) {
+  Table t({"n"});
+  t.row().cell(static_cast<std::int64_t>(1234567));
+  EXPECT_NE(t.to_csv().find("1234567"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mocha::util

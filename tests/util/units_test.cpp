@@ -1,0 +1,38 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::util {
+namespace {
+
+TEST(Units, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div<std::int64_t>(1'000'000'007, 2), 500'000'004);
+}
+
+TEST(Units, RoundUp) {
+  EXPECT_EQ(round_up(10, 8), 16);
+  EXPECT_EQ(round_up(16, 8), 16);
+  EXPECT_EQ(round_up(0, 8), 0);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.0 MiB");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+}
+
+TEST(Units, FormatSi) {
+  EXPECT_EQ(format_si(1500.0), "1.5k");
+  EXPECT_EQ(format_si(2.5e6), "2.5M");
+  EXPECT_EQ(format_si(3.0e9), "3.0G");
+  EXPECT_EQ(format_si(42.0), "42.0");
+  EXPECT_EQ(format_si(-1500.0), "-1.5k");
+}
+
+}  // namespace
+}  // namespace mocha::util

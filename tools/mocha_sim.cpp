@@ -1,0 +1,215 @@
+// mocha_sim — command-line front end for the simulator.
+//
+//   mocha_sim [--network alexnet|vgg16|lenet5|nin|mobilenet] [--accelerator mocha|tiling|
+//             merge|parallel|nextbest] [--objective edp|cycles|energy]
+//             [--batch N] [--sram-kib N] [--pe N] [--clock-mhz N]
+//             [--no-compression] [--huffman] [--json] [--plan]
+//
+// Examples:
+//   mocha_sim --network alexnet                         # MOCHA, defaults
+//   mocha_sim --network vgg16 --accelerator nextbest    # best fixed baseline
+//   mocha_sim --network alexnet --batch 8 --json        # machine-readable
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <fstream>
+
+#include "baseline/baselines.hpp"
+#include "core/accelerator.hpp"
+#include "core/morph.hpp"
+#include "core/report_json.hpp"
+#include "dataflow/schedule.hpp"
+#include "sim/dot.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Args {
+  std::string network = "alexnet";
+  std::string accelerator = "mocha";
+  std::string objective = "edp";
+  mocha::nn::Index batch = 1;
+  std::int64_t sram_kib = 0;  // 0 = default
+  int pe = 0;                 // 0 = default
+  double clock_mhz = 0;       // 0 = default
+  bool no_compression = false;
+  bool huffman = false;
+  bool json = false;
+  bool show_plan = false;
+  std::string dot_file;  // export the first group's schedule as Graphviz
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--network alexnet|vgg16|lenet5|nin|mobilenet] [--accelerator "
+         "mocha|tiling|merge|parallel|nextbest]\n"
+         "       [--objective edp|cycles|energy] [--batch N] [--sram-kib N] "
+         "[--pe N] [--clock-mhz N]\n"
+         "       [--no-compression] [--huffman] [--json] [--plan] "
+         "[--dot FILE]\n";
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--network") {
+      args.network = need(i);
+    } else if (flag == "--accelerator") {
+      args.accelerator = need(i);
+    } else if (flag == "--objective") {
+      args.objective = need(i);
+    } else if (flag == "--batch") {
+      args.batch = std::stoll(need(i));
+    } else if (flag == "--sram-kib") {
+      args.sram_kib = std::stoll(need(i));
+    } else if (flag == "--pe") {
+      args.pe = std::stoi(need(i));
+    } else if (flag == "--clock-mhz") {
+      args.clock_mhz = std::stod(need(i));
+    } else if (flag == "--no-compression") {
+      args.no_compression = true;
+    } else if (flag == "--huffman") {
+      args.huffman = true;
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--plan") {
+      args.show_plan = true;
+    } else if (flag == "--dot") {
+      args.dot_file = need(i);
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      usage(argv[0]);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mocha;
+  const Args args = parse(argc, argv);
+
+  nn::Network net;
+  if (args.network == "alexnet") {
+    net = nn::make_alexnet();
+  } else if (args.network == "vgg16") {
+    net = nn::make_vgg16();
+  } else if (args.network == "lenet5") {
+    net = nn::make_lenet5();
+  } else if (args.network == "nin") {
+    net = nn::make_nin();
+  } else if (args.network == "mobilenet") {
+    net = nn::make_mobilenet_v1();
+  } else {
+    std::cerr << "unknown network: " << args.network << "\n";
+    return 2;
+  }
+
+  core::Objective objective = core::Objective::EnergyDelayProduct;
+  if (args.objective == "cycles") {
+    objective = core::Objective::Cycles;
+  } else if (args.objective == "energy") {
+    objective = core::Objective::Energy;
+  } else if (args.objective != "edp") {
+    std::cerr << "unknown objective: " << args.objective << "\n";
+    return 2;
+  }
+
+  auto customize = [&](fabric::FabricConfig config) {
+    if (args.sram_kib > 0) config.sram_bytes = args.sram_kib * 1024;
+    if (args.pe > 0) config.pe_rows = config.pe_cols = args.pe;
+    if (args.clock_mhz > 0) config.clock_ghz = args.clock_mhz / 1000.0;
+    return config;
+  };
+
+  core::RunReport report;
+  if (args.accelerator == "mocha") {
+    core::MorphOptions options;
+    options.objective = objective;
+    options.allow_compression = !args.no_compression;
+    options.allow_huffman = args.huffman;
+    const core::Accelerator acc(
+        customize(fabric::mocha_default_config()), model::default_tech(),
+        std::make_shared<core::MorphController>(model::default_tech(),
+                                                options));
+    report = acc.run(net, {}, args.batch);
+    if (args.show_plan || !args.dot_file.empty()) {
+      const auto stats = core::assumed_stats(net, nn::SparsityProfile{});
+      const auto plan = acc.plan(net, stats, args.batch);
+      if (args.show_plan) {
+        for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+          std::cerr << net.layers[i].name << ": " << plan.layers[i].summary()
+                    << "\n";
+        }
+      }
+      if (!args.dot_file.empty()) {
+        // Export the first scheduled group's executed task graph.
+        const auto group = plan.fusion_groups().front();
+        dataflow::BuiltSchedule built = dataflow::build_group_schedule(
+            net, plan, group, acc.config(), stats, args.batch);
+        sim::Engine(built.layout.specs).run(built.graph);
+        std::ofstream out(args.dot_file);
+        out << sim::to_dot(built.graph, built.layout.specs);
+        std::cerr << "wrote " << args.dot_file << " ("
+                  << built.graph.size() << " tasks)\n";
+      }
+    }
+  } else if (args.accelerator == "nextbest") {
+    baseline::NextBest best =
+        baseline::next_best(net, model::default_tech(), objective);
+    report = std::move(best.report);
+  } else {
+    baseline::Strategy strategy;
+    if (args.accelerator == "tiling") {
+      strategy = baseline::Strategy::TilingOnly;
+    } else if (args.accelerator == "merge") {
+      strategy = baseline::Strategy::MergeOnly;
+    } else if (args.accelerator == "parallel") {
+      strategy = baseline::Strategy::ParallelOnly;
+    } else {
+      std::cerr << "unknown accelerator: " << args.accelerator << "\n";
+      return 2;
+    }
+    const core::Accelerator acc = baseline::make_baseline_accelerator(
+        strategy, customize(fabric::baseline_config(args.accelerator)),
+        model::default_tech(), objective);
+    report = acc.run(net, {}, args.batch);
+  }
+
+  if (args.json) {
+    std::cout << core::report_to_json(report) << "\n";
+    return 0;
+  }
+
+  util::Table table({"group", "plan", "cycles", "GOPS", "uJ", "peak KiB"});
+  for (const core::GroupReport& group : report.groups) {
+    table.row()
+        .cell(group.label)
+        .cell(group.plan_summary)
+        .cell(static_cast<long long>(group.cycles))
+        .cell(group.throughput_gops(report.clock_ghz))
+        .cell(group.energy.total_pj() / 1e6)
+        .cell(static_cast<double>(group.peak_sram_bytes) / 1024.0, 1);
+  }
+  table.print(std::cout,
+              report.accelerator + " / " + report.network + " (batch " +
+                  std::to_string(args.batch) + ")");
+  std::cout << "\ntotal: " << report.total_cycles << " cycles, "
+            << report.runtime_ms() << " ms, " << report.throughput_gops()
+            << " GOPS, " << report.efficiency_gops_per_w() << " GOPS/W, "
+            << report.total_energy_pj * 1e-9 << " mJ, peak scratchpad "
+            << static_cast<double>(report.peak_sram_bytes) / 1024.0
+            << " KiB, sram_ok=" << (report.sram_ok ? "yes" : "no") << "\n";
+  return report.sram_ok ? 0 : 1;
+}
