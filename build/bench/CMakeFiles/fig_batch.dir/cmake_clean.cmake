@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_batch.dir/fig_batch.cpp.o"
+  "CMakeFiles/fig_batch.dir/fig_batch.cpp.o.d"
+  "fig_batch"
+  "fig_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_compression.dir/fig_compression.cpp.o"
+  "CMakeFiles/fig_compression.dir/fig_compression.cpp.o.d"
+  "fig_compression"
+  "fig_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_mobilenet.dir/fig_mobilenet.cpp.o"
+  "CMakeFiles/fig_mobilenet.dir/fig_mobilenet.cpp.o.d"
+  "fig_mobilenet"
+  "fig_mobilenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_mobilenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_mobilenet.
+# This may be replaced when dependencies are built.

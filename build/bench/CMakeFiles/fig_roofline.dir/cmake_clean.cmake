@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_roofline.dir/fig_roofline.cpp.o"
+  "CMakeFiles/fig_roofline.dir/fig_roofline.cpp.o.d"
+  "fig_roofline"
+  "fig_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_storage.dir/fig_storage.cpp.o"
+  "CMakeFiles/fig_storage.dir/fig_storage.cpp.o.d"
+  "fig_storage"
+  "fig_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

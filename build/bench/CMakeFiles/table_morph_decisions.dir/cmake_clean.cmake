@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_morph_decisions.dir/table_morph_decisions.cpp.o"
+  "CMakeFiles/table_morph_decisions.dir/table_morph_decisions.cpp.o.d"
+  "table_morph_decisions"
+  "table_morph_decisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_morph_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrated_run.dir/calibrated_run.cpp.o"
+  "CMakeFiles/calibrated_run.dir/calibrated_run.cpp.o.d"
+  "calibrated_run"
+  "calibrated_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrated_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

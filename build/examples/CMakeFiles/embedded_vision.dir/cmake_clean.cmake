@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_vision.dir/embedded_vision.cpp.o"
+  "CMakeFiles/embedded_vision.dir/embedded_vision.cpp.o.d"
+  "embedded_vision"
+  "embedded_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

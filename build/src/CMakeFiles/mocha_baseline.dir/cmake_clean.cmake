@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocha_baseline.dir/baseline/baselines.cpp.o"
+  "CMakeFiles/mocha_baseline.dir/baseline/baselines.cpp.o.d"
+  "libmocha_baseline.a"
+  "libmocha_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocha_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

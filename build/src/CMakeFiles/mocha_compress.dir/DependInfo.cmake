@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitmask.cpp" "src/CMakeFiles/mocha_compress.dir/compress/bitmask.cpp.o" "gcc" "src/CMakeFiles/mocha_compress.dir/compress/bitmask.cpp.o.d"
+  "/root/repo/src/compress/codec.cpp" "src/CMakeFiles/mocha_compress.dir/compress/codec.cpp.o" "gcc" "src/CMakeFiles/mocha_compress.dir/compress/codec.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/CMakeFiles/mocha_compress.dir/compress/huffman.cpp.o" "gcc" "src/CMakeFiles/mocha_compress.dir/compress/huffman.cpp.o.d"
+  "/root/repo/src/compress/zrle.cpp" "src/CMakeFiles/mocha_compress.dir/compress/zrle.cpp.o" "gcc" "src/CMakeFiles/mocha_compress.dir/compress/zrle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mocha_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mocha_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocha_compress.dir/compress/bitmask.cpp.o"
+  "CMakeFiles/mocha_compress.dir/compress/bitmask.cpp.o.d"
+  "CMakeFiles/mocha_compress.dir/compress/codec.cpp.o"
+  "CMakeFiles/mocha_compress.dir/compress/codec.cpp.o.d"
+  "CMakeFiles/mocha_compress.dir/compress/huffman.cpp.o"
+  "CMakeFiles/mocha_compress.dir/compress/huffman.cpp.o.d"
+  "CMakeFiles/mocha_compress.dir/compress/zrle.cpp.o"
+  "CMakeFiles/mocha_compress.dir/compress/zrle.cpp.o.d"
+  "libmocha_compress.a"
+  "libmocha_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocha_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

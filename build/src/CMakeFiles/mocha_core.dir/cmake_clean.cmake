@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocha_core.dir/core/accelerator.cpp.o"
+  "CMakeFiles/mocha_core.dir/core/accelerator.cpp.o.d"
+  "CMakeFiles/mocha_core.dir/core/calibrate.cpp.o"
+  "CMakeFiles/mocha_core.dir/core/calibrate.cpp.o.d"
+  "CMakeFiles/mocha_core.dir/core/morph.cpp.o"
+  "CMakeFiles/mocha_core.dir/core/morph.cpp.o.d"
+  "CMakeFiles/mocha_core.dir/core/report_json.cpp.o"
+  "CMakeFiles/mocha_core.dir/core/report_json.cpp.o.d"
+  "libmocha_core.a"
+  "libmocha_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocha_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/cost.cpp" "src/CMakeFiles/mocha_dataflow.dir/dataflow/cost.cpp.o" "gcc" "src/CMakeFiles/mocha_dataflow.dir/dataflow/cost.cpp.o.d"
+  "/root/repo/src/dataflow/executor.cpp" "src/CMakeFiles/mocha_dataflow.dir/dataflow/executor.cpp.o" "gcc" "src/CMakeFiles/mocha_dataflow.dir/dataflow/executor.cpp.o.d"
+  "/root/repo/src/dataflow/plan.cpp" "src/CMakeFiles/mocha_dataflow.dir/dataflow/plan.cpp.o" "gcc" "src/CMakeFiles/mocha_dataflow.dir/dataflow/plan.cpp.o.d"
+  "/root/repo/src/dataflow/schedule.cpp" "src/CMakeFiles/mocha_dataflow.dir/dataflow/schedule.cpp.o" "gcc" "src/CMakeFiles/mocha_dataflow.dir/dataflow/schedule.cpp.o.d"
+  "/root/repo/src/dataflow/tiling.cpp" "src/CMakeFiles/mocha_dataflow.dir/dataflow/tiling.cpp.o" "gcc" "src/CMakeFiles/mocha_dataflow.dir/dataflow/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mocha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mocha_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mocha_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mocha_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mocha_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mocha_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocha_dataflow.dir/dataflow/cost.cpp.o"
+  "CMakeFiles/mocha_dataflow.dir/dataflow/cost.cpp.o.d"
+  "CMakeFiles/mocha_dataflow.dir/dataflow/executor.cpp.o"
+  "CMakeFiles/mocha_dataflow.dir/dataflow/executor.cpp.o.d"
+  "CMakeFiles/mocha_dataflow.dir/dataflow/plan.cpp.o"
+  "CMakeFiles/mocha_dataflow.dir/dataflow/plan.cpp.o.d"
+  "CMakeFiles/mocha_dataflow.dir/dataflow/schedule.cpp.o"
+  "CMakeFiles/mocha_dataflow.dir/dataflow/schedule.cpp.o.d"
+  "CMakeFiles/mocha_dataflow.dir/dataflow/tiling.cpp.o"
+  "CMakeFiles/mocha_dataflow.dir/dataflow/tiling.cpp.o.d"
+  "libmocha_dataflow.a"
+  "libmocha_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocha_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/config.cpp" "src/CMakeFiles/mocha_fabric.dir/fabric/config.cpp.o" "gcc" "src/CMakeFiles/mocha_fabric.dir/fabric/config.cpp.o.d"
+  "/root/repo/src/fabric/pe_array.cpp" "src/CMakeFiles/mocha_fabric.dir/fabric/pe_array.cpp.o" "gcc" "src/CMakeFiles/mocha_fabric.dir/fabric/pe_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mocha_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocha_fabric.dir/fabric/config.cpp.o"
+  "CMakeFiles/mocha_fabric.dir/fabric/config.cpp.o.d"
+  "CMakeFiles/mocha_fabric.dir/fabric/pe_array.cpp.o"
+  "CMakeFiles/mocha_fabric.dir/fabric/pe_array.cpp.o.d"
+  "libmocha_fabric.a"
+  "libmocha_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocha_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

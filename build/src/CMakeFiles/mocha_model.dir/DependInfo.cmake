@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/area.cpp" "src/CMakeFiles/mocha_model.dir/model/area.cpp.o" "gcc" "src/CMakeFiles/mocha_model.dir/model/area.cpp.o.d"
+  "/root/repo/src/model/energy.cpp" "src/CMakeFiles/mocha_model.dir/model/energy.cpp.o" "gcc" "src/CMakeFiles/mocha_model.dir/model/energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mocha_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mocha_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocha_model.dir/model/area.cpp.o"
+  "CMakeFiles/mocha_model.dir/model/area.cpp.o.d"
+  "CMakeFiles/mocha_model.dir/model/energy.cpp.o"
+  "CMakeFiles/mocha_model.dir/model/energy.cpp.o.d"
+  "libmocha_model.a"
+  "libmocha_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocha_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/generate.cpp" "src/CMakeFiles/mocha_nn.dir/nn/generate.cpp.o" "gcc" "src/CMakeFiles/mocha_nn.dir/nn/generate.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/mocha_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/mocha_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/CMakeFiles/mocha_nn.dir/nn/network.cpp.o" "gcc" "src/CMakeFiles/mocha_nn.dir/nn/network.cpp.o.d"
+  "/root/repo/src/nn/reference.cpp" "src/CMakeFiles/mocha_nn.dir/nn/reference.cpp.o" "gcc" "src/CMakeFiles/mocha_nn.dir/nn/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mocha_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocha_nn.dir/nn/generate.cpp.o"
+  "CMakeFiles/mocha_nn.dir/nn/generate.cpp.o.d"
+  "CMakeFiles/mocha_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/mocha_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/mocha_nn.dir/nn/network.cpp.o"
+  "CMakeFiles/mocha_nn.dir/nn/network.cpp.o.d"
+  "CMakeFiles/mocha_nn.dir/nn/reference.cpp.o"
+  "CMakeFiles/mocha_nn.dir/nn/reference.cpp.o.d"
+  "libmocha_nn.a"
+  "libmocha_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocha_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmocha_nn.a"
+)

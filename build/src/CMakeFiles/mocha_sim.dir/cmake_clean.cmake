@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocha_sim.dir/sim/dot.cpp.o"
+  "CMakeFiles/mocha_sim.dir/sim/dot.cpp.o.d"
+  "CMakeFiles/mocha_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/mocha_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/mocha_sim.dir/sim/task.cpp.o"
+  "CMakeFiles/mocha_sim.dir/sim/task.cpp.o.d"
+  "libmocha_sim.a"
+  "libmocha_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocha_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

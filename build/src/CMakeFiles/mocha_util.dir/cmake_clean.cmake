@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocha_util.dir/util/units.cpp.o"
+  "CMakeFiles/mocha_util.dir/util/units.cpp.o.d"
+  "libmocha_util.a"
+  "libmocha_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocha_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

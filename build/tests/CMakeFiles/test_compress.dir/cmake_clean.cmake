@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compress.dir/compress/codec_test.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/codec_test.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/estimate_test.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/estimate_test.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/fuzz_test.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/fuzz_test.cpp.o.d"
+  "test_compress"
+  "test_compress.pdb"
+  "test_compress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

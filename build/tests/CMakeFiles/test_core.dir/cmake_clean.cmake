@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/accelerator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/accelerator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/baseline_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/baseline_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/batch_planning_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/batch_planning_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/calibrate_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/calibrate_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/morph_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/morph_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_json_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_json_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

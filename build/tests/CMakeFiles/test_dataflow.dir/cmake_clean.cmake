@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow.dir/dataflow/batch_test.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/batch_test.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/cost_test.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/cost_test.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/depthwise_schedule_test.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/depthwise_schedule_test.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/executor_test.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/executor_test.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/plan_test.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/plan_test.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/schedule_test.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/schedule_test.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/streams_test.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/streams_test.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/tiling_test.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/tiling_test.cpp.o.d"
+  "test_dataflow"
+  "test_dataflow.pdb"
+  "test_dataflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

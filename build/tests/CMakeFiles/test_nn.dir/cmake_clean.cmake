@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/depthwise_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/depthwise_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/generate_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/generate_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/layer_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/layer_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/network_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/network_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/reference_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/reference_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

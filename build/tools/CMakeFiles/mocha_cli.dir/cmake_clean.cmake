@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocha_cli.dir/mocha_sim.cpp.o"
+  "CMakeFiles/mocha_cli.dir/mocha_sim.cpp.o.d"
+  "mocha_sim"
+  "mocha_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocha_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
