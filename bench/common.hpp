@@ -12,6 +12,7 @@
 
 #include "baseline/baselines.hpp"
 #include "core/accelerator.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace mocha::bench {
@@ -56,9 +57,22 @@ struct FleetRuns {
 };
 
 inline FleetRuns run_fleet(const Fleet& fleet, const nn::Network& net) {
-  FleetRuns runs{fleet.mocha.run(net), {}};
-  for (const auto& [strategy, acc] : fleet.baselines) {
-    runs.baselines.emplace(strategy, acc.run(net));
+  // MOCHA and every baseline plan+simulate independently, so the fleet runs
+  // concurrently; reports land in index-addressed slots and are keyed by
+  // strategy afterwards, keeping the result identical to the serial sweep.
+  const auto count = static_cast<std::int64_t>(1 + fleet.baselines.size());
+  std::vector<core::RunReport> reports =
+      util::parallel_transform<core::RunReport>(
+          count, 1, [&](std::int64_t i) {
+            return i == 0
+                       ? fleet.mocha.run(net)
+                       : fleet.baselines[static_cast<std::size_t>(i - 1)]
+                             .second.run(net);
+          });
+  FleetRuns runs{std::move(reports.front()), {}};
+  for (std::size_t b = 0; b < fleet.baselines.size(); ++b) {
+    runs.baselines.emplace(fleet.baselines[b].first,
+                           std::move(reports[b + 1]));
   }
   return runs;
 }

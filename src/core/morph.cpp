@@ -6,6 +6,7 @@
 #include "dataflow/cost.hpp"
 #include "dataflow/schedule.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace mocha::core {
 
@@ -361,6 +362,11 @@ std::vector<GroupCandidate> enumerate_fused(const SearchContext& ctx,
 }
 
 /// Builds and simulates the top candidates exactly; returns the winner.
+///
+/// Candidates simulate concurrently — each writes its own score/finalist
+/// slot — and the argmin runs serially in candidate order afterwards, so the
+/// tie-break (first strictly-better candidate wins) is identical to the
+/// serial sweep.
 GroupCandidate refine_exact(const SearchContext& ctx,
                             const NetworkPlan::Group& group,
                             std::vector<GroupCandidate> candidates,
@@ -368,46 +374,56 @@ GroupCandidate refine_exact(const SearchContext& ctx,
   MOCHA_CHECK(!candidates.empty(), "no candidates to refine");
 
   const model::EnergyModel energy_model(ctx.tech, ctx.config);
-  GroupCandidate* best = nullptr;
+  std::vector<double> scores(candidates.size());
+  std::vector<GroupTrace::Finalist> finalists(candidates.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(candidates.size()), 1,
+      [&](std::int64_t cb, std::int64_t ce) {
+        for (std::int64_t c = cb; c < ce; ++c) {
+          const auto ci = static_cast<std::size_t>(c);
+          GroupCandidate& candidate = candidates[ci];
+          const NetworkPlan plan =
+              scratch_plan(ctx.net, group, candidate.plans);
+          dataflow::BuiltSchedule built = dataflow::build_group_schedule(
+              ctx.net, plan, group, ctx.config, ctx.stats, ctx.batch);
+          const sim::Engine engine(built.layout.specs);
+          const sim::RunResult run = engine.run(built.graph);
+          const double energy_pj = energy_model.energy(run.totals).total_pj();
+          double score = objective_score(ctx.options.objective,
+                                         static_cast<double>(run.makespan),
+                                         energy_pj);
+          // Same compactness tiebreak as the analytical ranking.
+          score *= 1.0 + 0.40 * static_cast<double>(run.peak_sram_bytes) /
+                             static_cast<double>(ctx.config.sram_bytes);
+          if (run.peak_sram_bytes > ctx.config.sram_bytes) score *= 1e6;
+          // Record the measured quantities so downstream consumers see
+          // reality.
+          candidate.est.cycles = static_cast<double>(run.makespan);
+          candidate.est.energy_pj = energy_pj;
+          candidate.est.footprint_bytes = run.peak_sram_bytes;
+          scores[ci] = score;
+          finalists[ci].plan_summary = candidate.plans.front().summary();
+          finalists[ci].cycles = candidate.est.cycles;
+          finalists[ci].energy_pj = energy_pj;
+          finalists[ci].peak_sram_bytes = run.peak_sram_bytes;
+        }
+      });
+
   std::size_t best_index = 0;
   double best_score = std::numeric_limits<double>::infinity();
   for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-    GroupCandidate& candidate = candidates[ci];
-    const NetworkPlan plan = scratch_plan(ctx.net, group, candidate.plans);
-    dataflow::BuiltSchedule built = dataflow::build_group_schedule(
-        ctx.net, plan, group, ctx.config, ctx.stats, ctx.batch);
-    const sim::Engine engine(built.layout.specs);
-    const sim::RunResult run = engine.run(built.graph);
-    const double energy_pj = energy_model.energy(run.totals).total_pj();
-    double score = objective_score(ctx.options.objective,
-                                   static_cast<double>(run.makespan),
-                                   energy_pj);
-    // Same compactness tiebreak as the analytical ranking.
-    score *= 1.0 + 0.40 * static_cast<double>(run.peak_sram_bytes) /
-                       static_cast<double>(ctx.config.sram_bytes);
-    if (run.peak_sram_bytes > ctx.config.sram_bytes) score *= 1e6;
-    // Record the measured quantities so downstream consumers see reality.
-    candidate.est.cycles = static_cast<double>(run.makespan);
-    candidate.est.energy_pj = energy_pj;
-    candidate.est.footprint_bytes = run.peak_sram_bytes;
-    if (trace != nullptr) {
-      GroupTrace::Finalist finalist;
-      finalist.plan_summary = candidate.plans.front().summary();
-      finalist.cycles = candidate.est.cycles;
-      finalist.energy_pj = energy_pj;
-      finalist.peak_sram_bytes = run.peak_sram_bytes;
-      trace->finalists.push_back(std::move(finalist));
-    }
-    if (score < best_score) {
-      best_score = score;
-      best = &candidate;
+    if (scores[ci] < best_score) {
+      best_score = scores[ci];
       best_index = ci;
     }
   }
   if (trace != nullptr) {
-    trace->finalists[best_index].chosen = true;
+    finalists[best_index].chosen = true;
+    for (GroupTrace::Finalist& finalist : finalists) {
+      trace->finalists.push_back(std::move(finalist));
+    }
   }
-  return std::move(*best);
+  return std::move(candidates[best_index]);
 }
 
 }  // namespace
@@ -434,16 +450,26 @@ dataflow::NetworkPlan MorphController::plan_traced(
   const std::size_t max_len =
       options_.allow_fusion ? std::max<std::size_t>(1, options_.max_fusion_len)
                             : 1;
+  // Per-layer candidate sweeps run concurrently: each layer index writes
+  // only its own group_candidates slot and every enumerate_* call is a pure
+  // function of the (shared, read-only) search context, so the candidate
+  // sets — including their internal ranking order — match the serial sweep
+  // exactly.
   std::vector<std::vector<std::vector<GroupCandidate>>> group_candidates(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    group_candidates[i].resize(max_len);
-    group_candidates[i][0] = enumerate_single(ctx, i, keep);
-    for (std::size_t len = 2; len <= max_len; ++len) {
-      const std::size_t j = i + len - 1;
-      if (j >= n || !fusable(net, i, j)) break;
-      group_candidates[i][len - 1] = enumerate_fused(ctx, i, j, keep);
-    }
-  }
+  util::parallel_for(
+      0, static_cast<std::int64_t>(n), 1,
+      [&](std::int64_t lb, std::int64_t le) {
+        for (std::int64_t l = lb; l < le; ++l) {
+          const auto i = static_cast<std::size_t>(l);
+          group_candidates[i].resize(max_len);
+          group_candidates[i][0] = enumerate_single(ctx, i, keep);
+          for (std::size_t len = 2; len <= max_len; ++len) {
+            const std::size_t j = i + len - 1;
+            if (j >= n || !fusable(net, i, j)) break;
+            group_candidates[i][len - 1] = enumerate_fused(ctx, i, j, keep);
+          }
+        }
+      });
 
   // Dynamic program over the chain segmentation, scored analytically.
   constexpr double kInf = std::numeric_limits<double>::infinity();

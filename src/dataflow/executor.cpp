@@ -1,8 +1,10 @@
 #include "dataflow/executor.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "dataflow/tiling.hpp"
+#include "util/parallel.hpp"
 
 namespace mocha::dataflow {
 
@@ -30,7 +32,9 @@ struct RegionView {
       return 0;  // zero padding
     }
     if (tensor != nullptr) {
-      return tensor->at(0, c, gy, gx);
+      // In bounds by the check above plus the group-entry shape check;
+      // unchecked access keeps the innermost MAC loop lean.
+      return tensor->at_unchecked(0, c, gy, gx);
     }
     const Index ly = gy - origin_y;
     const Index lx = gx - origin_x;
@@ -40,7 +44,7 @@ struct RegionView {
                     << ") outside tile buffer at origin (" << origin_y << ","
                     << origin_x << ") size " << local->shape().h << "x"
                     << local->shape().w);
-    return local->at(0, c, ly, lx);
+    return local->at_unchecked(0, c, ly, lx);
   }
 };
 
@@ -55,105 +59,162 @@ RegionView full_view(const ValueTensor& t, const LayerSpec& layer) {
 /// Computes one layer's output over the given output region, reading inputs
 /// through `in`. Channel passes of width tc accumulate explicitly (the same
 /// decomposition the scheduler uses), so pass bookkeeping is exercised.
+///
+/// Output channels are computed in parallel: each map writes a disjoint
+/// slice of `out` and owns its accumulator, so the result is bit-identical
+/// to the serial walk. All layer parameters are hoisted out of the element
+/// loops; the kind dispatch happens once, not per output element.
 void compute_region(const LayerSpec& layer, const RegionView& in,
                     const ValueTensor& w, Range out_y, Range out_x, Index tc,
                     const nn::Quant& quant, ValueTensor* out, Index out_oy,
                     Index out_ox) {
-  const Index kernel = layer.kind == LayerKind::FullyConnected ? 1 : layer.kernel;
-  const Index stride = layer.kind == LayerKind::FullyConnected ? 1 : layer.stride;
-  const Index pad = layer.kind == LayerKind::FullyConnected ? 0 : layer.pad;
+  const bool fc = layer.kind == LayerKind::FullyConnected;
+  const Index kernel = fc ? 1 : layer.kernel;
+  const Index stride = fc ? 1 : layer.stride;
+  const Index pad = fc ? 0 : layer.pad;
   const Index m_total = layer.out_channels();
+  const bool relu = layer.relu;
 
-  for (Index m = 0; m < m_total; ++m) {
-    for (Index y = out_y.begin; y < out_y.end(); ++y) {
-      for (Index x = out_x.begin; x < out_x.end(); ++x) {
-        Value result;
-        if (layer.kind == LayerKind::DepthwiseConv) {
-          Accum acc = 0;
-          for (Index ky = 0; ky < kernel; ++ky) {
-            for (Index kx = 0; kx < kernel; ++kx) {
-              acc += static_cast<Accum>(in.read(m, y * stride + ky - pad,
-                                                x * stride + kx - pad)) *
-                     static_cast<Accum>(w.at(m, 0, ky, kx));
-            }
-          }
-          result = quant.requantize(acc, layer.relu);
-        } else if (layer.kind == LayerKind::Pool) {
-          if (layer.pool_op == nn::PoolOp::Max) {
-            Value best = std::numeric_limits<Value>::min();
+  auto for_maps = [&](auto&& body) {
+    util::parallel_for(0, m_total, util::default_grain(m_total),
+                       [&](Index mb, Index me) {
+                         for (Index m = mb; m < me; ++m) body(m);
+                       });
+  };
+
+  switch (layer.kind) {
+    case LayerKind::DepthwiseConv: {
+      for_maps([&](Index m) {
+        for (Index y = out_y.begin; y < out_y.end(); ++y) {
+          for (Index x = out_x.begin; x < out_x.end(); ++x) {
+            Accum acc = 0;
+            const Index base_y = y * stride - pad;
+            const Index base_x = x * stride - pad;
             for (Index ky = 0; ky < kernel; ++ky) {
               for (Index kx = 0; kx < kernel; ++kx) {
-                best = std::max(best, in.read(m, y * stride + ky,
-                                              x * stride + kx));
+                acc += static_cast<Accum>(in.read(m, base_y + ky,
+                                                  base_x + kx)) *
+                       static_cast<Accum>(w.at_unchecked(m, 0, ky, kx));
               }
             }
-            result = best;
-          } else {
-            Accum sum = 0;
-            for (Index ky = 0; ky < kernel; ++ky) {
-              for (Index kx = 0; kx < kernel; ++kx) {
-                sum += in.read(m, y * stride + ky, x * stride + kx);
-              }
-            }
-            result = static_cast<Value>(sum / (kernel * kernel));
+            out->at_unchecked(0, m, y - out_y.begin + out_oy,
+                              x - out_x.begin + out_ox) =
+                quant.requantize(acc, relu);
           }
-        } else {
-          // Explicit channel-pass accumulation: partials per tc chunk.
-          Accum acc = 0;
-          for (Index c0 = 0; c0 < layer.in_c; c0 += tc) {
-            const Index c1 = std::min(layer.in_c, c0 + tc);
-            Accum partial = 0;
-            for (Index c = c0; c < c1; ++c) {
+        }
+      });
+      break;
+    }
+    case LayerKind::Pool: {
+      if (layer.pool_op == nn::PoolOp::Max) {
+        for_maps([&](Index m) {
+          for (Index y = out_y.begin; y < out_y.end(); ++y) {
+            for (Index x = out_x.begin; x < out_x.end(); ++x) {
+              Value best = std::numeric_limits<Value>::min();
               for (Index ky = 0; ky < kernel; ++ky) {
                 for (Index kx = 0; kx < kernel; ++kx) {
-                  partial += static_cast<Accum>(
-                                 in.read(c, y * stride + ky - pad,
-                                         x * stride + kx - pad)) *
-                             static_cast<Accum>(w.at(m, c, ky, kx));
+                  best = std::max(best, in.read(m, y * stride + ky,
+                                                x * stride + kx));
                 }
               }
+              out->at_unchecked(0, m, y - out_y.begin + out_oy,
+                                x - out_x.begin + out_ox) = best;
             }
-            acc += partial;
           }
-          result = quant.requantize(acc, layer.relu);
-        }
-        out->at(0, m, y - out_y.begin + out_oy, x - out_x.begin + out_ox) =
-            result;
+        });
+      } else {
+        const Index window = kernel * kernel;
+        for_maps([&](Index m) {
+          for (Index y = out_y.begin; y < out_y.end(); ++y) {
+            for (Index x = out_x.begin; x < out_x.end(); ++x) {
+              Accum sum = 0;
+              for (Index ky = 0; ky < kernel; ++ky) {
+                for (Index kx = 0; kx < kernel; ++kx) {
+                  sum += in.read(m, y * stride + ky, x * stride + kx);
+                }
+              }
+              out->at_unchecked(0, m, y - out_y.begin + out_oy,
+                                x - out_x.begin + out_ox) =
+                  static_cast<Value>(sum / window);
+            }
+          }
+        });
       }
+      break;
+    }
+    case LayerKind::Conv:
+    case LayerKind::FullyConnected: {
+      const Index in_c = layer.in_c;
+      for_maps([&](Index m) {
+        for (Index y = out_y.begin; y < out_y.end(); ++y) {
+          for (Index x = out_x.begin; x < out_x.end(); ++x) {
+            // Explicit channel-pass accumulation: partials per tc chunk.
+            Accum acc = 0;
+            const Index base_y = y * stride - pad;
+            const Index base_x = x * stride - pad;
+            for (Index c0 = 0; c0 < in_c; c0 += tc) {
+              const Index c1 = std::min(in_c, c0 + tc);
+              Accum partial = 0;
+              for (Index c = c0; c < c1; ++c) {
+                for (Index ky = 0; ky < kernel; ++ky) {
+                  for (Index kx = 0; kx < kernel; ++kx) {
+                    partial += static_cast<Accum>(
+                                   in.read(c, base_y + ky, base_x + kx)) *
+                               static_cast<Accum>(
+                                   w.at_unchecked(m, c, ky, kx));
+                  }
+                }
+              }
+              acc += partial;
+            }
+            out->at_unchecked(0, m, y - out_y.begin + out_oy,
+                              x - out_x.begin + out_ox) =
+                quant.requantize(acc, relu);
+          }
+        }
+      });
+      break;
     }
   }
 }
 
 /// Round-trips `values` through the codec, asserting exact recovery, and
 /// returns the coded byte count. With codec None, returns the raw size.
-std::int64_t roundtrip_bytes(compress::CodecKind kind,
+std::int64_t roundtrip_bytes(const compress::Codec& codec,
                              std::span<const Value> values) {
-  const auto codec = compress::make_codec(kind);
-  const std::vector<std::uint8_t> coded = codec->encode(values);
-  const std::vector<Value> back = codec->decode(coded, values.size());
+  const std::vector<std::uint8_t> coded = codec.encode(values);
+  const std::vector<Value> back = codec.decode(coded, values.size());
   MOCHA_CHECK(back.size() == values.size(), "codec changed stream length");
   for (std::size_t i = 0; i < values.size(); ++i) {
     MOCHA_CHECK(back[i] == values[i],
-                compress::codec_name(kind)
-                    << " round trip mismatch at " << i);
+                codec.name() << " round trip mismatch at " << i);
   }
   return static_cast<std::int64_t>(coded.size());
 }
 
+std::int64_t roundtrip_bytes(compress::CodecKind kind,
+                             std::span<const Value> values) {
+  return roundtrip_bytes(*compress::make_codec(kind), values);
+}
+
 /// Extracts the (clamped) input region of `tensor` as a flat stream, the
-/// exact elements a tile load would transfer.
-std::vector<Value> extract_region(const ValueTensor& tensor, Index c_begin,
-                                  Index c_end, Range ry, Range rx) {
-  std::vector<Value> out;
-  out.reserve(static_cast<std::size_t>((c_end - c_begin) * ry.size * rx.size));
+/// exact elements a tile load would transfer. Fills the caller's scratch
+/// buffer so the per-tile measurement path allocates nothing steady-state.
+void extract_region(const ValueTensor& tensor, Index c_begin, Index c_end,
+                    Range ry, Range rx, std::vector<Value>* out) {
+  MOCHA_CHECK(ry.begin >= 0 && ry.end() <= tensor.shape().h && rx.begin >= 0 &&
+                  rx.end() <= tensor.shape().w && c_begin >= 0 &&
+                  c_end <= tensor.shape().c,
+              "extract region outside tensor");
+  out->clear();
+  out->reserve(static_cast<std::size_t>((c_end - c_begin) * ry.size * rx.size));
   for (Index c = c_begin; c < c_end; ++c) {
     for (Index y = ry.begin; y < ry.end(); ++y) {
       for (Index x = rx.begin; x < rx.end(); ++x) {
-        out.push_back(tensor.at(0, c, y, x));
+        out->push_back(tensor.at_unchecked(0, c, y, x));
       }
     }
   }
-  return out;
 }
 
 }  // namespace
@@ -217,59 +278,88 @@ FunctionalResult run_functional(const nn::Network& net,
     result.streams[group.first].ifmap_raw =
         current->size() * static_cast<Index>(sizeof(Value));
 
-    std::int64_t ifmap_coded_total = 0;
     const auto grid = tile_grid(tail, tail_plan.tile.th, tail_plan.tile.tw);
-    for (const TileGeometry& tail_geo : grid) {
-      const auto pyramid = fused_pyramid(net, group.first, group.last,
-                                         tail_geo.out_y, tail_geo.out_x);
-      // Head input region: measure the coded transfer.
-      if (options.exercise_codecs) {
-        const std::vector<Value> stream = extract_region(
-            *current, 0, head.in_c, pyramid.front().in_y, pyramid.front().in_x);
-        ifmap_coded_total += roundtrip_bytes(
-            plan.layers[group.first].ifmap_codec,
-            std::span<const Value>(stream.data(), stream.size()));
-      }
+    const Index n_tiles = static_cast<Index>(grid.size());
 
-      // Walk the pyramid: stage k writes a tile-local buffer that stage
-      // k+1 reads through a RegionView with origin checking.
-      ValueTensor stage_buffer;
-      Index stage_oy = 0;
-      Index stage_ox = 0;
-      for (std::size_t l = group.first; l <= group.last; ++l) {
-        const LayerSpec& layer = net.layers[l];
-        const TileGeometry& geo = pyramid[l - group.first];
-        RegionView in;
-        if (l == group.first) {
-          in = full_view(*current, layer);
-        } else {
-          in.local = &stage_buffer;
-          in.origin_y = stage_oy;
-          in.origin_x = stage_ox;
-          in.full_h = layer.in_h;
-          in.full_w = layer.in_w;
+    // Tiles run in parallel. Determinism:
+    //  * the tail tile grid partitions the output, so tail commits are
+    //    disjoint and lock-free;
+    //  * fused *intermediate* tile regions overlap (halo recompute), and
+    //    overlapping elements are recomputed to identical values in every
+    //    tile, so those commits only need a mutex to stay race-free — the
+    //    final content does not depend on commit order;
+    //  * per-tile coded byte counts land in a tile-indexed slot and are
+    //    summed in tile order afterwards, bit-identical to the serial sweep.
+    std::vector<std::int64_t> tile_coded(grid.size(), 0);
+    std::mutex commit_mu;
+    util::parallel_for(0, n_tiles, util::default_grain(n_tiles),
+                       [&](Index tile_begin, Index tile_end) {
+      // Chunk-local codec + scratch stream, reused across this chunk's tiles.
+      const std::unique_ptr<compress::Codec> ifmap_codec =
+          options.exercise_codecs
+              ? compress::make_codec(plan.layers[group.first].ifmap_codec)
+              : nullptr;
+      std::vector<Value> scratch;
+      for (Index ti = tile_begin; ti < tile_end; ++ti) {
+        const TileGeometry& tail_geo = grid[static_cast<std::size_t>(ti)];
+        const auto pyramid = fused_pyramid(net, group.first, group.last,
+                                           tail_geo.out_y, tail_geo.out_x);
+        // Head input region: measure the coded transfer.
+        if (ifmap_codec != nullptr) {
+          extract_region(*current, 0, head.in_c, pyramid.front().in_y,
+                         pyramid.front().in_x, &scratch);
+          tile_coded[static_cast<std::size_t>(ti)] = roundtrip_bytes(
+              *ifmap_codec,
+              std::span<const Value>(scratch.data(), scratch.size()));
         }
-        ValueTensor out_tile(
-            {1, layer.out_channels(), geo.out_y.size, geo.out_x.size});
-        compute_region(layer, in, weights[l], geo.out_y, geo.out_x,
-                       group.size() == 1 ? plan.layers[l].tile.tc
-                                         : layer.in_c,
-                       options.quant, &out_tile, 0, 0);
-        // Commit this stage's tile into its full output tensor.
-        for (Index c = 0; c < layer.out_channels(); ++c) {
-          for (Index y = 0; y < geo.out_y.size; ++y) {
-            for (Index x = 0; x < geo.out_x.size; ++x) {
-              result.outputs[l].at(0, c, geo.out_y.begin + y,
-                                   geo.out_x.begin + x) =
-                  out_tile.at(0, c, y, x);
+
+        // Walk the pyramid: stage k writes a tile-local buffer that stage
+        // k+1 reads through a RegionView with origin checking.
+        ValueTensor stage_buffer;
+        Index stage_oy = 0;
+        Index stage_ox = 0;
+        for (std::size_t l = group.first; l <= group.last; ++l) {
+          const LayerSpec& layer = net.layers[l];
+          const TileGeometry& geo = pyramid[l - group.first];
+          RegionView in;
+          if (l == group.first) {
+            in = full_view(*current, layer);
+          } else {
+            in.local = &stage_buffer;
+            in.origin_y = stage_oy;
+            in.origin_x = stage_ox;
+            in.full_h = layer.in_h;
+            in.full_w = layer.in_w;
+          }
+          ValueTensor out_tile(
+              {1, layer.out_channels(), geo.out_y.size, geo.out_x.size});
+          compute_region(layer, in, weights[l], geo.out_y, geo.out_x,
+                         group.size() == 1 ? plan.layers[l].tile.tc
+                                           : layer.in_c,
+                         options.quant, &out_tile, 0, 0);
+          // Commit this stage's tile into its full output tensor.
+          {
+            std::unique_lock<std::mutex> lock(commit_mu, std::defer_lock);
+            if (l < group.last) lock.lock();  // overlapping halo regions
+            ValueTensor& full = result.outputs[l];
+            for (Index c = 0; c < layer.out_channels(); ++c) {
+              for (Index y = 0; y < geo.out_y.size; ++y) {
+                for (Index x = 0; x < geo.out_x.size; ++x) {
+                  full.at_unchecked(0, c, geo.out_y.begin + y,
+                                    geo.out_x.begin + x) =
+                      out_tile.at_unchecked(0, c, y, x);
+                }
+              }
             }
           }
+          stage_buffer = std::move(out_tile);
+          stage_oy = geo.out_y.begin;
+          stage_ox = geo.out_x.begin;
         }
-        stage_buffer = std::move(out_tile);
-        stage_oy = geo.out_y.begin;
-        stage_ox = geo.out_x.begin;
       }
-    }
+    });
+    std::int64_t ifmap_coded_total = 0;
+    for (std::int64_t coded : tile_coded) ifmap_coded_total += coded;
     result.streams[group.first].ifmap_coded = ifmap_coded_total;
 
     // Tail output stream measurement.

@@ -1,6 +1,15 @@
 #include "nn/reference.hpp"
 
+#include "util/parallel.hpp"
+
 namespace mocha::nn {
+
+// The reference kernels parallelize over output channels (depthwise/pool:
+// input channels): each channel owns its accumulators and writes a disjoint
+// slice of the output tensor, so the parallel result is bit-identical to the
+// serial walk. Inner loops use unchecked element access — the bounds are
+// established once by the shape checks at entry and the explicit edge
+// clamping.
 
 ValueTensor conv2d_ref(const ValueTensor& input, const ValueTensor& weights,
                        const LayerSpec& layer, const Quant& quant) {
@@ -13,26 +22,29 @@ ValueTensor conv2d_ref(const ValueTensor& input, const ValueTensor& weights,
   ValueTensor out(layer.output_shape());
   const Index oh = layer.out_h();
   const Index ow = layer.out_w();
-  for (Index m = 0; m < layer.out_c; ++m) {
-    for (Index y = 0; y < oh; ++y) {
-      for (Index x = 0; x < ow; ++x) {
-        Accum acc = 0;
-        for (Index c = 0; c < layer.in_c; ++c) {
-          for (Index ky = 0; ky < layer.kernel; ++ky) {
-            const Index iy = y * layer.stride + ky - layer.pad;
-            if (iy < 0 || iy >= layer.in_h) continue;
-            for (Index kx = 0; kx < layer.kernel; ++kx) {
-              const Index ix = x * layer.stride + kx - layer.pad;
-              if (ix < 0 || ix >= layer.in_w) continue;
-              acc += static_cast<Accum>(input.at(0, c, iy, ix)) *
-                     static_cast<Accum>(weights.at(m, c, ky, kx));
+  util::parallel_for(0, layer.out_c, util::default_grain(layer.out_c),
+                     [&](Index mb, Index me) {
+    for (Index m = mb; m < me; ++m) {
+      for (Index y = 0; y < oh; ++y) {
+        for (Index x = 0; x < ow; ++x) {
+          Accum acc = 0;
+          for (Index c = 0; c < layer.in_c; ++c) {
+            for (Index ky = 0; ky < layer.kernel; ++ky) {
+              const Index iy = y * layer.stride + ky - layer.pad;
+              if (iy < 0 || iy >= layer.in_h) continue;
+              for (Index kx = 0; kx < layer.kernel; ++kx) {
+                const Index ix = x * layer.stride + kx - layer.pad;
+                if (ix < 0 || ix >= layer.in_w) continue;
+                acc += static_cast<Accum>(input.at_unchecked(0, c, iy, ix)) *
+                       static_cast<Accum>(weights.at_unchecked(m, c, ky, kx));
+              }
             }
           }
+          out.at_unchecked(0, m, y, x) = quant.requantize(acc, layer.relu);
         }
-        out.at(0, m, y, x) = quant.requantize(acc, layer.relu);
       }
     }
-  }
+  });
   return out;
 }
 
@@ -48,24 +60,27 @@ ValueTensor depthwise_ref(const ValueTensor& input, const ValueTensor& weights,
   ValueTensor out(layer.output_shape());
   const Index oh = layer.out_h();
   const Index ow = layer.out_w();
-  for (Index c = 0; c < layer.in_c; ++c) {
-    for (Index y = 0; y < oh; ++y) {
-      for (Index x = 0; x < ow; ++x) {
-        Accum acc = 0;
-        for (Index ky = 0; ky < layer.kernel; ++ky) {
-          const Index iy = y * layer.stride + ky - layer.pad;
-          if (iy < 0 || iy >= layer.in_h) continue;
-          for (Index kx = 0; kx < layer.kernel; ++kx) {
-            const Index ix = x * layer.stride + kx - layer.pad;
-            if (ix < 0 || ix >= layer.in_w) continue;
-            acc += static_cast<Accum>(input.at(0, c, iy, ix)) *
-                   static_cast<Accum>(weights.at(c, 0, ky, kx));
+  util::parallel_for(0, layer.in_c, util::default_grain(layer.in_c),
+                     [&](Index cb, Index ce) {
+    for (Index c = cb; c < ce; ++c) {
+      for (Index y = 0; y < oh; ++y) {
+        for (Index x = 0; x < ow; ++x) {
+          Accum acc = 0;
+          for (Index ky = 0; ky < layer.kernel; ++ky) {
+            const Index iy = y * layer.stride + ky - layer.pad;
+            if (iy < 0 || iy >= layer.in_h) continue;
+            for (Index kx = 0; kx < layer.kernel; ++kx) {
+              const Index ix = x * layer.stride + kx - layer.pad;
+              if (ix < 0 || ix >= layer.in_w) continue;
+              acc += static_cast<Accum>(input.at_unchecked(0, c, iy, ix)) *
+                     static_cast<Accum>(weights.at_unchecked(c, 0, ky, kx));
+            }
           }
+          out.at_unchecked(0, c, y, x) = quant.requantize(acc, layer.relu);
         }
-        out.at(0, c, y, x) = quant.requantize(acc, layer.relu);
       }
     }
-  }
+  });
   return out;
 }
 
@@ -78,33 +93,37 @@ ValueTensor pool_ref(const ValueTensor& input, const LayerSpec& layer) {
   const Index oh = layer.out_h();
   const Index ow = layer.out_w();
   const Index window = layer.kernel * layer.kernel;
-  for (Index c = 0; c < layer.in_c; ++c) {
-    for (Index y = 0; y < oh; ++y) {
-      for (Index x = 0; x < ow; ++x) {
-        if (layer.pool_op == PoolOp::Max) {
-          Value best = std::numeric_limits<Value>::min();
-          for (Index ky = 0; ky < layer.kernel; ++ky) {
-            for (Index kx = 0; kx < layer.kernel; ++kx) {
-              best = std::max(best, input.at(0, c, y * layer.stride + ky,
+  util::parallel_for(0, layer.in_c, util::default_grain(layer.in_c),
+                     [&](Index cb, Index ce) {
+    for (Index c = cb; c < ce; ++c) {
+      for (Index y = 0; y < oh; ++y) {
+        for (Index x = 0; x < ow; ++x) {
+          if (layer.pool_op == PoolOp::Max) {
+            Value best = std::numeric_limits<Value>::min();
+            for (Index ky = 0; ky < layer.kernel; ++ky) {
+              for (Index kx = 0; kx < layer.kernel; ++kx) {
+                best = std::max(
+                    best, input.at_unchecked(0, c, y * layer.stride + ky,
                                              x * layer.stride + kx));
+              }
             }
-          }
-          out.at(0, c, y, x) = best;
-        } else {
-          Accum sum = 0;
-          for (Index ky = 0; ky < layer.kernel; ++ky) {
-            for (Index kx = 0; kx < layer.kernel; ++kx) {
-              sum += input.at(0, c, y * layer.stride + ky,
-                              x * layer.stride + kx);
+            out.at_unchecked(0, c, y, x) = best;
+          } else {
+            Accum sum = 0;
+            for (Index ky = 0; ky < layer.kernel; ++ky) {
+              for (Index kx = 0; kx < layer.kernel; ++kx) {
+                sum += input.at_unchecked(0, c, y * layer.stride + ky,
+                                          x * layer.stride + kx);
+              }
             }
+            // Truncating division toward zero: what a shift-free hardware
+            // divider-by-constant emits for the 2x2/3x3 windows used here.
+            out.at_unchecked(0, c, y, x) = static_cast<Value>(sum / window);
           }
-          // Truncating division toward zero: what a shift-free hardware
-          // divider-by-constant emits for the 2x2/3x3 windows used here.
-          out.at(0, c, y, x) = static_cast<Value>(sum / window);
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -118,14 +137,18 @@ ValueTensor fc_ref(const ValueTensor& input, const ValueTensor& weights,
               layer.name << ": weight shape mismatch");
 
   ValueTensor out(layer.output_shape());
-  for (Index m = 0; m < layer.out_c; ++m) {
-    Accum acc = 0;
-    for (Index i = 0; i < fan_in; ++i) {
-      acc += static_cast<Accum>(input.flat(i)) *
-             static_cast<Accum>(weights.at(m, i, 0, 0));
+  const Value* flat = input.data();
+  util::parallel_for(0, layer.out_c, util::default_grain(layer.out_c),
+                     [&](Index mb, Index me) {
+    for (Index m = mb; m < me; ++m) {
+      Accum acc = 0;
+      for (Index i = 0; i < fan_in; ++i) {
+        acc += static_cast<Accum>(flat[i]) *
+               static_cast<Accum>(weights.at_unchecked(m, i, 0, 0));
+      }
+      out.at_unchecked(0, m, 0, 0) = quant.requantize(acc, layer.relu);
     }
-    out.at(0, m, 0, 0) = quant.requantize(acc, layer.relu);
-  }
+  });
   return out;
 }
 

@@ -67,6 +67,24 @@ class Tensor4 {
     return at(n, c, h, w);
   }
 
+  /// Unchecked element access for verified-hot inner loops (executor and
+  /// reference kernels, whose loop bounds are already range-checked once per
+  /// tile). Everything else should stay on at().
+  T& at_unchecked(Index n, Index c, Index h, Index w) {
+    return data_[static_cast<std::size_t>(
+        ((n * shape_.c + c) * shape_.h + h) * shape_.w + w)];
+  }
+  const T& at_unchecked(Index n, Index c, Index h, Index w) const {
+    return data_[static_cast<std::size_t>(
+        ((n * shape_.c + c) * shape_.h + h) * shape_.w + w)];
+  }
+
+  /// Pointer to row (n, c, h, 0..w): the innermost-x stride-1 walk of the
+  /// hot loops, bounds-checked once at the row rather than per element.
+  const T* row(Index n, Index c, Index h) const {
+    return &at(n, c, h, 0);
+  }
+
   /// Flat (row-major NCHW) access, bounds-checked.
   T& flat(Index i) {
     MOCHA_CHECK(i >= 0 && i < size(), "flat index " << i << " of " << size());

@@ -1,0 +1,96 @@
+// Chunked thread-pool parallelism for the hot paths.
+//
+// Every parallel loop in MOCHA goes through parallel_for / parallel_transform
+// so one policy governs them all:
+//
+//  * Thread count comes from MOCHA_THREADS (default hardware_concurrency).
+//    A count of 1 is a true serial fallback — no pool, no locks, the loop
+//    body runs inline on the caller.
+//  * Determinism: callers never reduce through shared accumulators. Chunks
+//    write disjoint, index-addressed slots and the caller combines them in
+//    index order, so results are bit-identical to the serial run.
+//  * Nesting: a parallel_for issued from inside a worker thread runs inline
+//    (serial) — outer loops get the threads, inner loops degrade gracefully,
+//    and the pool cannot deadlock on itself.
+//  * Exceptions: the first exception thrown by any chunk is captured,
+//    remaining chunks are cancelled, and the exception is rethrown on the
+//    calling thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mocha::util {
+
+/// Fixed-size worker pool executing chunked index ranges. Most code should
+/// use the free functions below (which share one process-global pool) rather
+/// than instantiating pools directly.
+class ThreadPool {
+ public:
+  /// Pool with `threads` total execution lanes. `threads == 1` spawns no
+  /// worker threads at all; for N >= 2 the pool owns N workers and the
+  /// submitting thread blocks until the region completes.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const;
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks of
+  /// at most `grain` indices. Blocks until every chunk finished. A region
+  /// that resolves to a single chunk — or one issued from a worker thread —
+  /// runs inline on the caller.
+  void for_range(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// True when called from one of *any* ThreadPool's worker threads.
+  static bool on_worker_thread();
+
+  /// The process-global pool, sized from MOCHA_THREADS on first use
+  /// (default: hardware_concurrency, minimum 1).
+  static ThreadPool& global();
+
+  /// Resizes the global pool (tests and benchmarks sweep thread counts).
+  /// Must not be called while parallel work is in flight.
+  static void set_global_threads(int threads);
+
+  /// Current global pool width (1 == serial).
+  static int global_threads();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Chunked parallel loop on the global pool: fn(chunk_begin, chunk_end) over
+/// [begin, end) in chunks of at most `grain`.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// A grain that splits `range` into a few chunks per thread — enough slack
+/// for load balance without drowning small loops in dispatch overhead.
+std::int64_t default_grain(std::int64_t range);
+
+/// Maps fn over [0, n), returning results in index order (deterministic
+/// regardless of which thread computed which slot). T must be default- and
+/// move-constructible.
+template <typename T, typename Fn>
+std::vector<T> parallel_transform(std::int64_t n, std::int64_t grain,
+                                  Fn&& fn) {
+  MOCHA_CHECK(n >= 0, "parallel_transform over negative count " << n);
+  std::vector<T> out(static_cast<std::size_t>(n));
+  parallel_for(0, n, grain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      out[static_cast<std::size_t>(i)] = fn(i);
+    }
+  });
+  return out;
+}
+
+}  // namespace mocha::util

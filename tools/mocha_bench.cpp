@@ -1,0 +1,311 @@
+// Reproducible parallel-performance benchmark: times the hot paths — the
+// functional executor, the morph planner, and the fleet of simulated
+// accelerators — at 1/2/N threads and emits BENCH_parallel.json so the perf
+// trajectory is tracked from PR to PR.
+//
+// Every workload returns a checksum over its results; the harness asserts
+// the checksum is identical at every thread count, so a speedup that costs
+// determinism cannot be reported as a win.
+//
+// Usage:
+//   mocha_bench [--smoke] [--out BENCH_parallel.json]
+//
+// --smoke shrinks the workloads to seconds (wired as the `bench_smoke` ctest
+// entry so the harness and the JSON emitter cannot rot).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/morph.hpp"
+#include "dataflow/executor.hpp"
+#include "nn/generate.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+
+namespace mocha::bench {
+namespace {
+
+using dataflow::LayerPlan;
+using dataflow::NetworkPlan;
+using nn::Index;
+using nn::Value;
+using nn::ValueTensor;
+
+/// FNV-1a over anything the workloads want folded into their checksum.
+class Checksum {
+ public:
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void tensor(const ValueTensor& t) {
+    bytes(t.data(), static_cast<std::size_t>(t.size()) * sizeof(Value));
+  }
+  void integer(std::int64_t v) { bytes(&v, sizeof(v)); }
+  void text(const std::string& s) { bytes(s.data(), s.size()); }
+
+  std::string hex() const {
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash_));
+    return buf;
+  }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+double time_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+struct Record {
+  std::string workload;
+  int threads = 1;
+  double wall_ms = 0;
+  double speedup = 1.0;
+  std::string checksum;
+};
+
+/// A workload is a deterministic callable returning its result checksum.
+struct Workload {
+  std::string name;
+  std::function<std::string()> run;
+  /// Thread-scaling workloads run at every requested count; single-shot
+  /// workloads (e.g. the checked-vs-unchecked accessor delta) run once.
+  bool sweep_threads = true;
+};
+
+/// Times `workload` at each thread count (min of `reps` runs) and checks
+/// the result checksum never changes with the thread count.
+void measure(const Workload& workload, const std::vector<int>& thread_counts,
+             int reps, std::vector<Record>* records) {
+  double serial_ms = 0;
+  std::string reference_checksum;
+  const std::vector<int> counts =
+      workload.sweep_threads ? thread_counts : std::vector<int>{1};
+  for (int threads : counts) {
+    util::ThreadPool::set_global_threads(threads);
+    std::string checksum;
+    double best_ms = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+      best_ms = std::min(best_ms, time_ms([&] { checksum = workload.run(); }));
+    }
+    if (reference_checksum.empty()) {
+      reference_checksum = checksum;
+      serial_ms = best_ms;
+    }
+    MOCHA_CHECK(checksum == reference_checksum,
+                workload.name << ": checksum changed at " << threads
+                              << " threads — parallel run is not equivalent");
+    Record record;
+    record.workload = workload.name;
+    record.threads = threads;
+    record.wall_ms = best_ms;
+    record.speedup = best_ms > 0 ? serial_ms / best_ms : 1.0;
+    record.checksum = checksum;
+    records->push_back(record);
+    std::cout << workload.name << "  threads=" << threads << "  wall_ms="
+              << best_ms << "  speedup=" << record.speedup << "\n";
+  }
+  util::ThreadPool::set_global_threads(1);
+}
+
+/// VGG-style conv stack (3x3 kernels, pooling between blocks) executed
+/// functionally with spatial tiling and real codec round-trips — the E1..E10
+/// regeneration hot path.
+Workload executor_workload(bool smoke) {
+  return {"executor_vgg", [smoke] {
+    const nn::Network net =
+        smoke ? nn::make_synthetic("vgg_smoke", 16, 16, {16, 32}, 3, true)
+              : nn::make_synthetic("vgg_style", 56, 56, {64, 128, 256}, 3,
+                                   true);
+    util::Rng rng(17);
+    const ValueTensor input =
+        nn::random_tensor(net.layers.front().input_shape(), 0.3, rng);
+    const auto weights = nn::random_weights(net, 0.25, rng);
+    NetworkPlan plan;
+    for (const nn::LayerSpec& layer : net.layers) {
+      LayerPlan lp;
+      // Quarter tiles give a 4x4 grid per layer; real codecs on every
+      // stream so the measurement path is the one the tests rely on.
+      lp.tile = {std::max<Index>(1, (layer.out_h() + 3) / 4),
+                 std::max<Index>(1, (layer.out_w() + 3) / 4), layer.in_c,
+                 layer.out_channels()};
+      lp.ifmap_codec = compress::CodecKind::Zrle;
+      lp.kernel_codec = layer.has_weights() ? compress::CodecKind::Bitmask
+                                            : compress::CodecKind::None;
+      lp.ofmap_codec = compress::CodecKind::Zrle;
+      plan.layers.push_back(lp);
+    }
+    const dataflow::FunctionalResult result =
+        dataflow::run_functional(net, plan, input, weights);
+    Checksum sum;
+    sum.tensor(result.outputs.back());
+    for (const dataflow::MeasuredStreams& streams : result.streams) {
+      sum.integer(streams.ifmap_coded);
+      sum.integer(streams.kernel_coded);
+      sum.integer(streams.ofmap_coded);
+    }
+    return sum.hex();
+  }};
+}
+
+/// The morph controller's full candidate search (analytical sweep + exact
+/// refinement) — the planner hot path.
+Workload planner_workload(bool smoke) {
+  return {"planner_alexnet", [smoke] {
+    const nn::Network net = smoke ? nn::make_lenet5() : nn::make_alexnet();
+    const auto stats = core::assumed_stats(net, {});
+    const core::MorphController morph(model::default_tech(),
+                                      core::MorphOptions{});
+    const NetworkPlan plan =
+        morph.plan(net, fabric::mocha_default_config(), stats);
+    Checksum sum;
+    for (const LayerPlan& lp : plan.layers) sum.text(lp.summary());
+    return sum.hex();
+  }};
+}
+
+/// The comparative fleet (MOCHA + three baselines) planned and simulated on
+/// one network — the figure-harness hot path, parallel across accelerators.
+Workload fleet_workload(bool smoke) {
+  return {"fleet_sim", [smoke] {
+    const nn::Network net = smoke ? nn::make_lenet5() : nn::make_alexnet();
+    const Fleet fleet = Fleet::make();
+    const FleetRuns runs = run_fleet(fleet, net);
+    Checksum sum;
+    sum.integer(static_cast<std::int64_t>(runs.mocha.total_cycles));
+    sum.integer(runs.mocha.total_dram_bytes);
+    for (const auto& [strategy, report] : runs.baselines) {
+      sum.integer(static_cast<std::int64_t>(report.total_cycles));
+      sum.integer(report.total_dram_bytes);
+    }
+    return sum.hex();
+  }};
+}
+
+/// Checked at() walk over a large tensor — baseline for the accessor delta.
+Workload access_checked_workload(bool smoke) {
+  const Index side = smoke ? 64 : 256;
+  return {"tensor_at_checked", [side] {
+    util::Rng rng(5);
+    const ValueTensor t =
+        nn::random_tensor({1, 32, side, side}, 0.3, rng);
+    std::int64_t sum = 0;
+    for (int rep = 0; rep < 4; ++rep) {
+      for (Index c = 0; c < t.shape().c; ++c) {
+        for (Index y = 0; y < t.shape().h; ++y) {
+          for (Index x = 0; x < t.shape().w; ++x) {
+            sum += t.at(0, c, y, x);
+          }
+        }
+      }
+    }
+    Checksum check;
+    check.integer(sum);
+    return check.hex();
+  }, /*sweep_threads=*/false};
+}
+
+/// The same walk through at_unchecked — the measured win of the hot-loop
+/// accessor used by the executor and reference kernels.
+Workload access_unchecked_workload(bool smoke) {
+  const Index side = smoke ? 64 : 256;
+  return {"tensor_at_unchecked", [side] {
+    util::Rng rng(5);
+    const ValueTensor t =
+        nn::random_tensor({1, 32, side, side}, 0.3, rng);
+    std::int64_t sum = 0;
+    for (int rep = 0; rep < 4; ++rep) {
+      for (Index c = 0; c < t.shape().c; ++c) {
+        for (Index y = 0; y < t.shape().h; ++y) {
+          for (Index x = 0; x < t.shape().w; ++x) {
+            sum += t.at_unchecked(0, c, y, x);
+          }
+        }
+      }
+    }
+    Checksum check;
+    check.integer(sum);
+    return check.hex();
+  }, /*sweep_threads=*/false};
+}
+
+void emit_json(const std::vector<Record>& records, bool smoke,
+               const std::string& path) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("mocha.bench.parallel.v1");
+  json.key("smoke").value(smoke);
+  json.key("hardware_concurrency")
+      .value(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  json.key("records").begin_array();
+  for (const Record& record : records) {
+    json.begin_object();
+    json.key("workload").value(record.workload);
+    json.key("threads").value(record.threads);
+    json.key("wall_ms").value(record.wall_ms);
+    json.key("speedup").value(record.speedup);
+    json.key("checksum").value(record.checksum);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::ofstream out(path);
+  MOCHA_CHECK(out.good(), "cannot open " << path);
+  out << json.str() << "\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: mocha_bench [--smoke] [--out path]\n";
+      return 2;
+    }
+  }
+
+  // 1, 2, and "all the machine has" (at least 4, so the scaling series is
+  // meaningful even when the host underreports).
+  const int hw = std::max(4u, std::thread::hardware_concurrency());
+  std::vector<int> thread_counts = {1, 2, hw};
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+  const int reps = smoke ? 1 : 3;
+
+  std::vector<Record> records;
+  for (const Workload& workload :
+       {executor_workload(smoke), planner_workload(smoke),
+        fleet_workload(smoke), access_checked_workload(smoke),
+        access_unchecked_workload(smoke)}) {
+    measure(workload, thread_counts, reps, &records);
+  }
+  emit_json(records, smoke, out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mocha::bench
+
+int main(int argc, char** argv) { return mocha::bench::run(argc, argv); }
