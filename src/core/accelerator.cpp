@@ -6,6 +6,8 @@
 #include "dataflow/schedule.hpp"
 #include "fabric/pe_array.hpp"
 #include "model/energy.hpp"
+#include "obs/trace.hpp"
+#include "sim/trace.hpp"
 #include "util/log.hpp"
 
 namespace mocha::core {
@@ -60,7 +62,7 @@ RunReport Accelerator::run_with_plan(
     dataflow::BuiltSchedule built =
         dataflow::build_group_schedule(net, plan, group, config_, stats, batch);
     const sim::Engine engine(built.layout.specs);
-    const sim::RunResult run = engine.run(built.graph);
+    const sim::RunResult run = engine.run(built.graph, /*detailed=*/true);
 
     GroupReport gr;
     gr.first_layer = group.first;
@@ -97,6 +99,31 @@ RunReport Accelerator::run_with_plan(
     gr.dram_utilization = run.utilization(built.layout.dram);
     gr.energy = energy_model.energy(gr.counts);
     gr.plan_summary = plan.layers[group.first].summary();
+    gr.task_count = run.task_count;
+    gr.queue_wait_cycles = run.queue_wait_cycles;
+    for (std::size_t r = 0; r < run.resources.size(); ++r) {
+      gr.resource_use.push_back(
+          {run.resources[r].name, run.resources[r].capacity,
+           run.resource_busy_cycles[r],
+           run.utilization(static_cast<sim::ResourceId>(r))});
+    }
+
+#if MOCHA_OBS
+    // Render this group's executed task graph on the simulated-time lanes;
+    // candidate simulations inside the planner never reach here, so the
+    // timeline shows exactly the committed run. The reconfiguration context
+    // load precedes the group on the sequencer lane.
+    if (obs::TraceSession* session = obs::TraceSession::active()) {
+      if (reconfig > 0) {
+        session->sim_event("sequencer", "reconfig " + gr.label, "Reconfig", 0,
+                           static_cast<sim::Cycle>(reconfig));
+      }
+      session->set_sim_offset(session->sim_offset() +
+                              static_cast<sim::Cycle>(reconfig));
+      sim::emit_trace(built.graph, built.layout.specs, session);
+      session->set_sim_offset(session->sim_offset() + run.makespan);
+    }
+#endif
 
     if (run.peak_sram_bytes > config_.sram_bytes) {
       report.sram_ok = false;

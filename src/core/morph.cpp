@@ -5,6 +5,8 @@
 
 #include "dataflow/cost.hpp"
 #include "dataflow/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 
@@ -134,6 +136,7 @@ struct SearchContext {
   void evaluate(const NetworkPlan::Group& group,
                 std::vector<LayerPlan> plans,
                 std::vector<GroupCandidate>* out) const {
+    MOCHA_METRIC_ADD("planner.candidates_evaluated", 1);
     const NetworkPlan plan = scratch_plan(net, group, plans);
     const CostEstimate est = dataflow::estimate_group_cost(
         net, plan, group, config, stats, tech, batch);
@@ -163,7 +166,10 @@ void keep_best(std::vector<GroupCandidate>* candidates, std::size_t k) {
             [](const GroupCandidate& a, const GroupCandidate& b) {
               return a.score < b.score;
             });
-  if (candidates->size() > k) candidates->resize(k);
+  if (candidates->size() > k) {
+    MOCHA_METRIC_ADD("planner.candidates_pruned", candidates->size() - k);
+    candidates->resize(k);
+  }
 }
 
 /// Codec combinations to sweep for the external streams.
@@ -207,6 +213,7 @@ CodecCombo default_combo(bool compression_on) {
 std::vector<GroupCandidate> enumerate_single(const SearchContext& ctx,
                                              std::size_t idx,
                                              std::size_t keep) {
+  MOCHA_TRACE_SCOPE("planner.enumerate_single", "planner");
   const nn::LayerSpec& layer = ctx.net.layers[idx];
   const NetworkPlan::Group group{idx, idx};
   // Channel-wise layers (pooling, depthwise conv) have one schedule shape.
@@ -306,6 +313,7 @@ std::vector<GroupCandidate> enumerate_fused(const SearchContext& ctx,
                                             std::size_t first,
                                             std::size_t last,
                                             std::size_t keep) {
+  MOCHA_TRACE_SCOPE("planner.enumerate_fused", "planner");
   const NetworkPlan::Group group{first, last};
   const nn::LayerSpec& tail = ctx.net.layers[last];
   const auto th_options = halving_options(tail.out_h(), 1, 6);
@@ -380,6 +388,7 @@ GroupCandidate refine_exact(const SearchContext& ctx,
       0, static_cast<std::int64_t>(candidates.size()), 1,
       [&](std::int64_t cb, std::int64_t ce) {
         for (std::int64_t c = cb; c < ce; ++c) {
+          MOCHA_TRACE_SCOPE("planner.refine_candidate", "planner");
           const auto ci = static_cast<std::size_t>(c);
           GroupCandidate& candidate = candidates[ci];
           const NetworkPlan plan =
@@ -438,6 +447,7 @@ dataflow::NetworkPlan MorphController::plan_traced(
     const nn::Network& net, const fabric::FabricConfig& config,
     const std::vector<LayerStreamStats>& stats, nn::Index batch,
     PlanTrace* trace) const {
+  MOCHA_TRACE_SCOPE("planner.plan", "planner");
   net.validate();
   config.validate();
   MOCHA_CHECK(batch >= 1, "batch=" << batch);

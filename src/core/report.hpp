@@ -1,14 +1,25 @@
 // Run reports: the quantities the paper's tables and figures are built from.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "model/energy.hpp"
 #include "nn/network.hpp"
+#include "obs/metrics.hpp"
 #include "sim/task.hpp"
 
 namespace mocha::core {
+
+/// One resource's occupancy over a group's engine run (the per-resource
+/// breakdown the observability layer exports with each report).
+struct ResourceUse {
+  std::string name;
+  int capacity = 0;
+  std::uint64_t busy_cycles = 0;
+  double utilization = 0;  // busy / (capacity * makespan)
+};
 
 /// Results for one scheduled unit (a fusion group: one or more layers).
 struct GroupReport {
@@ -30,6 +41,12 @@ struct GroupReport {
   /// makespan (from the engine's resource accounting).
   double pe_utilization = 0;
   double dram_utilization = 0;
+
+  /// Full per-resource occupancy plus queue-wait distribution for this
+  /// group's engine run (exported as the "sim_metrics" JSON block).
+  std::vector<ResourceUse> resource_use;
+  obs::HistogramData queue_wait_cycles;
+  std::uint64_t task_count = 0;
 
   /// Operational intensity: MACs per DRAM byte moved (the roofline x-axis).
   double macs_per_dram_byte() const {

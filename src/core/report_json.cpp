@@ -20,14 +20,43 @@ void emit_energy(util::JsonWriter& json, const model::EnergyBreakdown& e) {
   json.end_object();
 }
 
+void emit_sim_metrics(util::JsonWriter& json, const GroupReport& group) {
+  json.begin_object();
+  json.key("tasks").value(group.task_count);
+  json.key("resources").begin_array();
+  for (const ResourceUse& use : group.resource_use) {
+    json.begin_object();
+    json.key("name").value(use.name);
+    json.key("capacity").value(static_cast<std::int64_t>(use.capacity));
+    json.key("busy_cycles").value(use.busy_cycles);
+    json.key("utilization").value(use.utilization);
+    json.end_object();
+  }
+  json.end_array();
+  const obs::HistogramData& wait = group.queue_wait_cycles;
+  json.key("queue_wait_cycles").begin_object();
+  json.key("count").value(wait.count);
+  json.key("sum").value(wait.sum);
+  json.key("max").value(wait.count == 0 ? 0 : wait.max);
+  json.key("mean").value(wait.mean());
+  json.end_object();
+  json.end_object();
+}
+
 }  // namespace
 
-std::string report_to_json(const RunReport& report) {
+std::string report_to_json(const RunReport& report,
+                           const obs::RunManifest* manifest,
+                           const obs::MetricsSnapshot* metrics) {
   util::JsonWriter json;
   json.begin_object();
   json.key("accelerator").value(report.accelerator);
   json.key("network").value(report.network);
   json.key("clock_ghz").value(report.clock_ghz);
+  if (manifest != nullptr) {
+    json.key("manifest");
+    manifest->write_json(json);
+  }
   json.key("total_cycles")
       .value(static_cast<std::uint64_t>(report.total_cycles));
   json.key("total_dense_macs").value(report.total_dense_macs);
@@ -58,9 +87,16 @@ std::string report_to_json(const RunReport& report) {
     json.key("plan").value(group.plan_summary);
     json.key("energy");
     emit_energy(json, group.energy);
+    json.key("sim_metrics");
+    emit_sim_metrics(json, group);
     json.end_object();
   }
   json.end_array();
+
+  if (metrics != nullptr) {
+    json.key("metrics");
+    metrics->write_json(json);
+  }
   json.end_object();
   return json.str();
 }

@@ -4,6 +4,8 @@
 #include <mutex>
 
 #include "dataflow/tiling.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace mocha::dataflow {
@@ -182,6 +184,7 @@ void compute_region(const LayerSpec& layer, const RegionView& in,
 /// returns the coded byte count. With codec None, returns the raw size.
 std::int64_t roundtrip_bytes(const compress::Codec& codec,
                              std::span<const Value> values) {
+  MOCHA_TRACE_SCOPE("codec.roundtrip", "codec");
   const std::vector<std::uint8_t> coded = codec.encode(values);
   const std::vector<Value> back = codec.decode(coded, values.size());
   MOCHA_CHECK(back.size() == values.size(), "codec changed stream length");
@@ -189,6 +192,10 @@ std::int64_t roundtrip_bytes(const compress::Codec& codec,
     MOCHA_CHECK(back[i] == values[i],
                 codec.name() << " round trip mismatch at " << i);
   }
+  MOCHA_METRIC_ADD("executor.codec_bytes_in",
+                   static_cast<std::int64_t>(values.size() * sizeof(Value)));
+  MOCHA_METRIC_ADD("executor.codec_bytes_out",
+                   static_cast<std::int64_t>(coded.size()));
   return static_cast<std::int64_t>(coded.size());
 }
 
@@ -206,8 +213,13 @@ void extract_region(const ValueTensor& tensor, Index c_begin, Index c_end,
                   rx.end() <= tensor.shape().w && c_begin >= 0 &&
                   c_end <= tensor.shape().c,
               "extract region outside tensor");
+  const auto needed =
+      static_cast<std::size_t>((c_end - c_begin) * ry.size * rx.size);
+  if (out->capacity() >= needed) {
+    MOCHA_METRIC_ADD("executor.scratch_reuse_hits", 1);
+  }
   out->clear();
-  out->reserve(static_cast<std::size_t>((c_end - c_begin) * ry.size * rx.size));
+  out->reserve(needed);
   for (Index c = c_begin; c < c_end; ++c) {
     for (Index y = ry.begin; y < ry.end(); ++y) {
       for (Index x = rx.begin; x < rx.end(); ++x) {
@@ -253,6 +265,7 @@ FunctionalResult run_functional(const nn::Network& net,
   const ValueTensor* current = &input;
 
   for (const NetworkPlan::Group& group : plan.fusion_groups()) {
+    MOCHA_TRACE_SCOPE("executor.group", "executor");
     const LayerSpec& head = net.layers[group.first];
     // Flatten a spatial predecessor feeding an FC head.
     if (head.kind == LayerKind::FullyConnected &&
@@ -301,6 +314,8 @@ FunctionalResult run_functional(const nn::Network& net,
               : nullptr;
       std::vector<Value> scratch;
       for (Index ti = tile_begin; ti < tile_end; ++ti) {
+        MOCHA_TRACE_SCOPE("executor.tile", "executor");
+        MOCHA_METRIC_ADD("executor.tiles_computed", 1);
         const TileGeometry& tail_geo = grid[static_cast<std::size_t>(ti)];
         const auto pyramid = fused_pyramid(net, group.first, group.last,
                                            tail_geo.out_y, tail_geo.out_x);

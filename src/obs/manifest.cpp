@@ -1,0 +1,42 @@
+#include "obs/manifest.hpp"
+
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+
+#ifndef MOCHA_BUILD_TYPE
+#define MOCHA_BUILD_TYPE "unknown"
+#endif
+#ifndef MOCHA_REPO_VERSION
+#define MOCHA_REPO_VERSION "unknown"
+#endif
+
+namespace mocha::obs {
+
+RunManifest RunManifest::current(std::string tool) {
+  RunManifest manifest;
+  manifest.tool = std::move(tool);
+  manifest.threads = util::ThreadPool::global_threads();
+  manifest.build_type = MOCHA_BUILD_TYPE;
+  manifest.version = MOCHA_REPO_VERSION;
+  return manifest;
+}
+
+void RunManifest::write_json(util::JsonWriter& json) const {
+  json.begin_object();
+  json.key("schema").value(schema);
+  json.key("tool").value(tool);
+  json.key("network").value(network);
+  json.key("accelerator").value(accelerator);
+  json.key("objective").value(objective);
+  json.key("batch").value(batch);
+  json.key("sram_bytes").value(sram_bytes);
+  json.key("pe_rows").value(pe_rows);
+  json.key("pe_cols").value(pe_cols);
+  json.key("clock_ghz").value(clock_ghz);
+  json.key("threads").value(threads);
+  json.key("build_type").value(build_type);
+  json.key("version").value(version);
+  json.end_object();
+}
+
+}  // namespace mocha::obs

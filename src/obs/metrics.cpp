@@ -1,0 +1,168 @@
+#include "obs/metrics.hpp"
+
+#include "util/json.hpp"
+
+namespace mocha::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+std::atomic<std::uint64_t> g_gauge_seq{0};
+
+// Per-thread shard cache, keyed by registry id. Ids are never reused, so a
+// stale entry for a destroyed registry can never be looked up again.
+thread_local std::map<std::uint64_t, void*> t_shards;
+
+}  // namespace
+
+int HistogramData::bucket_of(std::int64_t value) {
+  if (value <= 0) return 0;
+  int bucket = 1;
+  while (bucket < kBuckets - 1 && value >= (std::int64_t{1} << bucket)) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+void HistogramData::add(std::int64_t value) {
+  ++count;
+  sum += value;
+  min = std::min(min, value);
+  max = std::max(max, value);
+  ++buckets[static_cast<std::size_t>(bucket_of(value))];
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+void MetricsSnapshot::write_json(util::JsonWriter& json) const {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : counters) json.key(name).value(value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) json.key(name).value(value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, hist] : histograms) {
+    json.key(name).begin_object();
+    json.key("count").value(hist.count);
+    json.key("sum").value(hist.sum);
+    json.key("min").value(hist.count == 0 ? 0 : hist.min);
+    json.key("max").value(hist.count == 0 ? 0 : hist.max);
+    json.key("mean").value(hist.mean());
+    // [bucket upper bound (exclusive), count] for non-empty buckets; the
+    // first bucket covers values <= 0.
+    json.key("log2_buckets").begin_array();
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) continue;
+      json.begin_array();
+      json.value(i == 0 ? std::int64_t{1}
+                        : (std::int64_t{1} << static_cast<int>(i)));
+      json.value(hist.buckets[i]);
+      json.end_array();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  util::JsonWriter json;
+  write_json(json);
+  return json.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::uint64_t MetricsRegistry::next_id() {
+  return g_next_registry_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set_enabled(bool enabled) {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  void*& cached = t_shards[id_];
+  if (cached == nullptr) {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    auto shard = std::make_unique<Shard>();
+    cached = shard.get();
+    shards_.push_back(std::move(shard));
+  }
+  return *static_cast<Shard*>(cached);
+}
+
+void MetricsRegistry::counter_add(std::string_view name, std::int64_t delta) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counters[std::string(name)] += delta;
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, std::int64_t value) {
+  const std::uint64_t seq =
+      g_gauge_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Gauge& gauge = shard.gauges[std::string(name)];
+  if (seq > gauge.seq) {
+    gauge.seq = seq;
+    gauge.value = value;
+  }
+}
+
+void MetricsRegistry::histogram_record(std::string_view name,
+                                       std::int64_t value) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.histograms[std::string(name)].add(value);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::map<std::string, Gauge> merged_gauges;
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, value] : shard->counters) {
+      out.counters[name] += value;
+    }
+    for (const auto& [name, gauge] : shard->gauges) {
+      Gauge& best = merged_gauges[name];
+      if (gauge.seq > best.seq) best = gauge;
+    }
+    for (const auto& [name, hist] : shard->histograms) {
+      out.histograms[name].merge(hist);
+    }
+  }
+  for (const auto& [name, gauge] : merged_gauges) {
+    out.gauges[name] = gauge.value;
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->counters.clear();
+    shard->gauges.clear();
+    shard->histograms.clear();
+  }
+}
+
+}  // namespace mocha::obs

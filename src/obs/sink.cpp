@@ -1,0 +1,27 @@
+#include "obs/sink.hpp"
+
+#include <atomic>
+
+namespace mocha::obs {
+
+namespace {
+
+StreamSink& stderr_sink() {
+  static StreamSink sink(std::cerr);
+  return sink;
+}
+
+std::atomic<Sink*> g_log_sink{nullptr};
+
+}  // namespace
+
+Sink& log_sink() {
+  Sink* sink = g_log_sink.load(std::memory_order_acquire);
+  return sink != nullptr ? *sink : stderr_sink();
+}
+
+void set_log_sink(Sink* sink) {
+  g_log_sink.store(sink, std::memory_order_release);
+}
+
+}  // namespace mocha::obs

@@ -1,0 +1,77 @@
+// Output sinks for the observability layer.
+//
+// One abstraction carries every diagnostic byte out of the process: the
+// leveled logger writes formatted lines through the process log sink
+// (stderr by default, swappable for capture in tests), and the tracer
+// writes its JSON document through a FileSink. Sinks serialize their own
+// writes, so callers never interleave output.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mocha::obs {
+
+/// A destination for diagnostic output. Implementations must make write()
+/// safe to call from any thread.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(std::string_view text) = 0;
+  virtual void flush() {}
+};
+
+/// Sink over a caller-owned std::ostream (not owned; must outlive the sink).
+class StreamSink final : public Sink {
+ public:
+  explicit StreamSink(std::ostream& os) : os_(&os) {}
+
+  void write(std::string_view text) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    (*os_) << text;
+  }
+
+  void flush() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    os_->flush();
+  }
+
+ private:
+  std::ostream* os_;
+  std::mutex mu_;
+};
+
+/// Sink writing to a file it owns. `good()` reports whether the file opened.
+class FileSink final : public Sink {
+ public:
+  explicit FileSink(const std::string& path) : out_(path) {}
+
+  bool good() const { return out_.good(); }
+
+  void write(std::string_view text) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_ << text;
+  }
+
+  void flush() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+  std::mutex mu_;
+};
+
+/// The process-wide log sink (stderr unless overridden).
+Sink& log_sink();
+
+/// Replaces the process log sink (tests capture output this way). Pass
+/// nullptr to restore the stderr default. The sink is caller-owned and must
+/// outlive its installation.
+void set_log_sink(Sink* sink);
+
+}  // namespace mocha::obs

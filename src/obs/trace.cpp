@@ -1,0 +1,181 @@
+#include "obs/trace.hpp"
+
+#include "obs/sink.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace mocha::obs {
+
+namespace {
+
+constexpr int kSimPid = 1;
+constexpr int kWallPid = 2;
+
+std::atomic<TraceSession*> g_active{nullptr};
+std::atomic<std::uint64_t> g_next_session_id{1};
+
+// Wall timestamps are rebased to the session start so the timeline begins
+// near zero regardless of steady_clock's epoch.
+std::uint64_t g_session_start_ns = 0;
+
+struct LocalCache {
+  std::uint64_t session_id = 0;
+  void* buf = nullptr;
+};
+thread_local LocalCache t_cache;
+
+}  // namespace
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool tracing_active() {
+  return g_active.load(std::memory_order_relaxed) != nullptr;
+}
+
+TraceSession* TraceSession::active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+TraceSession::TraceSession(std::string path)
+    : path_(std::move(path)),
+      id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)) {
+  MOCHA_CHECK(g_active.load(std::memory_order_acquire) == nullptr,
+              "a TraceSession is already active");
+  g_session_start_ns = wall_now_ns();
+  g_active.store(this, std::memory_order_release);
+}
+
+TraceSession::~TraceSession() {
+  g_active.store(nullptr, std::memory_order_release);
+  write_document();
+}
+
+void TraceSession::sim_event(const std::string& lane, const std::string& name,
+                             const char* category, std::uint64_t ts_cycles,
+                             std::uint64_t dur_cycles) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      sim_lanes_.try_emplace(lane, static_cast<int>(sim_lanes_.size()));
+  (void)inserted;
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.ts_us = static_cast<double>(sim_offset_ + ts_cycles);
+  event.dur_us = static_cast<double>(dur_cycles);
+  event.tid = it->second;
+  sim_events_.push_back(std::move(event));
+}
+
+TraceSession::ThreadBuf& TraceSession::local_buf() {
+  if (t_cache.session_id != id_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto buf = std::make_unique<ThreadBuf>();
+    buf->tid = static_cast<int>(wall_bufs_.size());
+    t_cache.session_id = id_;
+    t_cache.buf = buf.get();
+    wall_bufs_.push_back(std::move(buf));
+  }
+  return *static_cast<ThreadBuf*>(t_cache.buf);
+}
+
+void TraceSession::wall_event(const char* name, const char* category,
+                              std::uint64_t start_ns, std::uint64_t end_ns) {
+  ThreadBuf& buf = local_buf();
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.ts_us = static_cast<double>(start_ns - g_session_start_ns) * 1e-3;
+  event.dur_us =
+      static_cast<double>(end_ns - std::min(start_ns, end_ns)) * 1e-3;
+  event.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(event));
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = sim_events_.size();
+  for (const auto& buf : wall_bufs_) {
+    std::lock_guard<std::mutex> blocked(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void TraceSession::write_document() {
+  util::JsonWriter json;
+
+  auto emit_process_meta = [&](int pid, const char* name) {
+    json.begin_object();
+    json.key("ph").value("M");
+    json.key("pid").value(pid);
+    json.key("name").value("process_name");
+    json.key("args").begin_object();
+    json.key("name").value(name);
+    json.end_object();
+    json.end_object();
+  };
+  auto emit_thread_meta = [&](int pid, int tid, const std::string& name) {
+    json.begin_object();
+    json.key("ph").value("M");
+    json.key("pid").value(pid);
+    json.key("tid").value(tid);
+    json.key("name").value("thread_name");
+    json.key("args").begin_object();
+    json.key("name").value(name);
+    json.end_object();
+    json.end_object();
+  };
+  auto emit_complete = [&](int pid, const Event& event) {
+    json.begin_object();
+    json.key("ph").value("X");
+    json.key("pid").value(pid);
+    json.key("tid").value(event.tid);
+    json.key("name").value(event.name);
+    json.key("cat").value(event.category);
+    json.key("ts").value(event.ts_us);
+    json.key("dur").value(event.dur_us);
+    json.end_object();
+  };
+
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("otherData").begin_object();
+  json.key("generator").value("mocha TraceSession");
+  json.key("sim_time_unit").value("1us == 1 cycle");
+  json.end_object();
+  json.key("traceEvents").begin_array();
+  emit_process_meta(kSimPid, "simulated time (1us = 1 cycle)");
+  emit_process_meta(kWallPid, "wall clock");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [lane, tid] : sim_lanes_) {
+    emit_thread_meta(kSimPid, tid, lane);
+  }
+  for (const Event& event : sim_events_) emit_complete(kSimPid, event);
+  for (const auto& buf : wall_bufs_) {
+    std::lock_guard<std::mutex> blocked(buf->mu);
+    emit_thread_meta(kWallPid, buf->tid,
+                     "thread " + std::to_string(buf->tid));
+    for (const Event& event : buf->events) emit_complete(kWallPid, event);
+  }
+  json.end_array();
+  json.end_object();
+
+  FileSink sink(path_);
+  if (!sink.good()) {
+    // Report through the log sink rather than aborting a finished run.
+    log_sink().write("[mocha:ERROR] cannot write trace file " + path_ + "\n");
+    return;
+  }
+  sink.write(json.str());
+  sink.write("\n");
+  sink.flush();
+}
+
+}  // namespace mocha::obs

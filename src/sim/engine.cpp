@@ -26,7 +26,7 @@ Engine::Engine(std::vector<ResourceSpec> resources)
   }
 }
 
-RunResult Engine::run(TaskGraph& graph) const {
+RunResult Engine::run(TaskGraph& graph, bool detailed) const {
   graph.validate();
   for (const Task& t : graph.tasks()) {
     for (ResourceId r : t.resources) {
@@ -56,7 +56,18 @@ RunResult Engine::run(TaskGraph& graph) const {
   std::set<TaskId> ready;
   std::vector<int> free_units;
   free_units.reserve(resources_.size());
-  for (const ResourceSpec& r : resources_) free_units.push_back(r.capacity);
+  // Which unit of each resource is occupied; a task takes the lowest free
+  // unit. Timing is capacity-driven and unaffected — the unit index only
+  // gives each task an exclusive lane for tracing/occupancy views, so it
+  // is tracked only on detailed runs.
+  std::vector<std::vector<char>> unit_busy;
+  if (detailed) unit_busy.reserve(resources_.size());
+  for (const ResourceSpec& r : resources_) {
+    free_units.push_back(r.capacity);
+    if (detailed) {
+      unit_busy.emplace_back(static_cast<std::size_t>(r.capacity), 0);
+    }
+  }
 
   for (const Task& t : graph.tasks()) {
     if (waiting[static_cast<std::size_t>(t.id)] == 0) ready.insert(t.id);
@@ -86,8 +97,19 @@ RunResult Engine::run(TaskGraph& graph) const {
           ++it;
           continue;
         }
-        for (ResourceId r : t.resources) {
-          --free_units[static_cast<std::size_t>(r)];
+        if (detailed) t.units.assign(t.resources.size(), 0);
+        for (std::size_t ri = 0; ri < t.resources.size(); ++ri) {
+          const auto r = static_cast<std::size_t>(t.resources[ri]);
+          --free_units[r];
+          if (!detailed) continue;
+          std::vector<char>& busy = unit_busy[r];
+          for (std::size_t u = 0; u < busy.size(); ++u) {
+            if (busy[u] == 0) {
+              busy[u] = 1;
+              t.units[ri] = static_cast<int>(u);
+              break;
+            }
+          }
         }
         t.start = now;
         t.finish = now + t.duration;
@@ -102,9 +124,11 @@ RunResult Engine::run(TaskGraph& graph) const {
 
   auto complete = [&](TaskId id) {
     Task& t = graph.task(id);
-    for (ResourceId r : t.resources) {
-      ++free_units[static_cast<std::size_t>(r)];
-      result.resource_busy_cycles[static_cast<std::size_t>(r)] += t.duration;
+    for (std::size_t ri = 0; ri < t.resources.size(); ++ri) {
+      const auto r = static_cast<std::size_t>(t.resources[ri]);
+      ++free_units[r];
+      if (detailed) unit_busy[r][static_cast<std::size_t>(t.units[ri])] = 0;
+      result.resource_busy_cycles[r] += t.duration;
     }
     sram_now -= t.sram_free_bytes;
     MOCHA_CHECK(sram_now >= 0,
@@ -134,6 +158,31 @@ RunResult Engine::run(TaskGraph& graph) const {
               "deadlock: " << graph.size() - completed << " tasks never ran");
   result.makespan = now;
   result.totals.cycles = static_cast<std::int64_t>(now);
+  result.task_count = graph.size();
+
+  if (detailed) {
+    // Queue wait: how long each task sat ready (all dependencies finished)
+    // before its resources freed up. Derived post-hoc from the recorded
+    // timeline, so the event loop pays nothing for it.
+    for (const Task& t : graph.tasks()) {
+      Cycle ready = 0;
+      for (TaskId dep : t.deps) {
+        ready = std::max(ready, graph.task(dep).finish);
+      }
+      const Cycle wait = t.start - ready;
+      result.queue_wait_cycles.add(static_cast<std::int64_t>(wait));
+      MOCHA_METRIC_HIST("sim.queue_wait_cycles", wait);
+    }
+    MOCHA_METRIC_ADD("sim.tasks_completed", graph.size());
+#if MOCHA_OBS
+    if (obs::MetricsRegistry::enabled()) {
+      for (std::size_t r = 0; r < resources_.size(); ++r) {
+        MOCHA_METRIC_ADD("sim.busy_cycles." + resources_[r].name,
+                         result.resource_busy_cycles[r]);
+      }
+    }
+#endif
+  }
   return result;
 }
 

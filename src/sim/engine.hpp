@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "model/energy.hpp"
+#include "obs/metrics.hpp"
 #include "sim/task.hpp"
 
 namespace mocha::sim {
@@ -37,6 +38,14 @@ struct RunResult {
   /// Total task-cycles per kind (overlap not deducted).
   std::map<TaskKind, Cycle> kind_cycles;
 
+  /// Tasks executed.
+  std::uint64_t task_count = 0;
+
+  /// Distribution of ready-to-start delay per task (start minus the latest
+  /// dependency finish) — the contention signal: how long work sat queued
+  /// because its resource was busy.
+  obs::HistogramData queue_wait_cycles;
+
   /// Busy fraction of a resource across the makespan: busy / (capacity * T).
   double utilization(ResourceId resource) const;
 };
@@ -48,7 +57,15 @@ class Engine {
   /// Executes the graph to completion; fills each task's start/finish and
   /// returns aggregate statistics. The graph is validated (acyclic, bound
   /// resources in range) first.
-  RunResult run(TaskGraph& graph) const;
+  ///
+  /// `detailed` additionally assigns each task its exclusive resource-unit
+  /// lane (Task::units, needed by the tracer) and fills the queue-wait
+  /// histogram. Off by default: the planner simulates thousands of
+  /// candidate graphs that only need the aggregate numbers, and the
+  /// per-task extras (one allocation per dispatch plus a post-hoc pass)
+  /// cost real time at that volume. The accelerator's committed runs
+  /// request it.
+  RunResult run(TaskGraph& graph, bool detailed = false) const;
 
   const std::vector<ResourceSpec>& resources() const { return resources_; }
 

@@ -57,6 +57,10 @@ struct Task {
   // Filled in by the engine.
   Cycle start = 0;
   Cycle finish = 0;
+  /// Which unit of each bound resource the task occupied (index-aligned
+  /// with `resources`; lowest free unit wins, deterministically). Gives the
+  /// tracer one exclusive lane per resource unit.
+  std::vector<int> units;
 };
 
 /// Growable DAG with cycle detection. Task ids are dense indices.

@@ -1,0 +1,28 @@
+#include "sim/trace.hpp"
+
+#include "util/assert.hpp"
+
+namespace mocha::sim {
+
+void emit_trace(const TaskGraph& graph, const std::vector<ResourceSpec>& specs,
+                obs::TraceSession* session) {
+  MOCHA_CHECK(session != nullptr, "emit_trace without a session");
+  for (const Task& t : graph.tasks()) {
+    if (t.duration == 0) continue;  // barriers carry no occupancy
+    MOCHA_CHECK(t.units.size() == t.resources.size(),
+                "task '" << t.label << "' has no unit assignment — emit_trace "
+                         << "needs an executed graph");
+    for (std::size_t ri = 0; ri < t.resources.size(); ++ri) {
+      const ResourceSpec& spec =
+          specs[static_cast<std::size_t>(t.resources[ri])];
+      const std::string lane =
+          spec.capacity == 1
+              ? spec.name
+              : spec.name + "[" + std::to_string(t.units[ri]) + "]";
+      session->sim_event(lane, t.label, task_kind_name(t.kind), t.start,
+                         t.duration);
+    }
+  }
+}
+
+}  // namespace mocha::sim

@@ -1,0 +1,22 @@
+// Renders an executed task graph onto the tracer's simulated-time lanes.
+//
+// After an Engine::run fills every task's start/finish (and the unit of
+// each resource it occupied), this walks the graph and emits one complete
+// event per task per held resource unit — so DMA, codec, and PE contention
+// are visible tile by tile in chrome://tracing / Perfetto. The caller
+// (core::Accelerator) advances the session's sim offset between groups so
+// consecutive engine runs lay out sequentially on shared lanes.
+#pragma once
+
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace mocha::sim {
+
+/// Emits every nonzero-duration task of `graph` (already executed) as
+/// complete events on `session`'s simulated-time lanes. Lane names are
+/// "resource" for capacity-1 resources and "resource[unit]" otherwise.
+void emit_trace(const TaskGraph& graph, const std::vector<ResourceSpec>& specs,
+                obs::TraceSession* session);
+
+}  // namespace mocha::sim

@@ -1,0 +1,262 @@
+// Minimal JSON parser — the validation counterpart of util/json.hpp.
+//
+// The observability tests read back trace and report documents and assert
+// structural properties (lane monotonicity, key presence), which needs a
+// parser, not just a writer. This one covers the full JSON grammar the
+// writer can emit (objects, arrays, strings with escapes, numbers,
+// booleans, null) and fails loudly (util::CheckFailure) on malformed
+// input. It builds a complete value tree — fine for test-sized documents,
+// not meant for streaming gigabytes.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mocha::util {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered; JSON allows duplicate keys, find() returns the first.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+
+  /// First member named `key`, or nullptr. Null on non-objects.
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [name, value] : object) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+
+  /// find() that MOCHA_CHECKs the key exists.
+  const JsonValue& at(std::string_view key) const {
+    const JsonValue* value = find(key);
+    MOCHA_CHECK(value != nullptr, "missing JSON key '" << key << "'");
+    return *value;
+  }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    MOCHA_CHECK(pos_ == text_.size(),
+                "trailing bytes after JSON document at offset " << pos_);
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    MOCHA_CHECK(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    MOCHA_CHECK(peek() == c, "expected '" << c << "' at offset " << pos_
+                                          << ", got '" << text_[pos_] << "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_literal(std::string_view word) {
+    MOCHA_CHECK(text_.substr(pos_, word.size()) == word,
+                "bad JSON literal at offset " << pos_);
+    pos_ += word.size();
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue value;
+        value.kind = JsonValue::Kind::String;
+        value.string = parse_string();
+        return value;
+      }
+      case 't': {
+        expect_literal("true");
+        JsonValue value;
+        value.kind = JsonValue::Kind::Bool;
+        value.boolean = true;
+        return value;
+      }
+      case 'f': {
+        expect_literal("false");
+        JsonValue value;
+        value.kind = JsonValue::Kind::Bool;
+        return value;
+      }
+      case 'n':
+        expect_literal("null");
+        return JsonValue{};
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.kind = JsonValue::Kind::Object;
+    if (consume('}')) return value;
+    do {
+      std::string key = parse_string();
+      expect(':');
+      value.object.emplace_back(std::move(key), parse_value());
+    } while (consume(','));
+    expect('}');
+    return value;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.kind = JsonValue::Kind::Array;
+    if (consume(']')) return value;
+    do {
+      value.array.push_back(parse_value());
+    } while (consume(','));
+    expect(']');
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      MOCHA_CHECK(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      MOCHA_CHECK(pos_ < text_.size(), "unterminated JSON escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          MOCHA_CHECK(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              MOCHA_CHECK(false, "bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the writer never emits them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          MOCHA_CHECK(false, "bad JSON escape '\\" << esc << "'");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    bool any = digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      any = digits() || any;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+        ++pos_;
+      }
+      any = digits() && any;
+    }
+    MOCHA_CHECK(any, "bad JSON number at offset " << start);
+    JsonValue value;
+    value.kind = JsonValue::Kind::Number;
+    value.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses one JSON document; throws util::CheckFailure on malformed input.
+inline JsonValue parse_json(std::string_view text) {
+  return detail::JsonParser(text).parse_document();
+}
+
+}  // namespace mocha::util

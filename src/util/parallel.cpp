@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace mocha::util {
 
 namespace {
@@ -55,6 +57,7 @@ struct Region {
       const std::int64_t e = std::min(end, b + grain);
       if (!cancelled.load(std::memory_order_relaxed)) {
         try {
+          MOCHA_TRACE_SCOPE("pool.chunk", "pool");
           (*fn)(b, e);
         } catch (...) {
           std::lock_guard<std::mutex> lock(mu);
@@ -173,6 +176,7 @@ void ThreadPool::for_range(
   // machinery, bitwise the same iteration order as the pooled path.
   if (impl_->threads == 1 || chunks == 1 || on_worker_thread()) {
     for (std::int64_t b = begin; b < end; b += grain) {
+      MOCHA_TRACE_SCOPE("pool.chunk", "pool");
       fn(b, std::min(end, b + grain));
     }
     return;

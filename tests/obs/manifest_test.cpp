@@ -1,0 +1,113 @@
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/report_json.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+namespace mocha::obs {
+namespace {
+
+TEST(Manifest, CurrentFillsEnvironmentFields) {
+  const RunManifest manifest = RunManifest::current("unit_test");
+  EXPECT_EQ(manifest.schema, "mocha.manifest.v1");
+  EXPECT_EQ(manifest.tool, "unit_test");
+  EXPECT_GE(manifest.threads, 1);
+  EXPECT_FALSE(manifest.build_type.empty());
+  EXPECT_FALSE(manifest.version.empty());
+}
+
+TEST(Manifest, JsonHasEveryField) {
+  RunManifest manifest = RunManifest::current("unit_test");
+  manifest.network = "alexnet";
+  manifest.accelerator = "mocha";
+  manifest.objective = "edp";
+  manifest.batch = 4;
+  manifest.sram_bytes = 1 << 20;
+  manifest.pe_rows = 16;
+  manifest.pe_cols = 16;
+  manifest.clock_ghz = 1.0;
+
+  util::JsonWriter json;
+  manifest.write_json(json);
+  const util::JsonValue doc = util::parse_json(json.str());
+  EXPECT_EQ(doc.at("schema").string, "mocha.manifest.v1");
+  EXPECT_EQ(doc.at("tool").string, "unit_test");
+  EXPECT_EQ(doc.at("network").string, "alexnet");
+  EXPECT_EQ(doc.at("accelerator").string, "mocha");
+  EXPECT_EQ(doc.at("objective").string, "edp");
+  EXPECT_EQ(doc.at("batch").number, 4.0);
+  EXPECT_EQ(doc.at("sram_bytes").number, static_cast<double>(1 << 20));
+  EXPECT_EQ(doc.at("pe_rows").number, 16.0);
+  EXPECT_EQ(doc.at("pe_cols").number, 16.0);
+  EXPECT_EQ(doc.at("clock_ghz").number, 1.0);
+  EXPECT_GE(doc.at("threads").number, 1.0);
+  EXPECT_NE(doc.find("build_type"), nullptr);
+  EXPECT_NE(doc.find("version"), nullptr);
+}
+
+// The report JSON keeps every pre-existing key and gains the manifest,
+// metrics, and per-group sim_metrics blocks.
+TEST(Manifest, ReportJsonEmbedsManifestAndMetrics) {
+  core::RunReport report;
+  report.accelerator = "mocha";
+  report.network = "testnet";
+  report.clock_ghz = 1.0;
+  core::GroupReport group;
+  group.label = "conv1";
+  group.cycles = 100;
+  group.dense_macs = 1000;
+  group.task_count = 7;
+  group.resource_use.push_back({"pe_groups", 4, 320, 0.8});
+  group.queue_wait_cycles.add(3);
+  group.queue_wait_cycles.add(5);
+  report.groups.push_back(group);
+  report.total_cycles = 100;
+
+  MetricsRegistry registry;
+  registry.counter_add("executor.tiles_computed", 12);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const RunManifest manifest = RunManifest::current("unit_test");
+
+  const util::JsonValue doc =
+      util::parse_json(core::report_to_json(report, &manifest, &snapshot));
+
+  // Backward-compatible keys.
+  EXPECT_EQ(doc.at("accelerator").string, "mocha");
+  EXPECT_EQ(doc.at("network").string, "testnet");
+  EXPECT_NE(doc.find("total_cycles"), nullptr);
+  EXPECT_NE(doc.find("throughput_gops"), nullptr);
+  const util::JsonValue& jgroup = doc.at("groups").array.at(0);
+  EXPECT_EQ(jgroup.at("label").string, "conv1");
+  EXPECT_NE(jgroup.find("plan"), nullptr);
+  EXPECT_NE(jgroup.find("energy"), nullptr);
+
+  // New blocks.
+  EXPECT_EQ(doc.at("manifest").at("tool").string, "unit_test");
+  EXPECT_EQ(
+      doc.at("metrics").at("counters").at("executor.tiles_computed").number,
+      12.0);
+  const util::JsonValue& sim = jgroup.at("sim_metrics");
+  EXPECT_EQ(sim.at("tasks").number, 7.0);
+  EXPECT_EQ(sim.at("resources").array.at(0).at("name").string, "pe_groups");
+  EXPECT_EQ(sim.at("resources").array.at(0).at("busy_cycles").number, 320.0);
+  EXPECT_EQ(sim.at("queue_wait_cycles").at("count").number, 2.0);
+  EXPECT_EQ(sim.at("queue_wait_cycles").at("max").number, 5.0);
+  EXPECT_DOUBLE_EQ(sim.at("queue_wait_cycles").at("mean").number, 4.0);
+}
+
+// The old single-argument call still works and omits the new top-level
+// blocks entirely.
+TEST(Manifest, ReportJsonWithoutManifestOmitsBlocks) {
+  core::RunReport report;
+  report.accelerator = "mocha";
+  report.network = "testnet";
+  report.clock_ghz = 1.0;
+  const util::JsonValue doc = util::parse_json(core::report_to_json(report));
+  EXPECT_EQ(doc.find("manifest"), nullptr);
+  EXPECT_EQ(doc.find("metrics"), nullptr);
+}
+
+}  // namespace
+}  // namespace mocha::obs

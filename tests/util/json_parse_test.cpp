@@ -1,0 +1,86 @@
+#include "util/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace mocha::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(parse_json("null").kind, JsonValue::Kind::Null);
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_EQ(parse_json("42").number, 42.0);
+  EXPECT_EQ(parse_json("-3.5").number, -3.5);
+  EXPECT_EQ(parse_json("1e3").number, 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").string, "hi");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const JsonValue doc =
+      parse_json(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue& a = doc.at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.array.size(), 3u);
+  EXPECT_EQ(a.array[0].number, 1.0);
+  EXPECT_TRUE(a.array[2].at("b").boolean);
+  EXPECT_EQ(doc.at("c").at("d").kind, JsonValue::Kind::Null);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")").string, "a\"b\\c\nd\te");
+  EXPECT_EQ(parse_json("\"\\u0041\"").string, "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").string, "\xc3\xa9");      // 2-byte UTF-8
+  EXPECT_EQ(parse_json("\"\\u20ac\"").string, "\xe2\x82\xac");  // 3-byte UTF-8
+  EXPECT_THROW(parse_json("\"\\u12g4\""), CheckFailure);
+}
+
+TEST(JsonParse, FindAndAt) {
+  const JsonValue doc = parse_json(R"({"x": 1})");
+  EXPECT_NE(doc.find("x"), nullptr);
+  EXPECT_EQ(doc.find("y"), nullptr);
+  EXPECT_EQ(doc.at("x").number, 1.0);
+  EXPECT_THROW(doc.at("y"), CheckFailure);
+  // find() on a non-object is null, not an error.
+  EXPECT_EQ(parse_json("[1]").find("x"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), CheckFailure);
+  EXPECT_THROW(parse_json("{"), CheckFailure);
+  EXPECT_THROW(parse_json("[1,]"), CheckFailure);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), CheckFailure);
+  EXPECT_THROW(parse_json("\"unterminated"), CheckFailure);
+  EXPECT_THROW(parse_json("tru"), CheckFailure);
+  EXPECT_THROW(parse_json("1 2"), CheckFailure);
+  EXPECT_THROW(parse_json("\"bad \\q escape\""), CheckFailure);
+}
+
+// Everything the repo's writer emits must round-trip through the parser.
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("s").value(std::string("line\nbreak \"quoted\""));
+  json.key("i").value(std::int64_t{-123});
+  json.key("u").value(std::uint64_t{456});
+  json.key("d").value(0.125);
+  json.key("b").value(true);
+  json.key("arr").begin_array();
+  json.value(1);
+  json.value(2);
+  json.end_array();
+  json.end_object();
+
+  const JsonValue doc = parse_json(json.str());
+  EXPECT_EQ(doc.at("s").string, "line\nbreak \"quoted\"");
+  EXPECT_EQ(doc.at("i").number, -123.0);
+  EXPECT_EQ(doc.at("u").number, 456.0);
+  EXPECT_EQ(doc.at("d").number, 0.125);
+  EXPECT_TRUE(doc.at("b").boolean);
+  EXPECT_EQ(doc.at("arr").array.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mocha::util

@@ -1,0 +1,82 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/sink.hpp"
+
+namespace mocha::util {
+namespace {
+
+/// Installs a capture sink for the test's lifetime and restores the
+/// stderr default (and the previous level) afterwards.
+class LogCapture {
+ public:
+  LogCapture() : previous_level_(Log::level()), sink_(stream_) {
+    obs::set_log_sink(&sink_);
+  }
+  ~LogCapture() {
+    obs::set_log_sink(nullptr);
+    Log::set_level(previous_level_);
+  }
+  std::string text() const { return stream_.str(); }
+
+ private:
+  LogLevel previous_level_;
+  std::ostringstream stream_;
+  obs::StreamSink sink_;
+};
+
+TEST(Log, ParseLogLevelAcceptsAllNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("2"), std::nullopt);
+}
+
+TEST(Log, WritesThroughInstalledSink) {
+  LogCapture capture;
+  Log::set_level(LogLevel::Info);
+  MOCHA_LOG(Info, "hello " << 42);
+  EXPECT_EQ(capture.text(), "[mocha:INFO] hello 42\n");
+}
+
+TEST(Log, LevelFiltersLowerSeverities) {
+  LogCapture capture;
+  Log::set_level(LogLevel::Warn);
+  MOCHA_LOG(Debug, "dropped");
+  MOCHA_LOG(Info, "dropped too");
+  MOCHA_LOG(Error, "kept");
+  EXPECT_EQ(capture.text(), "[mocha:ERROR] kept\n");
+}
+
+TEST(Log, OffSilencesEverythingWithoutCrashing) {
+  LogCapture capture;
+  Log::set_level(LogLevel::Off);
+  MOCHA_LOG(Error, "never seen");
+  // Writing "at" Off must be a no-op, not an out-of-bounds name lookup.
+  Log::write(LogLevel::Off, "never seen either");
+  EXPECT_EQ(capture.text(), "");
+}
+
+TEST(Log, SetLevelIsVisibleAcrossThreads) {
+  LogCapture capture;
+  Log::set_level(LogLevel::Error);
+  EXPECT_EQ(Log::level(), LogLevel::Error);
+  std::thread([] { Log::set_level(LogLevel::Trace); }).join();
+  EXPECT_EQ(Log::level(), LogLevel::Trace);
+}
+
+}  // namespace
+}  // namespace mocha::util

@@ -26,6 +26,7 @@
 #include "core/morph.hpp"
 #include "dataflow/executor.hpp"
 #include "nn/generate.hpp"
+#include "obs/manifest.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 
@@ -250,6 +251,8 @@ void emit_json(const std::vector<Record>& records, bool smoke,
   util::JsonWriter json;
   json.begin_object();
   json.key("schema").value("mocha.bench.parallel.v1");
+  json.key("manifest");
+  obs::RunManifest::current("mocha_bench").write_json(json);
   json.key("smoke").value(smoke);
   json.key("hardware_concurrency")
       .value(static_cast<std::int64_t>(std::thread::hardware_concurrency()));

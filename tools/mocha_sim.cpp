@@ -4,13 +4,16 @@
 //             merge|parallel|nextbest] [--objective edp|cycles|energy]
 //             [--batch N] [--sram-kib N] [--pe N] [--clock-mhz N]
 //             [--no-compression] [--huffman] [--json] [--plan]
+//             [--trace FILE] [--metrics]
 //
 // Examples:
 //   mocha_sim --network alexnet                         # MOCHA, defaults
 //   mocha_sim --network vgg16 --accelerator nextbest    # best fixed baseline
 //   mocha_sim --network alexnet --batch 8 --json        # machine-readable
+//   mocha_sim --network alexnet --trace trace.json      # chrome://tracing
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include <fstream>
@@ -20,6 +23,9 @@
 #include "core/morph.hpp"
 #include "core/report_json.hpp"
 #include "dataflow/schedule.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/dot.hpp"
 #include "util/table.hpp"
 
@@ -37,7 +43,9 @@ struct Args {
   bool huffman = false;
   bool json = false;
   bool show_plan = false;
-  std::string dot_file;  // export the first group's schedule as Graphviz
+  bool metrics = false;   // collect and print a MetricsRegistry snapshot
+  std::string dot_file;   // export the first group's schedule as Graphviz
+  std::string trace_file; // write a Chrome trace-event JSON of the run
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -48,7 +56,8 @@ struct Args {
          "       [--objective edp|cycles|energy] [--batch N] [--sram-kib N] "
          "[--pe N] [--clock-mhz N]\n"
          "       [--no-compression] [--huffman] [--json] [--plan] "
-         "[--dot FILE]\n";
+         "[--dot FILE]\n"
+         "       [--trace FILE] [--metrics]\n";
   std::exit(2);
 }
 
@@ -84,6 +93,10 @@ Args parse(int argc, char** argv) {
       args.show_plan = true;
     } else if (flag == "--dot") {
       args.dot_file = need(i);
+    } else if (flag == "--trace") {
+      args.trace_file = need(i);
+    } else if (flag == "--metrics") {
+      args.metrics = true;
     } else if (flag == "--help" || flag == "-h") {
       usage(argv[0]);
     } else {
@@ -133,6 +146,16 @@ int main(int argc, char** argv) {
     return config;
   };
 
+  if (args.metrics) obs::MetricsRegistry::global().set_enabled(true);
+  // The session flushes to disk when it goes out of scope, after the run.
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!args.trace_file.empty()) {
+    trace = std::make_unique<obs::TraceSession>(args.trace_file);
+  }
+
+  // The config the selected accelerator actually ran with, for the manifest.
+  fabric::FabricConfig used_config = customize(fabric::mocha_default_config());
+
   core::RunReport report;
   if (args.accelerator == "mocha") {
     core::MorphOptions options;
@@ -144,6 +167,7 @@ int main(int argc, char** argv) {
         std::make_shared<core::MorphController>(model::default_tech(),
                                                 options));
     report = acc.run(net, {}, args.batch);
+    used_config = acc.config();
     if (args.show_plan || !args.dot_file.empty()) {
       const auto stats = core::assumed_stats(net, nn::SparsityProfile{});
       const auto plan = acc.plan(net, stats, args.batch);
@@ -168,6 +192,8 @@ int main(int argc, char** argv) {
   } else if (args.accelerator == "nextbest") {
     baseline::NextBest best =
         baseline::next_best(net, model::default_tech(), objective);
+    used_config =
+        fabric::baseline_config(baseline::strategy_name(best.strategy));
     report = std::move(best.report);
   } else {
     baseline::Strategy strategy;
@@ -185,10 +211,28 @@ int main(int argc, char** argv) {
         strategy, customize(fabric::baseline_config(args.accelerator)),
         model::default_tech(), objective);
     report = acc.run(net, {}, args.batch);
+    used_config = acc.config();
   }
 
+  trace.reset();  // flush the trace file before reporting
+
+  obs::RunManifest manifest = obs::RunManifest::current("mocha_sim");
+  manifest.network = args.network;
+  manifest.accelerator = report.accelerator;
+  manifest.objective = args.objective;
+  manifest.batch = args.batch;
+  manifest.sram_bytes = used_config.sram_bytes;
+  manifest.pe_rows = used_config.pe_rows;
+  manifest.pe_cols = used_config.pe_cols;
+  manifest.clock_ghz = used_config.clock_ghz;
+
+  obs::MetricsSnapshot snapshot;
+  if (args.metrics) snapshot = obs::MetricsRegistry::global().snapshot();
+
   if (args.json) {
-    std::cout << core::report_to_json(report) << "\n";
+    std::cout << core::report_to_json(report, &manifest,
+                                      args.metrics ? &snapshot : nullptr)
+              << "\n";
     return 0;
   }
 
@@ -211,5 +255,8 @@ int main(int argc, char** argv) {
             << report.total_energy_pj * 1e-9 << " mJ, peak scratchpad "
             << static_cast<double>(report.peak_sram_bytes) / 1024.0
             << " KiB, sram_ok=" << (report.sram_ok ? "yes" : "no") << "\n";
+  if (args.metrics) {
+    std::cout << "\nmetrics: " << snapshot.to_json() << "\n";
+  }
   return report.sram_ok ? 0 : 1;
 }

@@ -1,0 +1,85 @@
+// trace_validate — structural validator for Chrome trace-event JSON.
+//
+//   trace_validate FILE
+//
+// Exits 0 iff FILE parses as a trace document whose simulated-time lanes
+// (pid 1) hold monotone, non-overlapping complete events. Paired with the
+// trace_smoke ctest entry: mocha_sim --trace writes the file, this checks it.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json_parse.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_validate FILE\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in.good()) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  using mocha::util::JsonValue;
+  try {
+    const JsonValue doc = mocha::util::parse_json(ss.str());
+    const JsonValue& events = doc.at("traceEvents");
+    if (!events.is_array()) {
+      std::cerr << "traceEvents is not an array\n";
+      return 1;
+    }
+
+    struct Span {
+      double ts, dur;
+    };
+    std::map<int, std::vector<Span>> sim_lanes;
+    std::size_t complete = 0;
+    for (const JsonValue& e : events.array) {
+      if (e.at("ph").string != "X") continue;
+      ++complete;
+      // Every complete event needs the full Chrome shape.
+      e.at("name");
+      e.at("cat");
+      const double ts = e.at("ts").number;
+      const double dur = e.at("dur").number;
+      if (ts < 0 || dur < 0) {
+        std::cerr << "negative ts/dur on event '" << e.at("name").string
+                  << "'\n";
+        return 1;
+      }
+      if (static_cast<int>(e.at("pid").number) == 1) {
+        sim_lanes[static_cast<int>(e.at("tid").number)].push_back({ts, dur});
+      }
+    }
+    if (complete == 0 || sim_lanes.empty()) {
+      std::cerr << "no simulated-time events — trace is empty\n";
+      return 1;
+    }
+    for (auto& [tid, spans] : sim_lanes) {
+      std::sort(spans.begin(), spans.end(),
+                [](const Span& a, const Span& b) { return a.ts < b.ts; });
+      for (std::size_t i = 1; i < spans.size(); ++i) {
+        if (spans[i].ts < spans[i - 1].ts + spans[i - 1].dur) {
+          std::cerr << "overlapping events on sim lane tid " << tid
+                    << " near ts " << spans[i].ts << "\n";
+          return 1;
+        }
+      }
+    }
+    std::cout << argv[1] << ": " << complete << " events, "
+              << sim_lanes.size() << " sim lanes, all monotone\n";
+  } catch (const std::exception& e) {
+    std::cerr << "invalid trace document: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
