@@ -1,7 +1,6 @@
 #include "compress/huffman.hpp"
 
 #include <algorithm>
-#include <map>
 #include <queue>
 
 #include "util/bitio.hpp"
@@ -11,6 +10,13 @@ namespace mocha::compress {
 namespace {
 
 constexpr int kMaxCodeLen = 48;  // sanity bound; real streams stay far below
+
+// Width of the direct-mapped decode table. Codes at most this long decode
+// with one peek + one table hit; longer codes (rare: they need very skewed
+// histograms) fall back to the canonical bit-at-a-time walk.
+constexpr int kDecodeTableBits = 11;
+
+constexpr std::size_t kSymbolSpace = 1u << 16;  // Value is 16-bit
 
 struct CanonicalEntry {
   std::uint16_t symbol;
@@ -39,6 +45,18 @@ std::vector<std::uint64_t> assign_codes(
     prev_len = entries[i].length;
   }
   return codes;
+}
+
+/// Reverses the low `len` bits of `code`. The body stream stores each code
+/// MSB-first while BitWriter packs LSB-first, so a whole code can be emitted
+/// with one put() by pre-reversing it: put(reverse(code, len), len) appends
+/// bit len-1 of `code` first — exactly what the per-bit loop used to do.
+std::uint64_t reverse_bits(std::uint64_t code, int len) {
+  std::uint64_t rev = 0;
+  for (int i = 0; i < len; ++i) {
+    rev = (rev << 1) | ((code >> i) & 1u);
+  }
+  return rev;
 }
 
 }  // namespace
@@ -88,16 +106,18 @@ std::vector<int> HuffmanCodec::code_lengths(
 
 std::vector<std::uint8_t> HuffmanCodec::encode(
     std::span<const nn::Value> values) const {
-  // Histogram in canonical symbol order (std::map keeps it deterministic).
-  std::map<std::uint16_t, std::uint64_t> histogram;
+  // Flat histogram over the full 16-bit symbol space; the ascending scan
+  // below visits symbols in the same order the old std::map iteration did,
+  // so the emitted header (and hence the whole stream) is unchanged.
+  std::vector<std::uint64_t> histogram(kSymbolSpace, 0);
   for (nn::Value v : values) ++histogram[static_cast<std::uint16_t>(v)];
 
   std::vector<std::uint16_t> symbols;
   std::vector<std::uint64_t> freqs;
-  symbols.reserve(histogram.size());
-  for (const auto& [symbol, freq] : histogram) {
-    symbols.push_back(symbol);
-    freqs.push_back(freq);
+  for (std::size_t s = 0; s < kSymbolSpace; ++s) {
+    if (histogram[s] == 0) continue;
+    symbols.push_back(static_cast<std::uint16_t>(s));
+    freqs.push_back(histogram[s]);
   }
   const std::vector<int> lengths = code_lengths(freqs);
 
@@ -108,10 +128,13 @@ std::vector<std::uint8_t> HuffmanCodec::encode(
   canonical_sort(entries);
   const std::vector<std::uint64_t> codes = assign_codes(entries);
 
-  // Per-symbol lookup for the encoding pass.
-  std::map<std::uint16_t, std::pair<std::uint64_t, int>> table;
+  // Flat symbol -> (pre-reversed code, length) lookup, packed into one word
+  // per symbol ((rev << 6) | len fits: 48 code bits + 6 length bits).
+  std::vector<std::uint64_t> table(kSymbolSpace, 0);
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    table[entries[i].symbol] = {codes[i], entries[i].length};
+    table[entries[i].symbol] =
+        (reverse_bits(codes[i], entries[i].length) << 6) |
+        static_cast<std::uint64_t>(entries[i].length);
   }
 
   util::BitWriter writer;
@@ -121,10 +144,8 @@ std::vector<std::uint8_t> HuffmanCodec::encode(
     writer.put(static_cast<std::uint64_t>(e.length), 6);
   }
   for (nn::Value v : values) {
-    const auto& [code, len] = table.at(static_cast<std::uint16_t>(v));
-    for (int bit = len - 1; bit >= 0; --bit) {
-      writer.put_bit((code >> bit) & 1u);
-    }
+    const std::uint64_t packed = table[static_cast<std::uint16_t>(v)];
+    writer.put(packed >> 6, static_cast<int>(packed & 63u));
   }
   return writer.finish();
 }
@@ -147,7 +168,8 @@ std::vector<nn::Value> HuffmanCodec::decode(std::span<const std::uint8_t> coded,
   const std::vector<std::uint64_t> codes = assign_codes(entries);
 
   // Canonical decode tables: for each length, the first code and the index
-  // of its first symbol in canonical order.
+  // of its first symbol in canonical order. These drive the bit-at-a-time
+  // fallback for codes longer than the direct table.
   std::vector<std::uint64_t> first_code(kMaxCodeLen + 1, 0);
   std::vector<std::size_t> first_index(kMaxCodeLen + 1, 0);
   std::vector<std::size_t> count_at(kMaxCodeLen + 1, 0);
@@ -160,13 +182,58 @@ std::vector<nn::Value> HuffmanCodec::decode(std::span<const std::uint8_t> coded,
     ++count_at[len];
   }
 
+  // Direct-mapped table indexed by the next kDecodeTableBits stream bits
+  // (stream order == reversed code, so short codes occupy the low bits and
+  // every suffix of the index maps to the same entry). 0 means "not covered
+  // — take the fallback".
+  std::vector<std::uint32_t> fast(1u << kDecodeTableBits, 0);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const int len = entries[i].length;
+    if (len > kDecodeTableBits) break;  // canonical order: lengths ascend
+    const std::uint64_t base = reverse_bits(codes[i], len);
+    const std::uint32_t packed =
+        (static_cast<std::uint32_t>(entries[i].symbol) << 6) |
+        static_cast<std::uint32_t>(len);
+    for (std::uint64_t hi = 0; hi < (1u << (kDecodeTableBits - len)); ++hi) {
+      fast[base | (hi << len)] = packed;
+    }
+  }
+
+  // Decode the body straight off the byte buffer: peeks may extend past the
+  // final byte, so read through a zero-padded copy (zero bits there can
+  // never complete a valid symbol — truncation is still caught below).
+  std::vector<std::uint8_t> padded(coded.begin(), coded.end());
+  padded.resize(coded.size() + 8, 0);
+  const std::size_t total_bits = coded.size() * 8;
+  std::size_t pos = reader.position_bits();
+
+  const auto peek64 = [&padded](std::size_t bit_pos) {
+    const std::uint8_t* p = padded.data() + (bit_pos >> 3);
+    std::uint64_t word = 0;
+    for (int i = 0; i < 8; ++i) {
+      word |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    return word >> (bit_pos & 7);
+  };
+
   std::vector<nn::Value> out;
   out.reserve(count);
   while (out.size() < count) {
+    const std::uint32_t hit =
+        fast[peek64(pos) & ((1u << kDecodeTableBits) - 1)];
+    if (hit != 0) {
+      pos += hit & 63u;
+      MOCHA_CHECK(pos <= total_bits, "huffman stream truncated");
+      out.push_back(static_cast<nn::Value>(
+          static_cast<std::uint16_t>(hit >> 6)));
+      continue;
+    }
     std::uint64_t code = 0;
     int len = 0;
     for (;;) {
-      code = (code << 1) | (reader.get_bit() ? 1u : 0u);
+      MOCHA_CHECK(pos < total_bits, "bit read past end: pos=" << pos);
+      code = (code << 1) | (peek64(pos) & 1u);
+      ++pos;
       ++len;
       MOCHA_CHECK(len <= kMaxCodeLen, "huffman decode ran away");
       if (count_at[len] > 0 && code >= first_code[len] &&

@@ -15,11 +15,15 @@ std::vector<std::uint8_t> ZrleCodec::encode(
         ++run;
         ++i;
       }
-      writer.put_bit(true);
-      writer.put(run & 0xFF, 8);  // 256 wraps to 0 by construction
+      // Flag and payload fused into one put: LSB-first packing makes
+      // put((payload << 1) | flag, w + 1) bit-identical to put_bit(flag)
+      // followed by put(payload, w). (256 wraps to 0 by construction.)
+      writer.put(((run & 0xFF) << 1) | 1u, 9);
     } else {
-      writer.put_bit(false);
-      writer.put(static_cast<std::uint16_t>(values[i]), 16);
+      writer.put(static_cast<std::uint64_t>(
+                     static_cast<std::uint16_t>(values[i]))
+                     << 1,
+                 17);
       ++i;
     }
   }

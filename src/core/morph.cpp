@@ -133,9 +133,11 @@ struct SearchContext {
     return out;
   }
 
-  void evaluate(const NetworkPlan::Group& group,
-                std::vector<LayerPlan> plans,
-                std::vector<GroupCandidate>* out) const {
+  /// Scores one candidate plan set. Pure (no shared mutable state), so the
+  /// enumerators can fan candidate evaluations across the pool and collect
+  /// the results in index order — bit-identical to the serial sweep.
+  GroupCandidate evaluate(const NetworkPlan::Group& group,
+                          std::vector<LayerPlan> plans) const {
     MOCHA_METRIC_ADD("planner.candidates_evaluated", 1);
     const NetworkPlan plan = scratch_plan(net, group, plans);
     const CostEstimate est = dataflow::estimate_group_cost(
@@ -157,7 +159,24 @@ struct SearchContext {
       candidate.score *= 1e6 * static_cast<double>(est.footprint_bytes) /
                          static_cast<double>(std::max<std::int64_t>(1, sram_budget()));
     }
-    out->push_back(std::move(candidate));
+    return candidate;
+  }
+
+  /// Evaluates every plan set in `plan_sets` (built serially, in the
+  /// enumeration's canonical nesting order) across the thread pool. The
+  /// grain floor of 8 matters: one analytical evaluation is microseconds,
+  /// so per-candidate chunks would spend more time in dispatch than in
+  /// scoring — the old per-layer parallelization beat per-candidate chunks
+  /// at 4 threads for exactly that reason.
+  std::vector<GroupCandidate> evaluate_all(
+      const NetworkPlan::Group& group,
+      std::vector<std::vector<LayerPlan>> plan_sets) const {
+    const auto n = static_cast<std::int64_t>(plan_sets.size());
+    return util::parallel_transform<GroupCandidate>(
+        n, util::default_grain(n, 8), [&](std::int64_t i) {
+          return evaluate(group,
+                          std::move(plan_sets[static_cast<std::size_t>(i)]));
+        });
   }
 };
 
@@ -233,7 +252,9 @@ std::vector<GroupCandidate> enumerate_single(const SearchContext& ctx,
   const CodecCombo guess = default_combo(ctx.compression_on());
 
   // Stage A: geometry / order / parallelism under the default codec guess.
-  std::vector<GroupCandidate> stage_a;
+  // The nest builds the candidate list serially (canonical order), then the
+  // context evaluates it across the pool.
+  std::vector<std::vector<LayerPlan>> stage_a_sets;
   for (Index th : th_options) {
     for (Index tw : tw_options) {
       for (Index tm : tm_options) {
@@ -274,16 +295,18 @@ std::vector<GroupCandidate> enumerate_single(const SearchContext& ctx,
             plan.kernel_codec = layer.has_weights() ? guess.kernel
                                                     : CodecKind::None;
             plan.ofmap_codec = guess.ofmap;
-            ctx.evaluate(group, {plan}, &stage_a);
+            stage_a_sets.push_back({plan});
           }
         }
       }
     }
   }
+  std::vector<GroupCandidate> stage_a =
+      ctx.evaluate_all(group, std::move(stage_a_sets));
   keep_best(&stage_a, 6);
 
   // Stage B: codec sweep around the surviving geometries.
-  std::vector<GroupCandidate> stage_b;
+  std::vector<std::vector<LayerPlan>> stage_b_sets;
   for (const GroupCandidate& base : stage_a) {
     for (const CodecCombo& combo :
          codec_combos(ctx.compression_on(), ctx.options.allow_huffman,
@@ -292,9 +315,11 @@ std::vector<GroupCandidate> enumerate_single(const SearchContext& ctx,
       plan.ifmap_codec = combo.ifmap;
       plan.kernel_codec = combo.kernel;
       plan.ofmap_codec = combo.ofmap;
-      ctx.evaluate(group, {plan}, &stage_b);
+      stage_b_sets.push_back({plan});
     }
   }
+  std::vector<GroupCandidate> stage_b =
+      ctx.evaluate_all(group, std::move(stage_b_sets));
   keep_best(&stage_b, keep);
   return stage_b;
 }
@@ -342,29 +367,30 @@ std::vector<GroupCandidate> enumerate_fused(const SearchContext& ctx,
     return plans;
   };
 
-  std::vector<GroupCandidate> stage_a;
+  std::vector<std::vector<LayerPlan>> stage_a_sets;
   for (Index th : th_options) {
     for (Index tw : tw_options) {
       for (auto [inter, intra] : par_options) {
-        ctx.evaluate(group, make_plans(th, tw, inter, intra, guess),
-                     &stage_a);
+        stage_a_sets.push_back(make_plans(th, tw, inter, intra, guess));
       }
     }
   }
+  std::vector<GroupCandidate> stage_a =
+      ctx.evaluate_all(group, std::move(stage_a_sets));
   keep_best(&stage_a, 4);
 
-  std::vector<GroupCandidate> stage_b;
+  std::vector<std::vector<LayerPlan>> stage_b_sets;
   for (const GroupCandidate& base : stage_a) {
     const LayerPlan& tail_plan = base.plans.back();
     for (const CodecCombo& combo : codec_combos(
              ctx.compression_on(), ctx.options.allow_huffman, true)) {
-      ctx.evaluate(group,
-                   make_plans(tail_plan.tile.th, tail_plan.tile.tw,
-                              tail_plan.inter_groups, tail_plan.intra_groups,
-                              combo),
-                   &stage_b);
+      stage_b_sets.push_back(
+          make_plans(tail_plan.tile.th, tail_plan.tile.tw,
+                     tail_plan.inter_groups, tail_plan.intra_groups, combo));
     }
   }
+  std::vector<GroupCandidate> stage_b =
+      ctx.evaluate_all(group, std::move(stage_b_sets));
   keep_best(&stage_b, keep);
   return stage_b;
 }
@@ -460,26 +486,22 @@ dataflow::NetworkPlan MorphController::plan_traced(
   const std::size_t max_len =
       options_.allow_fusion ? std::max<std::size_t>(1, options_.max_fusion_len)
                             : 1;
-  // Per-layer candidate sweeps run concurrently: each layer index writes
-  // only its own group_candidates slot and every enumerate_* call is a pure
-  // function of the (shared, read-only) search context, so the candidate
-  // sets — including their internal ranking order — match the serial sweep
-  // exactly.
+  // The layer loop stays serial: parallelism lives *inside* each
+  // enumerate_* call, where SearchContext::evaluate_all fans the candidate
+  // evaluations across the pool in meaty chunks. Parallelizing over layers
+  // instead (grain 1) load-balances badly — networks have few layers, with
+  // wildly uneven candidate counts, so at 4 threads one straggler layer
+  // left the other lanes idle and the sweep ran *slower* than serial.
   std::vector<std::vector<std::vector<GroupCandidate>>> group_candidates(n);
-  util::parallel_for(
-      0, static_cast<std::int64_t>(n), 1,
-      [&](std::int64_t lb, std::int64_t le) {
-        for (std::int64_t l = lb; l < le; ++l) {
-          const auto i = static_cast<std::size_t>(l);
-          group_candidates[i].resize(max_len);
-          group_candidates[i][0] = enumerate_single(ctx, i, keep);
-          for (std::size_t len = 2; len <= max_len; ++len) {
-            const std::size_t j = i + len - 1;
-            if (j >= n || !fusable(net, i, j)) break;
-            group_candidates[i][len - 1] = enumerate_fused(ctx, i, j, keep);
-          }
-        }
-      });
+  for (std::size_t i = 0; i < n; ++i) {
+    group_candidates[i].resize(max_len);
+    group_candidates[i][0] = enumerate_single(ctx, i, keep);
+    for (std::size_t len = 2; len <= max_len; ++len) {
+      const std::size_t j = i + len - 1;
+      if (j >= n || !fusable(net, i, j)) break;
+      group_candidates[i][len - 1] = enumerate_fused(ctx, i, j, keep);
+    }
+  }
 
   // Dynamic program over the chain segmentation, scored analytically.
   constexpr double kInf = std::numeric_limits<double>::infinity();

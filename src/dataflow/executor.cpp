@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "dataflow/tiling.hpp"
+#include "nn/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -12,185 +13,27 @@ namespace mocha::dataflow {
 
 namespace {
 
-using nn::Accum;
 using nn::LayerKind;
 using nn::LayerSpec;
 using nn::Value;
 using nn::ValueTensor;
 
-/// A tile-local activation buffer covering a spatial window of a feature
-/// map. Reads outside the window are either padding (legal, returns 0) or a
-/// geometry bug (fatal) — this check is the executor's core verification.
-struct RegionView {
-  const ValueTensor* tensor = nullptr;  // full tensor (origin 0), or
-  const ValueTensor* local = nullptr;   // tile-local buffer with origin
-  Index origin_y = 0;
-  Index origin_x = 0;
-  Index full_h = 0;  // the underlying feature map's true extent
-  Index full_w = 0;
-
-  Value read(Index c, Index gy, Index gx) const {
-    if (gy < 0 || gy >= full_h || gx < 0 || gx >= full_w) {
-      return 0;  // zero padding
-    }
-    if (tensor != nullptr) {
-      // In bounds by the check above plus the group-entry shape check;
-      // unchecked access keeps the innermost MAC loop lean.
-      return tensor->at_unchecked(0, c, gy, gx);
-    }
-    const Index ly = gy - origin_y;
-    const Index lx = gx - origin_x;
-    MOCHA_CHECK(ly >= 0 && ly < local->shape().h && lx >= 0 &&
-                    lx < local->shape().w,
-                "fused pyramid geometry bug: read (" << gy << "," << gx
-                    << ") outside tile buffer at origin (" << origin_y << ","
-                    << origin_x << ") size " << local->shape().h << "x"
-                    << local->shape().w);
-    return local->at_unchecked(0, c, ly, lx);
-  }
-};
-
-RegionView full_view(const ValueTensor& t, const LayerSpec& layer) {
-  RegionView v;
-  v.tensor = &t;
-  v.full_h = layer.in_h;
-  v.full_w = layer.in_w;
-  return v;
-}
-
-/// Computes one layer's output over the given output region, reading inputs
-/// through `in`. Channel passes of width tc accumulate explicitly (the same
-/// decomposition the scheduler uses), so pass bookkeeping is exercised.
-///
-/// Output channels are computed in parallel: each map writes a disjoint
-/// slice of `out` and owns its accumulator, so the result is bit-identical
-/// to the serial walk. All layer parameters are hoisted out of the element
-/// loops; the kind dispatch happens once, not per output element.
-void compute_region(const LayerSpec& layer, const RegionView& in,
-                    const ValueTensor& w, Range out_y, Range out_x, Index tc,
-                    const nn::Quant& quant, ValueTensor* out, Index out_oy,
-                    Index out_ox) {
-  const bool fc = layer.kind == LayerKind::FullyConnected;
-  const Index kernel = fc ? 1 : layer.kernel;
-  const Index stride = fc ? 1 : layer.stride;
-  const Index pad = fc ? 0 : layer.pad;
-  const Index m_total = layer.out_channels();
-  const bool relu = layer.relu;
-
-  auto for_maps = [&](auto&& body) {
-    util::parallel_for(0, m_total, util::default_grain(m_total),
-                       [&](Index mb, Index me) {
-                         for (Index m = mb; m < me; ++m) body(m);
-                       });
-  };
-
-  switch (layer.kind) {
-    case LayerKind::DepthwiseConv: {
-      for_maps([&](Index m) {
-        for (Index y = out_y.begin; y < out_y.end(); ++y) {
-          for (Index x = out_x.begin; x < out_x.end(); ++x) {
-            Accum acc = 0;
-            const Index base_y = y * stride - pad;
-            const Index base_x = x * stride - pad;
-            for (Index ky = 0; ky < kernel; ++ky) {
-              for (Index kx = 0; kx < kernel; ++kx) {
-                acc += static_cast<Accum>(in.read(m, base_y + ky,
-                                                  base_x + kx)) *
-                       static_cast<Accum>(w.at_unchecked(m, 0, ky, kx));
-              }
-            }
-            out->at_unchecked(0, m, y - out_y.begin + out_oy,
-                              x - out_x.begin + out_ox) =
-                quant.requantize(acc, relu);
-          }
-        }
-      });
-      break;
-    }
-    case LayerKind::Pool: {
-      if (layer.pool_op == nn::PoolOp::Max) {
-        for_maps([&](Index m) {
-          for (Index y = out_y.begin; y < out_y.end(); ++y) {
-            for (Index x = out_x.begin; x < out_x.end(); ++x) {
-              Value best = std::numeric_limits<Value>::min();
-              for (Index ky = 0; ky < kernel; ++ky) {
-                for (Index kx = 0; kx < kernel; ++kx) {
-                  best = std::max(best, in.read(m, y * stride + ky,
-                                                x * stride + kx));
-                }
-              }
-              out->at_unchecked(0, m, y - out_y.begin + out_oy,
-                                x - out_x.begin + out_ox) = best;
-            }
-          }
-        });
-      } else {
-        const Index window = kernel * kernel;
-        for_maps([&](Index m) {
-          for (Index y = out_y.begin; y < out_y.end(); ++y) {
-            for (Index x = out_x.begin; x < out_x.end(); ++x) {
-              Accum sum = 0;
-              for (Index ky = 0; ky < kernel; ++ky) {
-                for (Index kx = 0; kx < kernel; ++kx) {
-                  sum += in.read(m, y * stride + ky, x * stride + kx);
-                }
-              }
-              out->at_unchecked(0, m, y - out_y.begin + out_oy,
-                                x - out_x.begin + out_ox) =
-                  static_cast<Value>(sum / window);
-            }
-          }
-        });
-      }
-      break;
-    }
-    case LayerKind::Conv:
-    case LayerKind::FullyConnected: {
-      const Index in_c = layer.in_c;
-      for_maps([&](Index m) {
-        for (Index y = out_y.begin; y < out_y.end(); ++y) {
-          for (Index x = out_x.begin; x < out_x.end(); ++x) {
-            // Explicit channel-pass accumulation: partials per tc chunk.
-            Accum acc = 0;
-            const Index base_y = y * stride - pad;
-            const Index base_x = x * stride - pad;
-            for (Index c0 = 0; c0 < in_c; c0 += tc) {
-              const Index c1 = std::min(in_c, c0 + tc);
-              Accum partial = 0;
-              for (Index c = c0; c < c1; ++c) {
-                for (Index ky = 0; ky < kernel; ++ky) {
-                  for (Index kx = 0; kx < kernel; ++kx) {
-                    partial += static_cast<Accum>(
-                                   in.read(c, base_y + ky, base_x + kx)) *
-                               static_cast<Accum>(
-                                   w.at_unchecked(m, c, ky, kx));
-                  }
-                }
-              }
-              acc += partial;
-            }
-            out->at_unchecked(0, m, y - out_y.begin + out_oy,
-                              x - out_x.begin + out_ox) =
-                quant.requantize(acc, relu);
-          }
-        }
-      });
-      break;
-    }
-  }
-}
-
-/// Round-trips `values` through the codec, asserting exact recovery, and
-/// returns the coded byte count. With codec None, returns the raw size.
-std::int64_t roundtrip_bytes(const compress::Codec& codec,
-                             std::span<const Value> values) {
+/// Measures one coded stream: encodes through the codec and returns the
+/// coded byte count. With options.verify_codecs the stream is also decoded
+/// and compared element-exact (the executor's codec verification); benches
+/// disable that to measure coded bytes at encode-only cost — the byte
+/// counts, and therefore the bench checksums, are identical either way.
+std::int64_t measure_coded_bytes(const compress::Codec& codec,
+                                 std::span<const Value> values, bool verify) {
   MOCHA_TRACE_SCOPE("codec.roundtrip", "codec");
   const std::vector<std::uint8_t> coded = codec.encode(values);
-  const std::vector<Value> back = codec.decode(coded, values.size());
-  MOCHA_CHECK(back.size() == values.size(), "codec changed stream length");
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    MOCHA_CHECK(back[i] == values[i],
-                codec.name() << " round trip mismatch at " << i);
+  if (verify) {
+    const std::vector<Value> back = codec.decode(coded, values.size());
+    MOCHA_CHECK(back.size() == values.size(), "codec changed stream length");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      MOCHA_CHECK(back[i] == values[i],
+                  codec.name() << " round trip mismatch at " << i);
+    }
   }
   MOCHA_METRIC_ADD("executor.codec_bytes_in",
                    static_cast<std::int64_t>(values.size() * sizeof(Value)));
@@ -199,9 +42,9 @@ std::int64_t roundtrip_bytes(const compress::Codec& codec,
   return static_cast<std::int64_t>(coded.size());
 }
 
-std::int64_t roundtrip_bytes(compress::CodecKind kind,
-                             std::span<const Value> values) {
-  return roundtrip_bytes(*compress::make_codec(kind), values);
+std::int64_t measure_coded_bytes(compress::CodecKind kind,
+                                 std::span<const Value> values, bool verify) {
+  return measure_coded_bytes(*compress::make_codec(kind), values, verify);
 }
 
 /// Extracts the (clamped) input region of `tensor` as a flat stream, the
@@ -218,13 +61,12 @@ void extract_region(const ValueTensor& tensor, Index c_begin, Index c_end,
   if (out->capacity() >= needed) {
     MOCHA_METRIC_ADD("executor.scratch_reuse_hits", 1);
   }
-  out->clear();
-  out->reserve(needed);
+  out->resize(needed);
+  Value* dst = out->data();
   for (Index c = c_begin; c < c_end; ++c) {
     for (Index y = ry.begin; y < ry.end(); ++y) {
-      for (Index x = rx.begin; x < rx.end(); ++x) {
-        out->push_back(tensor.at_unchecked(0, c, y, x));
-      }
+      const Value* src = &tensor.at_unchecked(0, c, y, rx.begin);
+      dst = std::copy(src, src + rx.size, dst);
     }
   }
 }
@@ -254,10 +96,11 @@ FunctionalResult run_functional(const nn::Network& net,
     result.streams[i].kernel_raw =
         weights[i].size() * static_cast<Index>(sizeof(Value));
     if (options.exercise_codecs) {
-      result.streams[i].kernel_coded = roundtrip_bytes(
+      result.streams[i].kernel_coded = measure_coded_bytes(
           plan.layers[i].kernel_codec,
           std::span<const Value>(weights[i].data(),
-                                 static_cast<std::size_t>(weights[i].size())));
+                                 static_cast<std::size_t>(weights[i].size())),
+          options.verify_codecs);
     }
   }
 
@@ -323,35 +166,36 @@ FunctionalResult run_functional(const nn::Network& net,
         if (ifmap_codec != nullptr) {
           extract_region(*current, 0, head.in_c, pyramid.front().in_y,
                          pyramid.front().in_x, &scratch);
-          tile_coded[static_cast<std::size_t>(ti)] = roundtrip_bytes(
+          tile_coded[static_cast<std::size_t>(ti)] = measure_coded_bytes(
               *ifmap_codec,
-              std::span<const Value>(scratch.data(), scratch.size()));
+              std::span<const Value>(scratch.data(), scratch.size()),
+              options.verify_codecs);
         }
 
         // Walk the pyramid: stage k writes a tile-local buffer that stage
-        // k+1 reads through a RegionView with origin checking.
+        // k+1 reads through a zero-padded view with origin checking. The
+        // packed microkernels run the padding-free interior of each stage
+        // with raw row loops; only the border ring takes the checked path
+        // (nn/kernels.hpp — the same backend as the reference kernels).
         ValueTensor stage_buffer;
         Index stage_oy = 0;
         Index stage_ox = 0;
         for (std::size_t l = group.first; l <= group.last; ++l) {
           const LayerSpec& layer = net.layers[l];
           const TileGeometry& geo = pyramid[l - group.first];
-          RegionView in;
-          if (l == group.first) {
-            in = full_view(*current, layer);
-          } else {
-            in.local = &stage_buffer;
-            in.origin_y = stage_oy;
-            in.origin_x = stage_ox;
-            in.full_h = layer.in_h;
-            in.full_w = layer.in_w;
-          }
+          const nn::kernels::PaddedInput in =
+              l == group.first
+                  ? nn::kernels::PaddedInput::full(*current, layer.in_h,
+                                                   layer.in_w)
+                  : nn::kernels::PaddedInput::local(stage_buffer, stage_oy,
+                                                    stage_ox, layer.in_h,
+                                                    layer.in_w);
           ValueTensor out_tile(
               {1, layer.out_channels(), geo.out_y.size, geo.out_x.size});
-          compute_region(layer, in, weights[l], geo.out_y, geo.out_x,
-                         group.size() == 1 ? plan.layers[l].tile.tc
-                                           : layer.in_c,
-                         options.quant, &out_tile, 0, 0);
+          nn::kernels::run_layer_region(
+              layer, in, weights[l], {geo.out_y.begin, geo.out_y.size},
+              {geo.out_x.begin, geo.out_x.size}, options.quant, &out_tile, 0,
+              0);
           // Commit this stage's tile into its full output tensor.
           {
             std::unique_lock<std::mutex> lock(commit_mu, std::defer_lock);
@@ -359,11 +203,10 @@ FunctionalResult run_functional(const nn::Network& net,
             ValueTensor& full = result.outputs[l];
             for (Index c = 0; c < layer.out_channels(); ++c) {
               for (Index y = 0; y < geo.out_y.size; ++y) {
-                for (Index x = 0; x < geo.out_x.size; ++x) {
-                  full.at_unchecked(0, c, geo.out_y.begin + y,
-                                    geo.out_x.begin + x) =
-                      out_tile.at_unchecked(0, c, y, x);
-                }
+                const Value* src = &out_tile.at_unchecked(0, c, y, 0);
+                Value* dst = &full.at_unchecked(0, c, geo.out_y.begin + y,
+                                                geo.out_x.begin);
+                std::copy(src, src + geo.out_x.size, dst);
               }
             }
           }
@@ -383,10 +226,11 @@ FunctionalResult run_functional(const nn::Network& net,
     result.streams[group.last].ofmap_raw =
         tail_out.size() * static_cast<Index>(sizeof(Value));
     if (options.exercise_codecs) {
-      result.streams[group.last].ofmap_coded = roundtrip_bytes(
+      result.streams[group.last].ofmap_coded = measure_coded_bytes(
           tail_plan.ofmap_codec,
           std::span<const Value>(tail_out.data(),
-                                 static_cast<std::size_t>(tail_out.size())));
+                                 static_cast<std::size_t>(tail_out.size())),
+          options.verify_codecs);
     }
 
     current = &result.outputs[group.last];

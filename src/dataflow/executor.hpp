@@ -48,6 +48,11 @@ struct FunctionalOptions {
   /// decode matches). Disable only for large sweeps where the coded sizes
   /// are not needed.
   bool exercise_codecs = true;
+  /// With exercise_codecs, also decode every coded stream and assert it
+  /// matches the input element-exact. The measured coded byte counts are
+  /// identical either way, so benchmarks turn this off to price streams at
+  /// encode-only cost while tests keep the full round-trip proof.
+  bool verify_codecs = true;
 };
 
 /// Executes `net` under `plan` on a real input. `weights[i]` must match

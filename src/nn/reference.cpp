@@ -1,15 +1,17 @@
 #include "nn/reference.hpp"
 
-#include "util/parallel.hpp"
+#include "nn/kernels.hpp"
 
 namespace mocha::nn {
 
-// The reference kernels parallelize over output channels (depthwise/pool:
-// input channels): each channel owns its accumulators and writes a disjoint
-// slice of the output tensor, so the parallel result is bit-identical to the
-// serial walk. Inner loops use unchecked element access — the bounds are
-// established once by the shape checks at entry and the explicit edge
-// clamping.
+// The reference entry points validate shapes, then run the packed
+// microkernels (nn/kernels.hpp) over the whole output: the same interior/
+// border-split, register-blocked, zero-skipping loops the tiled executor
+// uses, which keeps exactly one compute implementation in the tree. The
+// kernels shard output channels across the thread pool; disjoint slices
+// make the parallel result bit-identical to the serial walk, and integer
+// arithmetic makes the packed loops bit-identical to the naive loop nests
+// (tests/nn/kernels_test.cpp keeps a naive oracle to enforce this).
 
 ValueTensor conv2d_ref(const ValueTensor& input, const ValueTensor& weights,
                        const LayerSpec& layer, const Quant& quant) {
@@ -20,31 +22,9 @@ ValueTensor conv2d_ref(const ValueTensor& input, const ValueTensor& weights,
               layer.name << ": weight shape mismatch");
 
   ValueTensor out(layer.output_shape());
-  const Index oh = layer.out_h();
-  const Index ow = layer.out_w();
-  util::parallel_for(0, layer.out_c, util::default_grain(layer.out_c),
-                     [&](Index mb, Index me) {
-    for (Index m = mb; m < me; ++m) {
-      for (Index y = 0; y < oh; ++y) {
-        for (Index x = 0; x < ow; ++x) {
-          Accum acc = 0;
-          for (Index c = 0; c < layer.in_c; ++c) {
-            for (Index ky = 0; ky < layer.kernel; ++ky) {
-              const Index iy = y * layer.stride + ky - layer.pad;
-              if (iy < 0 || iy >= layer.in_h) continue;
-              for (Index kx = 0; kx < layer.kernel; ++kx) {
-                const Index ix = x * layer.stride + kx - layer.pad;
-                if (ix < 0 || ix >= layer.in_w) continue;
-                acc += static_cast<Accum>(input.at_unchecked(0, c, iy, ix)) *
-                       static_cast<Accum>(weights.at_unchecked(m, c, ky, kx));
-              }
-            }
-          }
-          out.at_unchecked(0, m, y, x) = quant.requantize(acc, layer.relu);
-        }
-      }
-    }
-  });
+  kernels::run_layer_region(
+      layer, kernels::PaddedInput::full(input, layer.in_h, layer.in_w),
+      weights, {0, layer.out_h()}, {0, layer.out_w()}, quant, &out, 0, 0);
   return out;
 }
 
@@ -58,29 +38,9 @@ ValueTensor depthwise_ref(const ValueTensor& input, const ValueTensor& weights,
               layer.name << ": weight shape mismatch");
 
   ValueTensor out(layer.output_shape());
-  const Index oh = layer.out_h();
-  const Index ow = layer.out_w();
-  util::parallel_for(0, layer.in_c, util::default_grain(layer.in_c),
-                     [&](Index cb, Index ce) {
-    for (Index c = cb; c < ce; ++c) {
-      for (Index y = 0; y < oh; ++y) {
-        for (Index x = 0; x < ow; ++x) {
-          Accum acc = 0;
-          for (Index ky = 0; ky < layer.kernel; ++ky) {
-            const Index iy = y * layer.stride + ky - layer.pad;
-            if (iy < 0 || iy >= layer.in_h) continue;
-            for (Index kx = 0; kx < layer.kernel; ++kx) {
-              const Index ix = x * layer.stride + kx - layer.pad;
-              if (ix < 0 || ix >= layer.in_w) continue;
-              acc += static_cast<Accum>(input.at_unchecked(0, c, iy, ix)) *
-                     static_cast<Accum>(weights.at_unchecked(c, 0, ky, kx));
-            }
-          }
-          out.at_unchecked(0, c, y, x) = quant.requantize(acc, layer.relu);
-        }
-      }
-    }
-  });
+  kernels::run_layer_region(
+      layer, kernels::PaddedInput::full(input, layer.in_h, layer.in_w),
+      weights, {0, layer.out_h()}, {0, layer.out_w()}, quant, &out, 0, 0);
   return out;
 }
 
@@ -90,40 +50,11 @@ ValueTensor pool_ref(const ValueTensor& input, const LayerSpec& layer) {
               layer.name << ": input shape mismatch");
 
   ValueTensor out(layer.output_shape());
-  const Index oh = layer.out_h();
-  const Index ow = layer.out_w();
-  const Index window = layer.kernel * layer.kernel;
-  util::parallel_for(0, layer.in_c, util::default_grain(layer.in_c),
-                     [&](Index cb, Index ce) {
-    for (Index c = cb; c < ce; ++c) {
-      for (Index y = 0; y < oh; ++y) {
-        for (Index x = 0; x < ow; ++x) {
-          if (layer.pool_op == PoolOp::Max) {
-            Value best = std::numeric_limits<Value>::min();
-            for (Index ky = 0; ky < layer.kernel; ++ky) {
-              for (Index kx = 0; kx < layer.kernel; ++kx) {
-                best = std::max(
-                    best, input.at_unchecked(0, c, y * layer.stride + ky,
-                                             x * layer.stride + kx));
-              }
-            }
-            out.at_unchecked(0, c, y, x) = best;
-          } else {
-            Accum sum = 0;
-            for (Index ky = 0; ky < layer.kernel; ++ky) {
-              for (Index kx = 0; kx < layer.kernel; ++kx) {
-                sum += input.at_unchecked(0, c, y * layer.stride + ky,
-                                          x * layer.stride + kx);
-              }
-            }
-            // Truncating division toward zero: what a shift-free hardware
-            // divider-by-constant emits for the 2x2/3x3 windows used here.
-            out.at_unchecked(0, c, y, x) = static_cast<Value>(sum / window);
-          }
-        }
-      }
-    }
-  });
+  const ValueTensor no_weights;
+  kernels::run_layer_region(
+      layer, kernels::PaddedInput::full(input, layer.in_h, layer.in_w),
+      no_weights, {0, layer.out_h()}, {0, layer.out_w()}, Quant{}, &out, 0,
+      0);
   return out;
 }
 
@@ -137,18 +68,10 @@ ValueTensor fc_ref(const ValueTensor& input, const ValueTensor& weights,
               layer.name << ": weight shape mismatch");
 
   ValueTensor out(layer.output_shape());
-  const Value* flat = input.data();
-  util::parallel_for(0, layer.out_c, util::default_grain(layer.out_c),
-                     [&](Index mb, Index me) {
-    for (Index m = mb; m < me; ++m) {
-      Accum acc = 0;
-      for (Index i = 0; i < fan_in; ++i) {
-        acc += static_cast<Accum>(flat[i]) *
-               static_cast<Accum>(weights.at_unchecked(m, i, 0, 0));
-      }
-      out.at_unchecked(0, m, 0, 0) = quant.requantize(acc, layer.relu);
-    }
-  });
+  kernels::run_layer_region(
+      layer,
+      kernels::PaddedInput::full(input, input.shape().h, input.shape().w),
+      weights, {0, 1}, {0, 1}, quant, &out, 0, 0);
   return out;
 }
 

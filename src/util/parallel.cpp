@@ -227,9 +227,10 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   ThreadPool::global().for_range(begin, end, grain, fn);
 }
 
-std::int64_t default_grain(std::int64_t range) {
+std::int64_t default_grain(std::int64_t range, std::int64_t floor) {
   const std::int64_t lanes = ThreadPool::global_threads();
-  return std::max<std::int64_t>(1, range / (4 * lanes));
+  return std::max<std::int64_t>(std::max<std::int64_t>(1, floor),
+                                range / (4 * lanes));
 }
 
 }  // namespace mocha::util

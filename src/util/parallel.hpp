@@ -75,7 +75,11 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
 
 /// A grain that splits `range` into a few chunks per thread — enough slack
 /// for load balance without drowning small loops in dispatch overhead.
-std::int64_t default_grain(std::int64_t range);
+/// `floor` sets a minimum chunk size for loops whose per-index work is
+/// small (e.g. planner candidate evaluations, register-blocked map passes):
+/// small ranges then run in fewer, meatier chunks instead of paying one
+/// dispatch per index.
+std::int64_t default_grain(std::int64_t range, std::int64_t floor = 1);
 
 /// Maps fn over [0, n), returning results in index order (deterministic
 /// regardless of which thread computed which slot). T must be default- and
