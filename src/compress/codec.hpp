@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,36 @@ class Codec {
 
 /// Factory for all kinds (None returns a pass-through memcpy codec).
 std::unique_ptr<Codec> make_codec(CodecKind kind);
+
+/// Typed, recoverable error for a coded stream that fails its integrity
+/// check (bad frame header, checksum mismatch, truncation) or whose payload
+/// turns out malformed anyway. Distinct from util::CheckFailure on purpose:
+/// a CheckFailure is a bug in this codebase, a DecodeError is damage in the
+/// *data* — a deployment-path consumer (the executor's per-tile retry, a
+/// DMA engine) recovers from the latter by re-fetching uncompressed.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Framed stream: a 16-byte header (magic, codec kind, element count,
+/// payload length, FNV-1a payload checksum) ahead of the codec payload.
+/// This is the integrity envelope the deployment path uses — the raw
+/// Codec::encode() payloads stay headerless for the size-measurement paths
+/// whose byte counts calibrate the analytical estimators.
+std::vector<std::uint8_t> encode_framed(const Codec& codec,
+                                        std::span<const nn::Value> values);
+
+/// Validates the frame (magic, kind, count, length, checksum) and decodes
+/// exactly `expected_count` values. Throws DecodeError on any mismatch or
+/// on a payload the inner decoder rejects; never crashes, reads out of
+/// bounds, or returns silently-wrong data from a detectably-corrupt frame.
+std::vector<nn::Value> decode_framed(const Codec& codec,
+                                     std::span<const std::uint8_t> framed,
+                                     std::size_t expected_count);
+
+/// Size of the integrity header encode_framed() prepends.
+inline constexpr std::size_t kFrameHeaderBytes = 16;
 
 /// Analytical coded-size model used by the morph controller's cost model,
 /// which must predict sizes *before* data exists. `sparsity` is the zero

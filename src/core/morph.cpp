@@ -104,6 +104,8 @@ struct GroupCandidate {
   std::vector<LayerPlan> plans;
   CostEstimate est;
   double score = std::numeric_limits<double>::infinity();
+  /// True for the injected plan-of-last-resort candidate.
+  bool fallback = false;
 };
 
 struct SearchContext {
@@ -127,7 +129,9 @@ struct SearchContext {
   std::vector<std::pair<int, int>> parallelism() const {
     std::vector<std::pair<int, int>> out;
     for (auto [inter, intra] : options.parallelism_options) {
-      if (inter * intra <= config.total_pes()) out.emplace_back(inter, intra);
+      // Plan against *surviving* resources: a split needing more groups
+      // than there are live PEs can never host one PE per group.
+      if (inter * intra <= config.usable_pes()) out.emplace_back(inter, intra);
     }
     if (out.empty()) out.emplace_back(1, 1);
     return out;
@@ -463,6 +467,31 @@ GroupCandidate refine_exact(const SearchContext& ctx,
 
 }  // namespace
 
+dataflow::LayerPlan minimal_fallback_plan(const nn::LayerSpec& layer,
+                                          nn::Index batch) {
+  LayerPlan plan;
+  plan.inter_groups = 1;
+  plan.intra_groups = 1;
+  plan.ifmap_codec = CodecKind::None;
+  plan.kernel_codec = CodecKind::None;
+  plan.ofmap_codec = CodecKind::None;
+  if (layer.kind == nn::LayerKind::FullyConnected) {
+    // Weight residency is impossible for FC fan-in on any realistic
+    // scratchpad; stream the weights over small input/output chunks.
+    plan.order = LoopOrder::InputStationary;
+    plan.tile = {layer.out_h(), layer.out_w(),
+                 std::min<Index>(128, layer.in_c),
+                 std::min<Index>(16, layer.out_channels())};
+    plan.batch_tile = batch > 1 ? 1 : 0;
+  } else {
+    plan.order = LoopOrder::WeightStationary;
+    plan.tile = {std::min<Index>(4, layer.out_h()),
+                 std::min<Index>(4, layer.out_w()), layer.in_c, 1};
+    plan.batch_tile = 0;
+  }
+  return plan;
+}
+
 dataflow::NetworkPlan MorphController::plan(
     const nn::Network& net, const fabric::FabricConfig& config,
     const std::vector<LayerStreamStats>& stats, nn::Index batch) const {
@@ -473,10 +502,24 @@ dataflow::NetworkPlan MorphController::plan_traced(
     const nn::Network& net, const fabric::FabricConfig& config,
     const std::vector<LayerStreamStats>& stats, nn::Index batch,
     PlanTrace* trace) const {
+  PlanResult result = plan_result(net, config, stats, batch, trace);
+  for (const PlanDiagnostic& d : result.diagnostics) {
+    MOCHA_LOG(Warn, "planner recovered: layers [" << d.first_layer << ", "
+                                                  << d.last_layer
+                                                  << "]: " << d.message);
+  }
+  return std::move(result.plan);
+}
+
+PlanResult MorphController::plan_result(
+    const nn::Network& net, const fabric::FabricConfig& config,
+    const std::vector<LayerStreamStats>& stats, nn::Index batch,
+    PlanTrace* trace) const {
   MOCHA_TRACE_SCOPE("planner.plan", "planner");
   net.validate();
   config.validate();
   MOCHA_CHECK(batch >= 1, "batch=" << batch);
+  PlanResult result;
   const SearchContext ctx{net, config, stats, tech_, options_, batch};
   const std::size_t n = net.layers.size();
   const std::size_t keep =
@@ -492,14 +535,47 @@ dataflow::NetworkPlan MorphController::plan_traced(
   // instead (grain 1) load-balances badly — networks have few layers, with
   // wildly uneven candidate counts, so at 4 threads one straggler layer
   // left the other lanes idle and the sweep ran *slower* than serial.
+  //
+  // Every throw below is recovered: a failed enumeration just leaves that
+  // group range without candidates, and the fallback injection afterwards
+  // guarantees [i][0] stays populated so the DP always closes.
   std::vector<std::vector<std::vector<GroupCandidate>>> group_candidates(n);
   for (std::size_t i = 0; i < n; ++i) {
     group_candidates[i].resize(max_len);
-    group_candidates[i][0] = enumerate_single(ctx, i, keep);
-    for (std::size_t len = 2; len <= max_len; ++len) {
-      const std::size_t j = i + len - 1;
-      if (j >= n || !fusable(net, i, j)) break;
-      group_candidates[i][len - 1] = enumerate_fused(ctx, i, j, keep);
+    if (!options_.force_fallback) {
+      try {
+        group_candidates[i][0] = enumerate_single(ctx, i, keep);
+      } catch (const util::CheckFailure& e) {
+        result.diagnostics.push_back(
+            {i, i, std::string("single-layer search failed: ") + e.what()});
+      }
+      for (std::size_t len = 2; len <= max_len; ++len) {
+        const std::size_t j = i + len - 1;
+        if (j >= n || !fusable(net, i, j)) break;
+        try {
+          group_candidates[i][len - 1] = enumerate_fused(ctx, i, j, keep);
+        } catch (const util::CheckFailure& e) {
+          result.diagnostics.push_back(
+              {i, j, std::string("fused search failed: ") + e.what()});
+        }
+      }
+    }
+    if (group_candidates[i][0].empty()) {
+      const std::vector<LayerPlan> plans = {
+          minimal_fallback_plan(net.layers[i], batch)};
+      GroupCandidate fallback;
+      try {
+        fallback = ctx.evaluate({i, i}, plans);
+      } catch (const util::CheckFailure& e) {
+        // Even costing the fallback failed; keep it anyway with a finite
+        // worst-case score so the DP can still place it.
+        fallback.plans = plans;
+        fallback.score = 1e30;
+        result.diagnostics.push_back(
+            {i, i, std::string("fallback cost estimate failed: ") + e.what()});
+      }
+      fallback.fallback = true;
+      group_candidates[i][0].push_back(std::move(fallback));
     }
   }
 
@@ -518,6 +594,8 @@ dataflow::NetworkPlan MorphController::plan_traced(
         best_len[i] = len;
       }
     }
+    // Invariant, not a reachable failure: the fallback injection above
+    // keeps [i][0] non-empty with a finite score.
     MOCHA_CHECK(best_cost[i] < kInf,
                 "no feasible plan for layer " << net.layers[i].name);
   }
@@ -542,8 +620,25 @@ dataflow::NetworkPlan MorphController::plan_traced(
         }
       }
     }
-    GroupCandidate winner =
-        refine_exact(ctx, group, group_candidates[i][len - 1], group_trace);
+    GroupCandidate winner;
+    try {
+      winner =
+          refine_exact(ctx, group, group_candidates[i][len - 1], group_trace);
+    } catch (const util::CheckFailure& e) {
+      // Exact simulation of every finalist failed (a degraded fabric can
+      // make the builder reject plans the analytical model passed). The
+      // analytically-ranked front candidate still describes a valid plan.
+      winner = group_candidates[i][len - 1].front();
+      result.diagnostics.push_back(
+          {i, i + len - 1,
+           std::string("exact refinement failed: ") + e.what()});
+    }
+    if (winner.fallback) {
+      result.fallback_used = true;
+      MOCHA_METRIC_ADD("planner.fallback_groups", 1);
+      result.diagnostics.push_back(
+          {i, i, "minimal fallback plan used for " + net.layers[i].name});
+    }
     for (std::size_t k = 0; k < len; ++k) {
       plan.layers[i + k] = winner.plans[k];
       plan.layers[i + k].fuse_with_next = k + 1 < len;
@@ -553,7 +648,8 @@ dataflow::NetworkPlan MorphController::plan_traced(
     i += len;
   }
   plan.validate(net);
-  return plan;
+  result.plan = std::move(plan);
+  return result;
 }
 
 }  // namespace mocha::core

@@ -58,6 +58,40 @@ struct MorphOptions {
   /// checking analytical footprints (the builder's bound is conservative
   /// already; the margin covers estimate error).
   double sram_fit_margin = 0.0;
+
+  /// Skip the search entirely and put every layer on
+  /// minimal_fallback_plan(). An emergency escape hatch (and the test hook
+  /// that proves the fallback executes end to end on every network).
+  bool force_fallback = false;
+};
+
+/// The plan of last resort for one layer: smallest reasonable tile, weight-
+/// stationary (input-stationary for FC, whose fan-in forbids weight
+/// residency), no fusion, 1x1 parallelism, no compression. Guaranteed
+/// buildable on any fabric FabricConfig::validate() accepts — this is what
+/// keeps the planner total: when every searched candidate is infeasible
+/// (tiny degraded scratchpad, pathological layer), the controller degrades
+/// to this instead of aborting.
+dataflow::LayerPlan minimal_fallback_plan(const nn::LayerSpec& layer,
+                                          nn::Index batch = 1);
+
+/// One recovered failure inside the planner: the enumeration or exact
+/// refinement of layers [first_layer, last_layer] threw, and the controller
+/// substituted a surviving candidate (or the minimal fallback) instead of
+/// propagating the abort.
+struct PlanDiagnostic {
+  std::size_t first_layer = 0;
+  std::size_t last_layer = 0;
+  std::string message;
+};
+
+/// Structured planning outcome: the plan is always present and valid;
+/// diagnostics say what the search could not do, and fallback_used flags
+/// that at least one group runs the plan of last resort.
+struct PlanResult {
+  dataflow::NetworkPlan plan;
+  std::vector<PlanDiagnostic> diagnostics;
+  bool fallback_used = false;
 };
 
 /// Why a plan was chosen: per scheduled group, the finalists that reached
@@ -96,6 +130,16 @@ class MorphController final : public Planner {
       const nn::Network& net, const fabric::FabricConfig& config,
       const std::vector<dataflow::LayerStreamStats>& stats, nn::Index batch,
       PlanTrace* trace) const;
+
+  /// The total form of plan(): never fails for want of a feasible
+  /// candidate. Groups whose search or refinement throws land on a
+  /// surviving candidate or minimal_fallback_plan(), with a PlanDiagnostic
+  /// per recovery. plan()/plan_traced() delegate here and log the
+  /// diagnostics as warnings.
+  PlanResult plan_result(const nn::Network& net,
+                         const fabric::FabricConfig& config,
+                         const std::vector<dataflow::LayerStreamStats>& stats,
+                         nn::Index batch = 1, PlanTrace* trace = nullptr) const;
 
   const MorphOptions& options() const { return options_; }
 

@@ -174,7 +174,14 @@ void accumulate_single_layer(const nn::Network& net, const NetworkPlan& plan,
 
   // ---- Compute time ----
   const int groups = lp.total_groups();
-  const int pes_per_group = fabric::PeArray(config, groups).min_group_pes();
+  // Degraded fabrics: lockstep passes are gated by the worst surviving
+  // group, and chunks from fully-dead groups time-multiplex onto the
+  // survivors. Healthy fabrics reduce to min_group_pes() and factor 1.
+  const fabric::PeArray pe_array(config, groups);
+  const int pes_per_group = pe_array.min_live_group_pes();
+  const double group_multiplex =
+      static_cast<double>(groups) /
+      static_cast<double>(pe_array.live_group_count());
   const Index map_part = util::ceil_div<Index>(lp.tile.tm, lp.inter_groups);
   const Index pos_part = util::ceil_div<Index>(
       (input_stationary ? bc : 1) * tile_out_positions, lp.intra_groups);
@@ -225,7 +232,8 @@ void accumulate_single_layer(const nn::Network& net, const NetworkPlan& plan,
       static_cast<double>(codec_cycles(config, k_codec, w_decode_per_pass))) /
       static_cast<double>(groups);
   acc.compute_cycles +=
-      passes * std::max(per_tile_mac_cycles, per_chunk_decode);
+      passes * std::max(per_tile_mac_cycles, per_chunk_decode) *
+      group_multiplex;
 
   // ---- Decode / compress stream volume ----
   if (if_codec != compress::CodecKind::None) {
@@ -373,9 +381,14 @@ void accumulate_fused(const nn::Network& net, const NetworkPlan& plan,
                          stats[group.last].ofmap_sparsity);
   acc.add_store(dram, tail_out_coded, st_tiles);
 
-  // Per-tile compute, stage by stage.
+  // Per-tile compute, stage by stage. Same degraded-fabric treatment as the
+  // single-layer path: worst surviving group gates, dead groups multiplex.
   const int groups = head_plan.total_groups();
-  const int pes_per_group = fabric::PeArray(config, groups).min_group_pes();
+  const fabric::PeArray pe_array(config, groups);
+  const int pes_per_group = pe_array.min_live_group_pes();
+  const double group_multiplex =
+      static_cast<double>(groups) /
+      static_cast<double>(pe_array.live_group_count());
   double per_tile_cycles = 0;
   std::int64_t inter_bytes = 0;
   for (std::size_t l = group.first; l <= group.last; ++l) {
@@ -418,7 +431,8 @@ void accumulate_fused(const nn::Network& net, const NetworkPlan& plan,
                  static_cast<double>(
                      codec_cycles(config, stage_k_codec, stage_w_decode))) /
         static_cast<double>(groups);
-    per_tile_cycles += std::max(stage_mac_cycles, stage_decode);
+    per_tile_cycles += std::max(stage_mac_cycles, stage_decode) *
+                       group_multiplex;
 
     const double stage_macs = static_cast<double>(out_positions) *
                               static_cast<double>(layer.out_channels()) *

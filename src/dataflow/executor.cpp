@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace mocha::dataflow {
 
@@ -45,6 +46,68 @@ std::int64_t measure_coded_bytes(const compress::Codec& codec,
 std::int64_t measure_coded_bytes(compress::CodecKind kind,
                                  std::span<const Value> values, bool verify) {
   return measure_coded_bytes(*compress::make_codec(kind), values, verify);
+}
+
+/// Stream identity -> Rng seed. Each (stream tag, layer/group, tile) gets
+/// its own generator so the injected flips are deterministic and
+/// independent of how tiles land on threads; the Rng constructor's
+/// splitmix64 decorrelates the nearby seeds this mix produces.
+enum class StreamTag : std::uint64_t { Ifmap = 0, Kernel = 1, Ofmap = 2 };
+
+std::uint64_t stream_seed(std::uint64_t base, StreamTag tag, std::uint64_t a,
+                          std::uint64_t b) {
+  return base + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(tag) + 1) +
+         0xbf58476d1ce4e5b9ull * (a + 1) + 0x94d049bb133111ebull * (b + 1);
+}
+
+/// Deployment-path stream measurement under transient faults: frame the
+/// coded stream (compress/codec.hpp), flip a random bit in each byte with
+/// probability `flip_rate`, and let decode_framed's integrity check decide.
+/// A rejected frame means the tile is re-fetched uncompressed — the stream
+/// is priced at raw bytes and the retry counted (out param + fault.codec_
+/// retries metric). The caller always computes from the original tensors,
+/// so corruption costs bandwidth, never correctness.
+std::int64_t measure_with_faults(const compress::Codec& codec,
+                                 std::span<const Value> values,
+                                 double flip_rate, std::uint64_t seed,
+                                 std::int64_t* retries) {
+  MOCHA_TRACE_SCOPE("codec.faulty_roundtrip", "codec");
+  std::vector<std::uint8_t> framed = compress::encode_framed(codec, values);
+  const auto framed_bytes = static_cast<std::int64_t>(framed.size());
+  util::Rng rng(seed);
+  for (std::uint8_t& b : framed) {
+    if (rng.bernoulli(flip_rate)) {
+      b ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    }
+  }
+  bool intact = false;
+  try {
+    const std::vector<Value> back =
+        compress::decode_framed(codec, framed, values.size());
+    // The checksum catches every single-byte change; multi-byte collisions
+    // are theoretically possible, so verify against the original (which the
+    // hardware's retry logic approximates with stronger end-to-end checks).
+    intact = std::equal(back.begin(), back.end(), values.begin());
+  } catch (const compress::DecodeError&) {
+    intact = false;
+  }
+  if (intact) {
+    MOCHA_METRIC_ADD("executor.codec_bytes_out", framed_bytes);
+    return framed_bytes;
+  }
+  ++*retries;
+  MOCHA_METRIC_ADD("fault.codec_retries", 1);
+  const auto raw_bytes =
+      static_cast<std::int64_t>(values.size() * sizeof(Value));
+  MOCHA_METRIC_ADD("executor.codec_bytes_out", raw_bytes);
+  return raw_bytes;
+}
+
+/// True when this stream takes the fault-injection path: flips only strike
+/// data moving through a codec engine, so uncoded streams (and fault-free
+/// runs) stay on the exact measurement path above.
+bool inject_faults(const FunctionalOptions& options, compress::CodecKind kind) {
+  return options.codec_flip_rate > 0.0 && kind != compress::CodecKind::None;
 }
 
 /// Extracts the (clamped) input region of `tensor` as a flat stream, the
@@ -96,11 +159,19 @@ FunctionalResult run_functional(const nn::Network& net,
     result.streams[i].kernel_raw =
         weights[i].size() * static_cast<Index>(sizeof(Value));
     if (options.exercise_codecs) {
-      result.streams[i].kernel_coded = measure_coded_bytes(
-          plan.layers[i].kernel_codec,
-          std::span<const Value>(weights[i].data(),
-                                 static_cast<std::size_t>(weights[i].size())),
-          options.verify_codecs);
+      const std::span<const Value> kernel_stream(
+          weights[i].data(), static_cast<std::size_t>(weights[i].size()));
+      const compress::CodecKind kind = plan.layers[i].kernel_codec;
+      if (inject_faults(options, kind)) {
+        result.streams[i].kernel_coded = measure_with_faults(
+            *compress::make_codec(kind), kernel_stream,
+            options.codec_flip_rate,
+            stream_seed(options.codec_fault_seed, StreamTag::Kernel, i, 0),
+            &result.codec_retries);
+      } else {
+        result.streams[i].kernel_coded =
+            measure_coded_bytes(kind, kernel_stream, options.verify_codecs);
+      }
     }
   }
 
@@ -147,6 +218,7 @@ FunctionalResult run_functional(const nn::Network& net,
     //  * per-tile coded byte counts land in a tile-indexed slot and are
     //    summed in tile order afterwards, bit-identical to the serial sweep.
     std::vector<std::int64_t> tile_coded(grid.size(), 0);
+    std::vector<std::int64_t> tile_retries(grid.size(), 0);
     std::mutex commit_mu;
     util::parallel_for(0, n_tiles, util::default_grain(n_tiles),
                        [&](Index tile_begin, Index tile_end) {
@@ -166,10 +238,17 @@ FunctionalResult run_functional(const nn::Network& net,
         if (ifmap_codec != nullptr) {
           extract_region(*current, 0, head.in_c, pyramid.front().in_y,
                          pyramid.front().in_x, &scratch);
-          tile_coded[static_cast<std::size_t>(ti)] = measure_coded_bytes(
-              *ifmap_codec,
-              std::span<const Value>(scratch.data(), scratch.size()),
-              options.verify_codecs);
+          const std::span<const Value> stream(scratch.data(), scratch.size());
+          if (inject_faults(options, ifmap_codec->kind())) {
+            tile_coded[static_cast<std::size_t>(ti)] = measure_with_faults(
+                *ifmap_codec, stream, options.codec_flip_rate,
+                stream_seed(options.codec_fault_seed, StreamTag::Ifmap,
+                            group.first, static_cast<std::uint64_t>(ti)),
+                &tile_retries[static_cast<std::size_t>(ti)]);
+          } else {
+            tile_coded[static_cast<std::size_t>(ti)] = measure_coded_bytes(
+                *ifmap_codec, stream, options.verify_codecs);
+          }
         }
 
         // Walk the pyramid: stage k writes a tile-local buffer that stage
@@ -219,6 +298,7 @@ FunctionalResult run_functional(const nn::Network& net,
     std::int64_t ifmap_coded_total = 0;
     for (std::int64_t coded : tile_coded) ifmap_coded_total += coded;
     result.streams[group.first].ifmap_coded = ifmap_coded_total;
+    for (std::int64_t retried : tile_retries) result.codec_retries += retried;
 
     // Tail output stream measurement.
     const ValueTensor& tail_out = result.outputs[group.last];
@@ -226,11 +306,19 @@ FunctionalResult run_functional(const nn::Network& net,
     result.streams[group.last].ofmap_raw =
         tail_out.size() * static_cast<Index>(sizeof(Value));
     if (options.exercise_codecs) {
-      result.streams[group.last].ofmap_coded = measure_coded_bytes(
-          tail_plan.ofmap_codec,
-          std::span<const Value>(tail_out.data(),
-                                 static_cast<std::size_t>(tail_out.size())),
-          options.verify_codecs);
+      const std::span<const Value> ofmap_stream(
+          tail_out.data(), static_cast<std::size_t>(tail_out.size()));
+      if (inject_faults(options, tail_plan.ofmap_codec)) {
+        result.streams[group.last].ofmap_coded = measure_with_faults(
+            *compress::make_codec(tail_plan.ofmap_codec), ofmap_stream,
+            options.codec_flip_rate,
+            stream_seed(options.codec_fault_seed, StreamTag::Ofmap,
+                        group.last, 0),
+            &result.codec_retries);
+      } else {
+        result.streams[group.last].ofmap_coded = measure_coded_bytes(
+            tail_plan.ofmap_codec, ofmap_stream, options.verify_codecs);
+      }
     }
 
     current = &result.outputs[group.last];

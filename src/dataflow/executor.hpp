@@ -40,6 +40,10 @@ struct FunctionalResult {
   std::vector<LayerStreamStats> measured_stats;
   /// Measured codec behaviour per layer.
   std::vector<MeasuredStreams> streams;
+  /// Coded streams the integrity check rejected and the executor re-fetched
+  /// uncompressed (codec_flip_rate > 0 only). Each retry prices its stream
+  /// at raw bytes; outputs are unaffected.
+  std::int64_t codec_retries = 0;
 };
 
 struct FunctionalOptions {
@@ -53,6 +57,18 @@ struct FunctionalOptions {
   /// identical either way, so benchmarks turn this off to price streams at
   /// encode-only cost while tests keep the full round-trip proof.
   bool verify_codecs = true;
+  /// Transient-fault injection on the compressed path: per-byte probability
+  /// that a framed coded stream suffers a single-bit flip in flight
+  /// (fault::FaultModel::codec_bit_flip_rate). When > 0, coded streams go
+  /// through the framed integrity envelope (compress/codec.hpp); a rejected
+  /// frame is re-fetched uncompressed (raw bytes, codec_retries). Zero —
+  /// the default — leaves the measurement path byte-identical to before:
+  /// frames and their headers never touch it.
+  double codec_flip_rate = 0.0;
+  /// Seed for the injected flips. Streams draw from per-tile generators
+  /// derived from this seed, so results are deterministic and independent
+  /// of the thread count.
+  std::uint64_t codec_fault_seed = 1;
 };
 
 /// Executes `net` under `plan` on a real input. `weights[i]` must match

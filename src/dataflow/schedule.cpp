@@ -80,7 +80,12 @@ class GroupBuilder {
     MOCHA_CHECK(pe_groups_ >= 1 && pe_groups_ <= config_.total_pes(),
                 "plan wants " << pe_groups_ << " groups on "
                               << config_.total_pes() << " PEs");
-    pes_per_group_ = fabric::PeArray(config_, pe_groups_).min_group_pes();
+    // Compute width is gated by the worst *surviving* group: a fault mask
+    // that guts one rectangle slows every lockstep pass, and fully-dead
+    // groups shed their chunks onto the survivors via the reduced pe_groups
+    // capacity in make_resource_layout. On a healthy fabric this is exactly
+    // the old min_group_pes().
+    pes_per_group_ = fabric::PeArray(config_, pe_groups_).min_live_group_pes();
     operand_hops_ = fabric::mean_operand_hops(config_, pe_groups_);
     layout_ = sim::make_resource_layout(config_, pe_groups_);
   }

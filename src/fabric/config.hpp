@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/assert.hpp"
 
@@ -64,7 +65,21 @@ struct FabricConfig {
 
   double clock_ghz = 0.2;  // 200 MHz embedded operating point
 
+  // ---- Degraded operation (fault-derived view) ----
+  /// Flat ids (row * pe_cols + col) of PEs marked dead by the active fault
+  /// scenario (fault/model.hpp). Sorted and unique, never the whole grid.
+  /// The grid geometry stays intact — a dead PE still occupies its cell, it
+  /// just cannot compute — so a group partition that straddles dead cells
+  /// loses capacity while a different partition may dodge the damage
+  /// entirely. That asymmetry is what fault-aware morphing exploits.
+  std::vector<int> dead_pes;
+
   int total_pes() const { return pe_rows * pe_cols; }
+
+  /// PEs that can still compute under the active fault scenario.
+  int usable_pes() const {
+    return total_pes() - static_cast<int>(dead_pes.size());
+  }
 
   std::int64_t peak_macs_per_cycle() const {
     return static_cast<std::int64_t>(total_pes()) * macs_per_pe_per_cycle;
@@ -91,6 +106,14 @@ struct FabricConfig {
     MOCHA_CHECK(!has_compression || codec_units > 0,
                 "compression enabled without codec engines");
     MOCHA_CHECK(clock_ghz > 0, "bad clock");
+    int prev_dead = -1;
+    for (int id : dead_pes) {
+      MOCHA_CHECK(id >= 0 && id < total_pes(),
+                  "dead PE " << id << " outside grid");
+      MOCHA_CHECK(id > prev_dead, "dead_pes not sorted/unique at " << id);
+      prev_dead = id;
+    }
+    MOCHA_CHECK(usable_pes() >= 1, "no usable PEs left");
   }
 };
 

@@ -62,6 +62,14 @@ PeArray::PeArray(const FabricConfig& config, int groups)
     }
     row0 += rows;
   }
+  // Map the fault scenario's dead cells into the rectangles they fall in.
+  // Damage is spatial: the same dead cells can gut one partition's worst
+  // group while a different split dodges them, which is exactly what the
+  // morph controller's parallelism search trades off on a degraded fabric.
+  for (int id : config.dead_pes) {
+    const PeCoord pe{id / cols_, id % cols_};
+    ++groups_[static_cast<std::size_t>(group_of(pe))].dead;
+  }
 }
 
 const PeGroup& PeArray::group(int id) const {
@@ -83,6 +91,26 @@ int PeArray::min_group_pes() const {
   for (const PeGroup& group : groups_) {
     min_pes = std::min(min_pes, group.pes());
   }
+  return min_pes;
+}
+
+int PeArray::live_group_count() const {
+  int live = 0;
+  for (const PeGroup& group : groups_) {
+    if (group.live_pes() > 0) ++live;
+  }
+  MOCHA_CHECK(live >= 1, "every group fully dead — config should not validate");
+  return live;
+}
+
+int PeArray::min_live_group_pes() const {
+  int min_pes = 0;
+  for (const PeGroup& group : groups_) {
+    if (group.live_pes() <= 0) continue;
+    min_pes = min_pes == 0 ? group.live_pes()
+                           : std::min(min_pes, group.live_pes());
+  }
+  MOCHA_CHECK(min_pes >= 1, "every group fully dead — config should not validate");
   return min_pes;
 }
 

@@ -32,8 +32,14 @@ struct PeGroup {
   int col0 = 0;
   int rows = 0;
   int cols = 0;
+  /// Cells of this rectangle marked dead by the fabric's fault scenario.
+  int dead = 0;
 
   int pes() const { return rows * cols; }
+  /// Cells that can still compute. 0 means the fault mask killed the whole
+  /// rectangle — the group cannot host work and its chunks time-multiplex
+  /// onto the surviving groups.
+  int live_pes() const { return pes() - dead; }
   bool contains(PeCoord pe) const {
     return pe.row >= row0 && pe.row < row0 + rows && pe.col >= col0 &&
            pe.col < col0 + cols;
@@ -56,7 +62,17 @@ class PeArray {
 
   /// Smallest group size — the per-group PE count the schedule builder and
   /// cost model must provision for (ragged splits waste the remainder).
+  /// Counts physical cells, ignoring the fault mask.
   int min_group_pes() const;
+
+  /// Groups with at least one live PE. Equal to group_count() on a healthy
+  /// fabric; at least 1 whenever the config is valid (usable_pes() >= 1).
+  int live_group_count() const;
+
+  /// Smallest live-PE count among the groups that are still alive — the
+  /// per-group compute width a degraded fabric can actually provision
+  /// (lockstep across interchangeable groups gates on the worst survivor).
+  int min_live_group_pes() const;
 
   /// Mean Manhattan distance from the scratchpad ports (modelled at the
   /// grid's west edge, one port per row) to the PEs of `group_id` — the

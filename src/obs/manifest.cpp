@@ -36,6 +36,9 @@ void RunManifest::write_json(util::JsonWriter& json) const {
   json.key("threads").value(threads);
   json.key("build_type").value(build_type);
   json.key("version").value(version);
+  if (!fault_scenario.empty()) {
+    json.key("fault_scenario").value(fault_scenario);
+  }
   json.end_object();
 }
 

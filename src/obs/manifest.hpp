@@ -31,6 +31,10 @@ struct RunManifest {
   std::string build_type;   // CMAKE_BUILD_TYPE at compile time
   std::string version;      // repo git revision at configure time
 
+  /// Active fault scenario (FaultModel::summary()), empty for healthy runs.
+  /// Emitted only when non-empty so existing manifests stay byte-stable.
+  std::string fault_scenario;
+
   /// Manifest with tool/threads/build_type/version filled from the build
   /// and process environment; workload fields are the caller's.
   static RunManifest current(std::string tool);

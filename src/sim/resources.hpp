@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fabric/config.hpp"
+#include "fabric/pe_array.hpp"
 #include "sim/engine.hpp"
 
 namespace mocha::sim {
@@ -29,7 +30,15 @@ inline ResourceLayout make_resource_layout(const fabric::FabricConfig& config,
   layout.dram = static_cast<ResourceId>(layout.specs.size());
   layout.specs.push_back({"dram_channels", std::max(1, config.dma_channels)});
   layout.pe = static_cast<ResourceId>(layout.specs.size());
-  layout.specs.push_back({"pe_groups", pe_groups});
+  // On a degraded fabric only groups with surviving PEs can host work; a
+  // plan asking for more groups than that time-multiplexes through the
+  // reduced capacity (the engine serializes the excess chunks). One trace
+  // lane per *surviving* unit falls out of this capacity.
+  int live_groups = pe_groups;
+  if (!config.dead_pes.empty()) {
+    live_groups = fabric::PeArray(config, pe_groups).live_group_count();
+  }
+  layout.specs.push_back({"pe_groups", live_groups});
   layout.ctrl = static_cast<ResourceId>(layout.specs.size());
   layout.specs.push_back({"sequencer", 1});
   if (config.has_compression && config.codec_units > 0) {

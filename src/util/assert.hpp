@@ -32,6 +32,15 @@ namespace detail {
 
 }  // namespace mocha::util
 
+namespace mocha {
+/// Top-level alias: every layer of the codebase throws this, so catch sites
+/// (CLIs, the planner's recovery paths, tests) shouldn't have to spell the
+/// util namespace. A CheckFailure means a violated invariant — a bug in
+/// this codebase, not bad input data; recoverable data problems get their
+/// own types (e.g. compress::DecodeError).
+using CheckFailure = util::CheckFailure;
+}  // namespace mocha
+
 /// Always-on invariant check. Throws mocha::util::CheckFailure with
 /// expression, location and an optional streamed message:
 ///   MOCHA_CHECK(a < b, "a=" << a << " b=" << b);

@@ -131,7 +131,22 @@ class JsonParser {
     }
   }
 
+  /// Nesting bound: the parser recurses per container level, so adversarial
+  /// input like 10k '[' characters would otherwise overflow the stack — a
+  /// crash, not the loud CheckFailure malformed input is promised. 128
+  /// levels is far beyond anything the writer emits.
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) {
+      MOCHA_CHECK(++*depth_ <= 128, "JSON nesting deeper than 128 levels");
+    }
+    ~DepthGuard() { --*depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    int* depth_;
+  };
+
   JsonValue parse_object() {
+    const DepthGuard guard(&depth_);
     expect('{');
     JsonValue value;
     value.kind = JsonValue::Kind::Object;
@@ -146,6 +161,7 @@ class JsonParser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(&depth_);
     expect('[');
     JsonValue value;
     value.kind = JsonValue::Kind::Array;
@@ -244,12 +260,19 @@ class JsonParser {
     MOCHA_CHECK(any, "bad JSON number at offset " << start);
     JsonValue value;
     value.kind = JsonValue::Kind::Number;
-    value.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    // stod throws out_of_range on e.g. "1e999" — keep the contract that
+    // malformed input always surfaces as CheckFailure.
+    try {
+      value.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      MOCHA_CHECK(false, "JSON number out of range at offset " << start);
+    }
     return value;
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace detail

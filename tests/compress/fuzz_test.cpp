@@ -91,5 +91,114 @@ TEST_P(CodecFuzz, GarbagePayloadFailsLoudlyOrDecodes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(0, 16));
 
+// ---- Framed streams: corruption is *detected*, not merely survived ----
+//
+// The raw-codec tests above only demand memory safety (decode or throw).
+// The framed envelope makes a stronger promise: any single-bit flip, any
+// truncation, and any header lie yields a typed DecodeError, which is what
+// lets the executor re-fetch a damaged tile instead of computing on it.
+
+constexpr CodecKind kFramedKinds[] = {CodecKind::Zrle, CodecKind::Bitmask,
+                                      CodecKind::Huffman};
+
+class FramedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FramedFuzz, RoundTripIsExact) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 1);
+  for (CodecKind kind : kFramedKinds) {
+    const auto codec = make_codec(kind);
+    const auto stream = random_stream(
+        static_cast<std::size_t>(rng.uniform_int(0, 600)), 0.5, rng());
+    const auto framed = encode_framed(*codec, stream);
+    ASSERT_GE(framed.size(), kFrameHeaderBytes);
+    EXPECT_EQ(decode_framed(*codec, framed, stream.size()), stream);
+  }
+}
+
+TEST_P(FramedFuzz, EverySingleBitFlipIsDetected) {
+  // Exhaustive over byte positions: all 8 bits of every header byte, and a
+  // seeded rotating bit of every payload byte. FNV-1a catches any change
+  // confined to one byte, so every flip must surface as DecodeError.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2833 + 11);
+  for (CodecKind kind : kFramedKinds) {
+    const auto codec = make_codec(kind);
+    const auto stream = random_stream(256, 0.5, rng());
+    const auto framed = encode_framed(*codec, stream);
+    for (std::size_t byte = 0; byte < framed.size(); ++byte) {
+      const int bits = byte < kFrameHeaderBytes ? 8 : 1;
+      for (int b = 0; b < bits; ++b) {
+        auto damaged = framed;
+        const int bit =
+            bits == 8 ? b : static_cast<int>(rng.uniform_int(0, 7));
+        damaged[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        EXPECT_THROW(decode_framed(*codec, damaged, stream.size()),
+                     DecodeError)
+            << codec_name(kind) << " byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST_P(FramedFuzz, EveryTruncationIsDetected) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 9173 + 5);
+  for (CodecKind kind : kFramedKinds) {
+    const auto codec = make_codec(kind);
+    const auto stream = random_stream(256, 0.5, rng());
+    const auto framed = encode_framed(*codec, stream);
+    for (std::size_t keep = 0; keep < framed.size(); ++keep) {
+      auto damaged = framed;
+      damaged.resize(keep);
+      EXPECT_THROW(decode_framed(*codec, damaged, stream.size()), DecodeError)
+          << codec_name(kind) << " truncated to " << keep;
+    }
+    // Trailing garbage is a length lie, too.
+    auto padded = framed;
+    padded.push_back(0xAB);
+    EXPECT_THROW(decode_framed(*codec, padded, stream.size()), DecodeError);
+  }
+}
+
+TEST(FramedFuzz, HeaderLiesAreDetected) {
+  const auto codec = make_codec(CodecKind::Zrle);
+  const auto stream = random_stream(128, 0.5, 99);
+  const auto framed = encode_framed(*codec, stream);
+
+  const auto expect_rejected = [&](std::vector<std::uint8_t> damaged,
+                                   std::size_t count, const char* what) {
+    EXPECT_THROW(decode_framed(*codec, damaged, count), DecodeError) << what;
+  };
+  auto lie = framed;
+  lie[0] = 'X';
+  expect_rejected(lie, stream.size(), "bad magic");
+  lie = framed;
+  lie[2] = 9;
+  expect_rejected(lie, stream.size(), "unknown version");
+  lie = framed;
+  lie[3] = static_cast<std::uint8_t>(CodecKind::Huffman);
+  expect_rejected(lie, stream.size(), "kind mismatch");
+  lie = framed;
+  lie[4] ^= 1;  // element count
+  expect_rejected(lie, stream.size(), "count lie");
+  lie = framed;
+  lie[8] ^= 1;  // payload length
+  expect_rejected(lie, stream.size(), "length lie");
+  // Caller expectation mismatch: frame is intact but the wrong stream.
+  expect_rejected(framed, stream.size() + 1, "wrong expected count");
+  expect_rejected({}, stream.size(), "empty buffer");
+}
+
+TEST(FramedFuzz, ChecksumLieOnRewrittenPayloadIsDetected) {
+  // Rewrite the payload AND fix the length so only the checksum can tell.
+  const auto codec = make_codec(CodecKind::Bitmask);
+  const auto stream = random_stream(64, 0.5, 7);
+  auto framed = encode_framed(*codec, stream);
+  for (std::size_t i = kFrameHeaderBytes; i < framed.size(); ++i) {
+    framed[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  EXPECT_THROW(decode_framed(*codec, framed, stream.size()), DecodeError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FramedFuzz, ::testing::Range(0, 8));
+
 }  // namespace
 }  // namespace mocha::compress

@@ -1,0 +1,209 @@
+// Graceful degradation, end to end: under every fault mask the planner must
+// return a usable plan (never abort), and executing that plan functionally
+// must match the naive reference element-exact. Degradation is allowed to
+// cost performance — never correctness.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/morph.hpp"
+#include "dataflow/executor.hpp"
+#include "fault/model.hpp"
+#include "nn/generate.hpp"
+
+namespace mocha {
+namespace {
+
+struct Fixture {
+  nn::Network net;
+  nn::ValueTensor input;
+  std::vector<nn::ValueTensor> weights;
+  std::vector<nn::ValueTensor> reference;
+  nn::Quant quant;
+
+  explicit Fixture(nn::Network n, std::uint64_t seed = 7) : net(std::move(n)) {
+    util::Rng rng(seed);
+    input = nn::random_tensor(net.layers.front().input_shape(), 0.3, rng);
+    weights = nn::random_weights(net, 0.3, rng);
+    reference = nn::run_network_ref(net, input, weights, quant);
+  }
+
+  void expect_matches(const dataflow::NetworkPlan& plan,
+                      const std::string& label) const {
+    const dataflow::FunctionalResult result =
+        dataflow::run_functional(net, plan, input, weights, {quant, true});
+    ASSERT_EQ(result.outputs.size(), net.layers.size());
+    for (std::size_t i = 0; i < net.layers.size(); ++i) {
+      ASSERT_TRUE(result.outputs[i] == reference[i])
+          << label << ": layer " << net.layers[i].name;
+    }
+  }
+};
+
+core::MorphController quick_planner() {
+  core::MorphOptions options;
+  options.exact_top_k = 1;  // keep the sweep fast; search still runs
+  options.max_fusion_len = 2;
+  return core::MorphController(model::default_tech(), options);
+}
+
+/// Plans `net` for the degraded fabric and proves bit-exactness. The
+/// planner goes through plan_result(), so an abort anywhere in the search
+/// fails the test rather than aborting it.
+void check_degraded(const Fixture& f, const fault::FaultModel& faults,
+                    const std::string& label) {
+  const fabric::FabricConfig degraded =
+      fault::degraded_config(fabric::mocha_default_config(), faults);
+  const auto stats = core::assumed_stats(f.net, nn::SparsityProfile{});
+  const core::PlanResult result =
+      quick_planner().plan_result(f.net, degraded, stats);
+  result.plan.validate(f.net);
+  f.expect_matches(result.plan, label);
+}
+
+TEST(DegradedEquivalence, FaultMaskSweepStaysBitExact) {
+  const Fixture f(nn::make_lenet5());
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const fault::FaultModel faults = fault::FaultModel::random_scenario(
+          fabric::mocha_default_config(), frac, seed);
+      std::ostringstream label;
+      label << "kill=" << frac << " seed=" << seed;
+      check_degraded(f, faults, label.str());
+    }
+  }
+}
+
+TEST(DegradedEquivalence, NearTotalLossStillBitExact) {
+  // One surviving PE, one surviving bank (32 KiB), no codecs, 1/8th DRAM:
+  // the worst configuration validate() accepts.
+  const Fixture f(nn::make_lenet5());
+  fault::FaultModel faults;
+  const fabric::FabricConfig base = fabric::mocha_default_config();
+  for (int id = 1; id < base.total_pes(); ++id) faults.dead_pes.push_back(id);
+  for (int id = 1; id < base.sram_banks; ++id) {
+    faults.dead_sram_banks.push_back(id);
+  }
+  faults.dead_codec_units = base.codec_units;
+  faults.dram_bandwidth_factor = 0.125;
+  check_degraded(f, faults, "near-total loss");
+}
+
+TEST(DegradedEquivalence, DeadGroupRectangleStillBitExact) {
+  // Clustered damage: a whole 4x4 quadrant dead, so 2x2-parallel plans lose
+  // an entire group and its chunks must time-multiplex.
+  const Fixture f(nn::make_synthetic("quad", 16, 16, {8, 8}, 3, true));
+  fault::FaultModel faults;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) faults.dead_pes.push_back(r * 8 + c);
+  }
+  check_degraded(f, faults, "dead quadrant");
+}
+
+TEST(DegradedEquivalence, PlannerNeverAbortsAcrossSweep) {
+  const nn::Network net = nn::make_lenet5();
+  const auto stats = core::assumed_stats(net, nn::SparsityProfile{});
+  const fabric::FabricConfig base = fabric::mocha_default_config();
+  for (const double frac : {0.5, 0.9}) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const fault::FaultModel faults =
+          fault::FaultModel::random_scenario(base, frac, seed);
+      const fabric::FabricConfig degraded = fault::degraded_config(base, faults);
+      // Must not throw, whatever the search runs into.
+      const core::PlanResult result =
+          quick_planner().plan_result(net, degraded, stats);
+      result.plan.validate(net);
+      EXPECT_EQ(result.plan.layers.size(), net.layers.size());
+    }
+  }
+}
+
+// ---- The guaranteed fallback plan ----
+
+TEST(PlannerFallback, ForcedFallbackExecutesBitExact) {
+  const Fixture f(nn::make_lenet5());
+  core::MorphOptions options;
+  options.force_fallback = true;
+  const core::MorphController planner(model::default_tech(), options);
+  const auto stats = core::assumed_stats(f.net, nn::SparsityProfile{});
+  const core::PlanResult result = planner.plan_result(
+      f.net, fabric::mocha_default_config(), stats);
+  EXPECT_TRUE(result.fallback_used);
+  EXPECT_FALSE(result.diagnostics.empty());
+  for (const dataflow::LayerPlan& lp : result.plan.layers) {
+    EXPECT_EQ(lp.inter_groups, 1);
+    EXPECT_EQ(lp.intra_groups, 1);
+    EXPECT_EQ(lp.ifmap_codec, compress::CodecKind::None);
+    EXPECT_FALSE(lp.fuse_with_next);
+  }
+  f.expect_matches(result.plan, "forced fallback");
+}
+
+TEST(PlannerFallback, MinimalPlanIsValidForEveryLenetLayer) {
+  const nn::Network net = nn::make_lenet5();
+  dataflow::NetworkPlan plan;
+  for (const nn::LayerSpec& layer : net.layers) {
+    plan.layers.push_back(core::minimal_fallback_plan(layer));
+  }
+  plan.validate(net);
+}
+
+// ---- Transient codec faults: detected, retried, never wrong ----
+
+TEST(TransientFaults, CorruptedStreamsRetryWithoutCorruptingOutputs) {
+  Fixture f(nn::make_single_conv(4, 16, 16, 8, 3, 1, 1));
+  dataflow::NetworkPlan plan;
+  dataflow::LayerPlan lp;
+  const nn::LayerSpec& layer = f.net.layers[0];
+  lp.tile = {8, 8, layer.in_c, layer.out_channels()};
+  lp.ifmap_codec = compress::CodecKind::Zrle;
+  lp.kernel_codec = compress::CodecKind::Bitmask;
+  lp.ofmap_codec = compress::CodecKind::Zrle;
+  plan.layers.push_back(lp);
+
+  dataflow::FunctionalOptions options;
+  options.quant = f.quant;
+  options.codec_flip_rate = 0.01;  // ~dozens of flips across the streams
+  options.codec_fault_seed = 5;
+  const dataflow::FunctionalResult faulty =
+      dataflow::run_functional(f.net, plan, f.input, f.weights, options);
+  EXPECT_TRUE(faulty.outputs[0] == f.reference[0]);
+  EXPECT_GT(faulty.codec_retries, 0);
+  // A retried stream is priced at raw bytes, so the coded totals can only
+  // grow relative to the fault-free run.
+  const dataflow::FunctionalResult clean = dataflow::run_functional(
+      f.net, plan, f.input, f.weights, {f.quant, true});
+  EXPECT_EQ(clean.codec_retries, 0);
+  EXPECT_GE(faulty.streams[0].ifmap_coded, clean.streams[0].ifmap_coded);
+
+  // Deterministic: same seed, same retries and byte counts.
+  const dataflow::FunctionalResult again =
+      dataflow::run_functional(f.net, plan, f.input, f.weights, options);
+  EXPECT_EQ(again.codec_retries, faulty.codec_retries);
+  EXPECT_EQ(again.streams[0].ifmap_coded, faulty.streams[0].ifmap_coded);
+}
+
+TEST(TransientFaults, CertainCorruptionRetriesEverything) {
+  // flip_rate 1.0: every byte is damaged, every coded stream must fall back
+  // to the raw re-fetch — and the outputs still match.
+  Fixture f(nn::make_single_conv(2, 8, 8, 4, 3, 1, 1));
+  dataflow::NetworkPlan plan;
+  dataflow::LayerPlan lp;
+  const nn::LayerSpec& layer = f.net.layers[0];
+  lp.tile = {layer.out_h(), layer.out_w(), layer.in_c, layer.out_channels()};
+  lp.ifmap_codec = compress::CodecKind::Zrle;
+  lp.kernel_codec = compress::CodecKind::Zrle;
+  plan.layers.push_back(lp);
+  dataflow::FunctionalOptions options;
+  options.quant = f.quant;
+  options.codec_flip_rate = 1.0;
+  const dataflow::FunctionalResult result =
+      dataflow::run_functional(f.net, plan, f.input, f.weights, options);
+  EXPECT_TRUE(result.outputs[0] == f.reference[0]);
+  EXPECT_EQ(result.codec_retries, 2);  // ifmap (one tile) + kernel
+  EXPECT_EQ(result.streams[0].ifmap_coded, result.streams[0].ifmap_raw);
+  EXPECT_EQ(result.streams[0].kernel_coded, result.streams[0].kernel_raw);
+}
+
+}  // namespace
+}  // namespace mocha

@@ -1,0 +1,243 @@
+// Property tests for util::parse_json: every document the JsonWriter can
+// emit parses back to the same value tree, and malformed input of any shape
+// throws CheckFailure — it never crashes, hangs, or silently mis-parses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+#include "util/rng.hpp"
+
+namespace mocha::util {
+namespace {
+
+// ---- Random writer-emitted documents round-trip exactly ----
+
+/// Emits a random value tree into `json` and returns the expected parse.
+JsonValue random_value(JsonWriter& json, Rng& rng, int depth) {
+  JsonValue expected;
+  // Deeper levels bias toward leaves so trees terminate.
+  const std::int64_t kind = rng.uniform_int(0, depth > 4 ? 3 : 5);
+  switch (kind) {
+    case 0:
+      json.value(true);
+      expected.kind = JsonValue::Kind::Bool;
+      expected.boolean = true;
+      break;
+    case 1: {
+      // Integers round-trip bit-exactly through the writer's %.17g-style
+      // formatting; that is the property worth pinning.
+      const std::int64_t n = rng.uniform_int(-1'000'000'000, 1'000'000'000);
+      json.value(n);
+      expected.kind = JsonValue::Kind::Number;
+      expected.number = static_cast<double>(n);
+      break;
+    }
+    case 2: {
+      std::string s;
+      const std::int64_t len = rng.uniform_int(0, 24);
+      for (std::int64_t i = 0; i < len; ++i) {
+        // Printable ASCII plus the characters the writer must escape.
+        static const char kAlphabet[] =
+            "abc XYZ09\"\\\n\t/{}[]:,\x01\x1f";
+        s.push_back(kAlphabet[static_cast<std::size_t>(
+            rng.uniform_int(0, sizeof(kAlphabet) - 2))]);
+      }
+      json.value(s);
+      expected.kind = JsonValue::Kind::String;
+      expected.string = s;
+      break;
+    }
+    case 3: {
+      const double d =
+          static_cast<double>(rng.uniform_int(-1'000'000, 1'000'000)) / 64.0;
+      json.value(d);
+      expected.kind = JsonValue::Kind::Number;
+      expected.number = d;
+      break;
+    }
+    case 4: {
+      json.begin_array();
+      expected.kind = JsonValue::Kind::Array;
+      const std::int64_t n = rng.uniform_int(0, 4);
+      for (std::int64_t i = 0; i < n; ++i) {
+        expected.array.push_back(random_value(json, rng, depth + 1));
+      }
+      json.end_array();
+      break;
+    }
+    default: {
+      json.begin_object();
+      expected.kind = JsonValue::Kind::Object;
+      const std::int64_t n = rng.uniform_int(0, 4);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::string key = "k" + std::to_string(i);
+        json.key(key);
+        expected.object.emplace_back(key, random_value(json, rng, depth + 1));
+      }
+      json.end_object();
+      break;
+    }
+  }
+  return expected;
+}
+
+void expect_same(const JsonValue& a, const JsonValue& b,
+                 const std::string& path) {
+  ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind)) << path;
+  switch (a.kind) {
+    case JsonValue::Kind::Null:
+      break;
+    case JsonValue::Kind::Bool:
+      EXPECT_EQ(a.boolean, b.boolean) << path;
+      break;
+    case JsonValue::Kind::Number:
+      EXPECT_EQ(a.number, b.number) << path;
+      break;
+    case JsonValue::Kind::String:
+      EXPECT_EQ(a.string, b.string) << path;
+      break;
+    case JsonValue::Kind::Array:
+      ASSERT_EQ(a.array.size(), b.array.size()) << path;
+      for (std::size_t i = 0; i < a.array.size(); ++i) {
+        expect_same(a.array[i], b.array[i],
+                    path + "[" + std::to_string(i) + "]");
+      }
+      break;
+    case JsonValue::Kind::Object:
+      ASSERT_EQ(a.object.size(), b.object.size()) << path;
+      for (std::size_t i = 0; i < a.object.size(); ++i) {
+        EXPECT_EQ(a.object[i].first, b.object[i].first) << path;
+        expect_same(a.object[i].second, b.object[i].second,
+                    path + "." + a.object[i].first);
+      }
+      break;
+  }
+}
+
+TEST(JsonProperty, WriterOutputRoundTrips) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed * 2654435761 + 1);
+    JsonWriter json;
+    const JsonValue expected = random_value(json, rng, 0);
+    const std::string text = json.str();
+    SCOPED_TRACE(text);
+    const JsonValue parsed = parse_json(text);
+    expect_same(expected, parsed, "$");
+  }
+}
+
+// ---- Malformed input: always CheckFailure, never a crash ----
+
+TEST(JsonProperty, MalformedCorpusThrowsTypedError) {
+  const std::vector<std::string> corpus = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[",
+      "]",
+      "{]",
+      "[}",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{a: 1}",
+      "[1,]",
+      "[,1]",
+      "[1 2]",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"trunc \\u12",
+      "\"bad hex \\uZZZZ\"",
+      "tru",
+      "truthy",
+      "nul",
+      "NaN",            // JSON has no NaN literal
+      "Inf",            // nor Infinity
+      "-",              // sign without digits
+      "+",
+      "1e",             // exponent without digits
+      ".5e-",
+      "1e999",          // overflows double: out-of-range, not UB
+      "-1e999",
+      "01a",            // trailing garbage inside a number token
+      "1 2",            // two documents
+      "{} []",          // trailing document
+      "null garbage",   // trailing bytes
+      "\x01",           // control character where a value should be
+  };
+  for (const std::string& text : corpus) {
+    SCOPED_TRACE(text);
+    EXPECT_THROW(parse_json(text), CheckFailure);
+  }
+}
+
+TEST(JsonProperty, DeepNestingIsBoundedNotAStackOverflow) {
+  // 10k unclosed '[' would recurse once per level without the parser's
+  // depth guard — a stack overflow, i.e. a crash rather than an error.
+  const std::string deep_arrays(10'000, '[');
+  EXPECT_THROW(parse_json(deep_arrays), CheckFailure);
+
+  std::string deep_objects;
+  for (int i = 0; i < 10'000; ++i) deep_objects += "{\"k\":";
+  EXPECT_THROW(parse_json(deep_objects), CheckFailure);
+
+  // At or under the bound, matched nesting still parses.
+  std::string ok(100, '[');
+  ok += std::string(100, ']');
+  EXPECT_TRUE(parse_json(ok).is_array());
+}
+
+TEST(JsonProperty, RandomByteNoiseNeverCrashes) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed * 40503 + 9);
+    std::string text(static_cast<std::size_t>(rng.uniform_int(0, 64)), '\0');
+    for (char& c : text) {
+      c = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    SCOPED_TRACE(text);
+    try {
+      const JsonValue value = parse_json(text);
+      (void)value;  // Accidentally valid JSON (e.g. "3") is fine.
+    } catch (const CheckFailure&) {
+      // The only permitted failure mode.
+    }
+  }
+}
+
+TEST(JsonProperty, MutatedValidDocumentsNeverCrash) {
+  // Start from a real writer document and corrupt one byte at a time —
+  // closer to "damaged file" than pure noise.
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("mocha.test.v1");
+  json.key("values").begin_array();
+  for (int i = 0; i < 4; ++i) json.value(i * 1.5);
+  json.end_array();
+  json.key("ok").value(true);
+  json.end_object();
+  const std::string base = json.str();
+  ASSERT_TRUE(parse_json(base).is_object());
+
+  Rng rng(77);
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    std::string mutated = base;
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    try {
+      (void)parse_json(mutated);
+    } catch (const CheckFailure&) {
+    }
+    std::string dropped = base;
+    dropped.erase(pos, 1);
+    try {
+      (void)parse_json(dropped);
+    } catch (const CheckFailure&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mocha::util

@@ -1,0 +1,58 @@
+# ctest driver for CLI robustness: malformed command lines must exit with
+# status 2 and an explanation on stderr — never abort, never run anyway.
+#
+# Invoked by the `cli_errors` test as
+#   cmake -DSIM=<mocha_sim> -DBENCH=<mocha_bench> -DFIG=<fig_degradation>
+#         -P cli_errors.cmake
+
+# Runs `exe` with the remaining arguments and asserts exit code 2. When
+# `pattern` is non-empty, stderr must match it (e.g. "usage" proves the
+# parser rejected the flag rather than something downstream blowing up).
+function(expect_rejected exe pattern)
+  execute_process(COMMAND ${exe} ${ARGN}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 2)
+    message(FATAL_ERROR
+            "${exe} ${ARGN}: expected exit 2, got '${code}'\nstderr:\n${err}")
+  endif()
+  if(pattern AND NOT err MATCHES "${pattern}")
+    message(FATAL_ERROR
+            "${exe} ${ARGN}: stderr does not match '${pattern}':\n${err}")
+  endif()
+endfunction()
+
+# --- mocha_sim: flag parsing ---
+expect_rejected(${SIM} "usage" --frobnicate)
+expect_rejected(${SIM} "usage" --batch)                 # missing value
+expect_rejected(${SIM} "usage" --batch notanumber)
+expect_rejected(${SIM} "usage" --batch=)                # empty inline value
+expect_rejected(${SIM} "usage" --batch 4x)              # trailing junk
+expect_rejected(${SIM} "usage" --batch 0)               # below range
+expect_rejected(${SIM} "usage" --batch 99999999999999999999)  # stoll overflow
+expect_rejected(${SIM} "usage" --pe=-4)
+expect_rejected(${SIM} "usage" --clock-mhz nan)         # non-finite
+expect_rejected(${SIM} "usage" --clock-mhz 1e99)        # out of range
+expect_rejected(${SIM} "usage" --json=yes)              # boolean takes no value
+expect_rejected(${SIM} "usage" --fault-kill 2.0)
+expect_rejected(${SIM} "usage" --fault-seed -1)
+expect_rejected(${SIM} "mutually exclusive" --faults f.json --fault-kill 0.5)
+expect_rejected(${SIM} "usage" -h)                      # help goes to stderr, exit 2
+
+# --- mocha_sim: validated values past the parser ---
+expect_rejected(${SIM} "unknown network" --network bogus)
+expect_rejected(${SIM} "unknown objective" --objective speed)
+expect_rejected(${SIM} "unknown accelerator" --accelerator tpu)
+expect_rejected(${SIM} "cannot read" --faults ${CMAKE_CURRENT_LIST_DIR}/no-such-file.json)
+
+# --- mocha_bench ---
+expect_rejected(${BENCH} "usage" --frobnicate)
+expect_rejected(${BENCH} "usage" --out)                 # missing value
+expect_rejected(${BENCH} "usage" --out=)                # empty inline value
+expect_rejected(${BENCH} "usage" extra-positional)
+
+# --- fig_degradation (E15 harness) ---
+expect_rejected(${FIG} "usage" --bogus)
+
+message(STATUS "all malformed command lines rejected with exit 2")

@@ -341,8 +341,11 @@ int run(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0 && arg.size() > 6) {
+      out_path = arg.substr(6);
     } else {
-      std::cerr << "usage: mocha_bench [--smoke] [--out path]\n";
+      std::cerr << "error: bad argument '" << arg << "'\n"
+                << "usage: mocha_bench [--smoke] [--out path]\n";
       return 2;
     }
   }
@@ -372,4 +375,11 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace mocha::bench
 
-int main(int argc, char** argv) { return mocha::bench::run(argc, argv); }
+int main(int argc, char** argv) {
+  try {
+    return mocha::bench::run(argc, argv);
+  } catch (const mocha::CheckFailure& e) {
+    std::cerr << "mocha_bench: " << e.what() << "\n";
+    return 3;
+  }
+}

@@ -11,9 +11,13 @@
 //   mocha_sim --network vgg16 --accelerator nextbest    # best fixed baseline
 //   mocha_sim --network alexnet --batch 8 --json        # machine-readable
 //   mocha_sim --network alexnet --trace trace.json      # chrome://tracing
+//   mocha_sim --network alexnet --fault-kill 0.25       # degraded fabric
+#include <cmath>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include <fstream>
@@ -23,6 +27,7 @@
 #include "core/morph.hpp"
 #include "core/report_json.hpp"
 #include "dataflow/schedule.hpp"
+#include "fault/model.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -46,6 +51,9 @@ struct Args {
   bool metrics = false;   // collect and print a MetricsRegistry snapshot
   std::string dot_file;   // export the first group's schedule as Graphviz
   std::string trace_file; // write a Chrome trace-event JSON of the run
+  std::string faults_file;  // JSON fault scenario (fault/model.hpp)
+  double fault_kill = 0.0;  // random scenario killing this fraction
+  std::uint64_t fault_seed = 42;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -57,32 +65,98 @@ struct Args {
          "[--pe N] [--clock-mhz N]\n"
          "       [--no-compression] [--huffman] [--json] [--plan] "
          "[--dot FILE]\n"
-         "       [--trace FILE] [--metrics]\n";
+         "       [--trace FILE] [--metrics]\n"
+         "       [--faults FILE] [--fault-kill FRAC] [--fault-seed N]\n";
   std::exit(2);
+}
+
+/// Malformed command line: explain on stderr, then the usual usage + exit 2.
+[[noreturn]] void bad_arg(const char* argv0, const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  usage(argv0);
+}
+
+/// Strict integer: whole string must parse and land inside [lo, hi].
+/// stoll's exceptions (and its tolerance for trailing junk like "4x") must
+/// not leak out of argument parsing as aborts.
+std::int64_t parse_int(const char* argv0, const std::string& flag,
+                       const std::string& text, std::int64_t lo,
+                       std::int64_t hi) {
+  std::int64_t value = 0;
+  std::size_t used = 0;
+  try {
+    value = std::stoll(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || text.empty()) {
+    bad_arg(argv0, flag + " expects an integer, got '" + text + "'");
+  }
+  if (value < lo || value > hi) {
+    bad_arg(argv0, flag + "=" + text + " outside [" + std::to_string(lo) +
+                       ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+/// Strict finite double inside [lo, hi].
+double parse_double(const char* argv0, const std::string& flag,
+                    const std::string& text, double lo, double hi) {
+  double value = 0;
+  std::size_t used = 0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || text.empty() || !std::isfinite(value)) {
+    bad_arg(argv0, flag + " expects a number, got '" + text + "'");
+  }
+  if (value < lo || value > hi) {
+    std::ostringstream os;
+    os << flag << "=" << text << " outside [" << lo << ", " << hi << "]";
+    bad_arg(argv0, os.str());
+  }
+  return value;
 }
 
 Args parse(int argc, char** argv) {
   Args args;
-  auto need = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage(argv[0]);
-    return argv[++i];
-  };
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+    std::string flag = argv[i];
+    // --key=value and "--key value" are both accepted.
+    bool have_inline = false;
+    std::string inline_value;
+    if (flag.rfind("--", 0) == 0) {
+      const std::size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        have_inline = true;
+        inline_value = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+      }
+    }
+    bool took_value = false;
+    auto value = [&]() -> std::string {
+      took_value = true;
+      if (have_inline) return inline_value;
+      if (i + 1 >= argc) bad_arg(argv[0], flag + " expects a value");
+      return argv[++i];
+    };
     if (flag == "--network") {
-      args.network = need(i);
+      args.network = value();
     } else if (flag == "--accelerator") {
-      args.accelerator = need(i);
+      args.accelerator = value();
     } else if (flag == "--objective") {
-      args.objective = need(i);
+      args.objective = value();
     } else if (flag == "--batch") {
-      args.batch = std::stoll(need(i));
+      args.batch = parse_int(argv[0], flag, value(), 1, 1 << 20);
     } else if (flag == "--sram-kib") {
-      args.sram_kib = std::stoll(need(i));
+      args.sram_kib = parse_int(argv[0], flag, value(), 1, 1 << 24);
     } else if (flag == "--pe") {
-      args.pe = std::stoi(need(i));
+      args.pe =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 4096));
     } else if (flag == "--clock-mhz") {
-      args.clock_mhz = std::stod(need(i));
+      args.clock_mhz = parse_double(argv[0], flag, value(), 1e-3, 1e6);
     } else if (flag == "--no-compression") {
       args.no_compression = true;
     } else if (flag == "--huffman") {
@@ -92,26 +166,39 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--plan") {
       args.show_plan = true;
     } else if (flag == "--dot") {
-      args.dot_file = need(i);
+      args.dot_file = value();
     } else if (flag == "--trace") {
-      args.trace_file = need(i);
+      args.trace_file = value();
     } else if (flag == "--metrics") {
       args.metrics = true;
+    } else if (flag == "--faults") {
+      args.faults_file = value();
+    } else if (flag == "--fault-kill") {
+      args.fault_kill = parse_double(argv[0], flag, value(), 0.0, 0.95);
+    } else if (flag == "--fault-seed") {
+      args.fault_seed = static_cast<std::uint64_t>(parse_int(
+          argv[0], flag, value(), 0, std::numeric_limits<std::int64_t>::max()));
     } else if (flag == "--help" || flag == "-h") {
       usage(argv[0]);
     } else {
-      std::cerr << "unknown flag: " << flag << "\n";
-      usage(argv[0]);
+      bad_arg(argv[0], "unknown flag: " + flag);
     }
+    if (have_inline && !took_value) {
+      bad_arg(argv[0], flag + " does not take a value");
+    }
+  }
+  if (!args.faults_file.empty() && args.fault_kill > 0.0) {
+    bad_arg(argv[0], "--faults and --fault-kill are mutually exclusive");
   }
   return args;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(const Args& args) {
   using namespace mocha;
-  const Args args = parse(argc, argv);
 
   nn::Network net;
   if (args.network == "alexnet") {
@@ -139,10 +226,44 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Fault spec, if any — parsed once; the random scenario is drawn per
+  // config inside customize() so it matches whichever base geometry the
+  // selected accelerator uses.
+  bool inject = !args.faults_file.empty() || args.fault_kill > 0.0;
+  fault::FaultModel file_faults;
+  if (!args.faults_file.empty()) {
+    std::ifstream in(args.faults_file);
+    if (!in) {
+      std::cerr << "error: cannot read fault spec " << args.faults_file
+                << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      file_faults = fault::FaultModel::from_json(buffer.str());
+    } catch (const CheckFailure& e) {
+      std::cerr << "error: bad fault spec " << args.faults_file << ": "
+                << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  std::string fault_summary;  // for the manifest; set by customize()
   auto customize = [&](fabric::FabricConfig config) {
     if (args.sram_kib > 0) config.sram_bytes = args.sram_kib * 1024;
     if (args.pe > 0) config.pe_rows = config.pe_cols = args.pe;
     if (args.clock_mhz > 0) config.clock_ghz = args.clock_mhz / 1000.0;
+    if (inject) {
+      const fault::FaultModel faults =
+          args.faults_file.empty()
+              ? fault::FaultModel::random_scenario(config, args.fault_kill,
+                                                   args.fault_seed)
+              : file_faults;
+      fault_summary = faults.summary(config);
+      if (args.metrics) fault::record_metrics(config, faults);
+      config = fault::degraded_config(config, faults);
+    }
     return config;
   };
 
@@ -225,6 +346,7 @@ int main(int argc, char** argv) {
   manifest.pe_rows = used_config.pe_rows;
   manifest.pe_cols = used_config.pe_cols;
   manifest.clock_ghz = used_config.clock_ghz;
+  manifest.fault_scenario = fault_summary;
 
   obs::MetricsSnapshot snapshot;
   if (args.metrics) snapshot = obs::MetricsRegistry::global().snapshot();
@@ -259,4 +381,18 @@ int main(int argc, char** argv) {
     std::cout << "\nmetrics: " << snapshot.to_json() << "\n";
   }
   return report.sram_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    return run(args);
+  } catch (const mocha::CheckFailure& e) {
+    // An invariant tripped past argument validation — report it like a tool,
+    // not a crash dump, and exit non-zero.
+    std::cerr << "mocha_sim: " << e.what() << "\n";
+    return 3;
+  }
 }
