@@ -22,6 +22,7 @@
 #include "core/morph.hpp"
 #include "fault/model.hpp"
 #include "obs/manifest.hpp"
+#include "obs/sink.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -151,12 +152,10 @@ int main(int argc, char** argv) {
     }
     json.end_array();
     json.end_object();
-    std::ofstream out(out_path);
-    if (!out.good()) {
-      std::cerr << "error: cannot open " << out_path << "\n";
+    if (!mocha::obs::write_file_atomic(out_path, json.str() + "\n")) {
+      std::cerr << "error: cannot write " << out_path << "\n";
       return 1;
     }
-    out << json.str() << "\n";
     std::cout << "wrote " << out_path << "\n";
   }
 

@@ -60,17 +60,38 @@ std::uint64_t stream_seed(std::uint64_t base, StreamTag tag, std::uint64_t a,
          0xbf58476d1ce4e5b9ull * (a + 1) + 0x94d049bb133111ebull * (b + 1);
 }
 
+/// Shared re-fetch budget for one run_functional call. The counter is
+/// atomic because ifmap tiles retry from pool threads; whether the budget
+/// trips is deterministic (the injected flips are stream-seeded), only
+/// which tile observes the exhaustion first varies with scheduling.
+struct RetryBudget {
+  std::atomic<std::int64_t> used{0};
+  std::int64_t budget = -1;  // < 0 = unlimited
+
+  /// Counts one corrupted-stream re-fetch; throws DecodeError when the
+  /// run's budget is exhausted (persistent damage escalates to the caller).
+  void spend() {
+    const std::int64_t n = used.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (budget >= 0 && n > budget) {
+      throw compress::DecodeError(
+          "codec retry budget exhausted: " + std::to_string(n) +
+          " corrupted streams > budget " + std::to_string(budget));
+    }
+  }
+};
+
 /// Deployment-path stream measurement under transient faults: frame the
 /// coded stream (compress/codec.hpp), flip a random bit in each byte with
 /// probability `flip_rate`, and let decode_framed's integrity check decide.
 /// A rejected frame means the tile is re-fetched uncompressed — the stream
 /// is priced at raw bytes and the retry counted (out param + fault.codec_
-/// retries metric). The caller always computes from the original tensors,
-/// so corruption costs bandwidth, never correctness.
+/// retries metric) against the run's budget. The caller always computes
+/// from the original tensors, so corruption costs bandwidth, never
+/// correctness — until the budget trips and the run fails typed.
 std::int64_t measure_with_faults(const compress::Codec& codec,
                                  std::span<const Value> values,
                                  double flip_rate, std::uint64_t seed,
-                                 std::int64_t* retries) {
+                                 std::int64_t* retries, RetryBudget* budget) {
   MOCHA_TRACE_SCOPE("codec.faulty_roundtrip", "codec");
   std::vector<std::uint8_t> framed = compress::encode_framed(codec, values);
   const auto framed_bytes = static_cast<std::int64_t>(framed.size());
@@ -95,6 +116,7 @@ std::int64_t measure_with_faults(const compress::Codec& codec,
     MOCHA_METRIC_ADD("executor.codec_bytes_out", framed_bytes);
     return framed_bytes;
   }
+  budget->spend();
   ++*retries;
   MOCHA_METRIC_ADD("fault.codec_retries", 1);
   const auto raw_bytes =
@@ -150,6 +172,9 @@ FunctionalResult run_functional(const nn::Network& net,
   result.measured_stats.resize(net.layers.size());
   result.streams.resize(net.layers.size());
 
+  RetryBudget retry_budget;
+  retry_budget.budget = options.codec_retry_budget;
+
   // Measure kernel streams once per layer.
   for (std::size_t i = 0; i < net.layers.size(); ++i) {
     if (!net.layers[i].has_weights()) continue;
@@ -167,7 +192,7 @@ FunctionalResult run_functional(const nn::Network& net,
             *compress::make_codec(kind), kernel_stream,
             options.codec_flip_rate,
             stream_seed(options.codec_fault_seed, StreamTag::Kernel, i, 0),
-            &result.codec_retries);
+            &result.codec_retries, &retry_budget);
       } else {
         result.streams[i].kernel_coded =
             measure_coded_bytes(kind, kernel_stream, options.verify_codecs);
@@ -180,6 +205,7 @@ FunctionalResult run_functional(const nn::Network& net,
 
   for (const NetworkPlan::Group& group : plan.fusion_groups()) {
     MOCHA_TRACE_SCOPE("executor.group", "executor");
+    if (options.cancel != nullptr) options.cancel->check();
     const LayerSpec& head = net.layers[group.first];
     // Flatten a spatial predecessor feeding an FC head.
     if (head.kind == LayerKind::FullyConnected &&
@@ -220,8 +246,7 @@ FunctionalResult run_functional(const nn::Network& net,
     std::vector<std::int64_t> tile_coded(grid.size(), 0);
     std::vector<std::int64_t> tile_retries(grid.size(), 0);
     std::mutex commit_mu;
-    util::parallel_for(0, n_tiles, util::default_grain(n_tiles),
-                       [&](Index tile_begin, Index tile_end) {
+    auto compute_tiles = [&](Index tile_begin, Index tile_end) {
       // Chunk-local codec + scratch stream, reused across this chunk's tiles.
       const std::unique_ptr<compress::Codec> ifmap_codec =
           options.exercise_codecs
@@ -230,6 +255,10 @@ FunctionalResult run_functional(const nn::Network& net,
       std::vector<Value> scratch;
       for (Index ti = tile_begin; ti < tile_end; ++ti) {
         MOCHA_TRACE_SCOPE("executor.tile", "executor");
+        // Cooperative cancellation at tile granularity: a fired token stops
+        // this chunk mid-range; the pool's exception path cancels the
+        // remaining chunks and rethrows Cancelled on the submitter.
+        if (options.cancel != nullptr) options.cancel->check();
         MOCHA_METRIC_ADD("executor.tiles_computed", 1);
         const TileGeometry& tail_geo = grid[static_cast<std::size_t>(ti)];
         const auto pyramid = fused_pyramid(net, group.first, group.last,
@@ -244,7 +273,7 @@ FunctionalResult run_functional(const nn::Network& net,
                 *ifmap_codec, stream, options.codec_flip_rate,
                 stream_seed(options.codec_fault_seed, StreamTag::Ifmap,
                             group.first, static_cast<std::uint64_t>(ti)),
-                &tile_retries[static_cast<std::size_t>(ti)]);
+                &tile_retries[static_cast<std::size_t>(ti)], &retry_budget);
           } else {
             tile_coded[static_cast<std::size_t>(ti)] = measure_coded_bytes(
                 *ifmap_codec, stream, options.verify_codecs);
@@ -294,7 +323,9 @@ FunctionalResult run_functional(const nn::Network& net,
           stage_ox = geo.out_x.begin;
         }
       }
-    });
+    };
+    util::parallel_for(0, n_tiles, util::default_grain(n_tiles),
+                       compute_tiles, options.cancel);
     std::int64_t ifmap_coded_total = 0;
     for (std::int64_t coded : tile_coded) ifmap_coded_total += coded;
     result.streams[group.first].ifmap_coded = ifmap_coded_total;
@@ -314,7 +345,7 @@ FunctionalResult run_functional(const nn::Network& net,
             options.codec_flip_rate,
             stream_seed(options.codec_fault_seed, StreamTag::Ofmap,
                         group.last, 0),
-            &result.codec_retries);
+            &result.codec_retries, &retry_budget);
       } else {
         result.streams[group.last].ofmap_coded = measure_coded_bytes(
             tail_plan.ofmap_codec, ofmap_stream, options.verify_codecs);

@@ -19,6 +19,7 @@
 #include "dataflow/streams.hpp"
 #include "nn/quant.hpp"
 #include "nn/reference.hpp"
+#include "util/parallel.hpp"
 
 namespace mocha::dataflow {
 
@@ -69,6 +70,19 @@ struct FunctionalOptions {
   /// derived from this seed, so results are deterministic and independent
   /// of the thread count.
   std::uint64_t codec_fault_seed = 1;
+  /// Cooperative cancellation: polled between tiles (and at parallel chunk
+  /// boundaries) so an expired deadline or a client hang-up stops consuming
+  /// compute mid-layer. When the token fires, run_functional abandons the
+  /// remaining work and throws util::Cancelled; partial outputs are
+  /// discarded by the caller. Null (the default) means uncancellable.
+  const util::CancelToken* cancel = nullptr;
+  /// Ceiling on corrupted-stream re-fetches (the codec_retries path) for
+  /// this run. Negative — the default — keeps the executor self-healing:
+  /// every rejected frame is silently re-fetched uncompressed. A budget
+  /// of N makes the (N+1)-th rejection throw compress::DecodeError instead,
+  /// surfacing persistent data damage to callers with their own recovery
+  /// policy (the serving runtime's retry-with-backoff; see src/serve/).
+  std::int64_t codec_retry_budget = -1;
 };
 
 /// Executes `net` under `plan` on a real input. `weights[i]` must match

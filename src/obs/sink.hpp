@@ -66,6 +66,14 @@ class FileSink final : public Sink {
   std::mutex mu_;
 };
 
+/// Writes `content` to `path` atomically: the bytes go to `<path>.tmp`,
+/// are flushed and closed, then renamed over `path`. A crash or kill at
+/// any point leaves either the previous file or the complete new one —
+/// never a truncated document for downstream parsers (trace_validate, the
+/// bench trend tooling) to choke on. Returns false (and leaves no .tmp
+/// behind) if the temporary cannot be written or the rename fails.
+bool write_file_atomic(const std::string& path, std::string_view content);
+
 /// The process-wide log sink (stderr unless overridden).
 Sink& log_sink();
 

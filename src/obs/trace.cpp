@@ -167,15 +167,14 @@ void TraceSession::write_document() {
   json.end_array();
   json.end_object();
 
-  FileSink sink(path_);
-  if (!sink.good()) {
+  // Atomic replace: a kill between here and return leaves either no file or
+  // a previous complete document, never a truncated one.
+  if (!write_file_atomic(path_, json.str() + "\n")) {
     // Report through the log sink rather than aborting a finished run.
     log_sink().write("[mocha:ERROR] cannot write trace file " + path_ + "\n");
-    return;
   }
-  sink.write(json.str());
-  sink.write("\n");
-  sink.flush();
 }
+
+void TraceSession::flush() { write_document(); }
 
 }  // namespace mocha::obs

@@ -69,6 +69,13 @@ class TraceSession {
   void wall_event(const char* name, const char* category,
                   std::uint64_t start_ns, std::uint64_t end_ns);
 
+  /// Writes the trace document with the events recorded *so far* — the
+  /// session stays installed and keeps collecting. The write is atomic
+  /// (tmp + rename), so a signal-drain path can flush mid-run and hard-exit
+  /// without ever leaving a truncated file; the destructor's final write
+  /// simply replaces this snapshot.
+  void flush();
+
   /// Total events recorded so far (tests).
   std::size_t event_count() const;
 

@@ -1,0 +1,536 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "compress/codec.hpp"
+#include "dataflow/executor.hpp"
+#include "nn/generate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace mocha::serve {
+namespace {
+
+// SplitMix64 finalizer: decorrelates (request id, attempt) into a fault
+// seed, so a retried attempt draws *different* injected flips — retrying
+// the identical seed would fail identically forever.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ull + b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::Pending:
+      return "pending";
+    case Outcome::Completed:
+      return "completed";
+    case Outcome::DeadlineExceeded:
+      return "deadline_exceeded";
+    case Outcome::Cancelled:
+      return "cancelled";
+    case Outcome::Overloaded:
+      return "overloaded";
+    case Outcome::RateLimited:
+      return "rate_limited";
+    case Outcome::Rejected:
+      return "rejected";
+    case Outcome::Failed:
+      return "failed";
+  }
+  return "?";
+}
+
+bool outcome_is_shed(Outcome outcome) {
+  return outcome == Outcome::Overloaded || outcome == Outcome::RateLimited ||
+         outcome == Outcome::Rejected;
+}
+
+bool outcome_is_failure(Outcome outcome) {
+  return outcome == Outcome::DeadlineExceeded ||
+         outcome == Outcome::Cancelled || outcome == Outcome::Failed;
+}
+
+ServeEngine::ServeEngine(ServeOptions options)
+    : options_(options), queue_(options.queue_capacity) {
+  MOCHA_CHECK(options_.workers >= 1, "serve engine needs >= 1 worker");
+  MOCHA_CHECK(options_.retry.max_attempts >= 1,
+              "retry.max_attempts must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ServeEngine::~ServeEngine() { shutdown(/*drain=*/false); }
+
+void ServeEngine::register_model(const std::string& name, nn::Network net,
+                                 std::vector<nn::ValueTensor> weights,
+                                 fabric::FabricConfig config,
+                                 core::MorphOptions morph) {
+  MOCHA_CHECK(!name.empty(), "model name must be non-empty");
+  MOCHA_CHECK(!net.layers.empty(), "model " << name << " has no layers");
+  MOCHA_CHECK(weights.size() == net.layers.size(),
+              "model " << name << ": " << weights.size() << " weight tensors"
+                       << " for " << net.layers.size() << " layers");
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    MOCHA_CHECK(weights[i].shape() == net.layers[i].weight_shape(),
+                "model " << name << " layer " << net.layers[i].name
+                         << ": weight shape mismatch");
+  }
+  config.validate();
+
+  auto model = std::make_unique<Model>();
+  model->name = name;
+  model->net = std::move(net);
+  model->weights = std::move(weights);
+  model->base_config = config;
+  model->morph = std::move(morph);
+  // Plan against the assumed sparsity profile: serving has no profiling
+  // pass to measure real stream statistics.
+  model->stats = core::assumed_stats(model->net, nn::SparsityProfile{});
+  model->breaker = std::make_unique<CircuitBreaker>(options_.breaker);
+
+  std::lock_guard<std::mutex> lock(models_mu_);
+  MOCHA_CHECK(models_.find(name) == models_.end(),
+              "model " << name << " already registered");
+  models_.emplace(name, std::move(model));
+}
+
+void ServeEngine::set_fault_scenario(const fault::FaultModel& faults) {
+  {
+    std::lock_guard<std::mutex> lock(models_mu_);
+    for (const auto& [name, model] : models_) {
+      faults.validate(model->base_config);
+    }
+  }
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  faults_ = faults;
+  have_faults_ = true;
+}
+
+void ServeEngine::clear_fault_scenario() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  faults_ = fault::FaultModel{};
+  have_faults_ = false;
+}
+
+ServeEngine::Model* ServeEngine::find_model(const std::string& name) {
+  std::lock_guard<std::mutex> lock(models_mu_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+TicketPtr ServeEngine::submit(Request request) {
+  auto ticket = std::make_shared<Ticket>();
+  const std::uint64_t now = util::steady_now_ns();
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  MOCHA_METRIC_ADD("serve.submitted", 1);
+
+  auto refuse = [&](Outcome outcome, std::string message) {
+    Response resp;
+    resp.outcome = outcome;
+    resp.message = std::move(message);
+    QueuedRequest item;
+    item.request = std::move(request);
+    item.ticket = ticket;
+    item.admitted_ns = now;
+    item.id = id;
+    finish(item, std::move(resp));
+    return ticket;
+  };
+
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return refuse(Outcome::Rejected, "engine is shutting down");
+  }
+
+  Model* model = find_model(request.model);
+  if (model == nullptr) {
+    return refuse(Outcome::Rejected, "unknown model: " + request.model);
+  }
+  const nn::LayerSpec& head = model->net.layers.front();
+  const bool shape_ok =
+      request.input.shape() == head.input_shape() ||
+      (head.kind == nn::LayerKind::FullyConnected &&
+       request.input.size() == head.ifmap_elems());
+  if (!shape_ok) {
+    return refuse(Outcome::Rejected,
+                  "input shape mismatch for model " + request.model);
+  }
+
+  if (options_.tenant_rate_per_sec > 0 && !request.tenant.empty()) {
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(tenants_mu_);
+      auto [it, inserted] = tenants_.try_emplace(
+          request.tenant, options_.tenant_rate_per_sec, options_.tenant_burst);
+      admitted = it->second.try_acquire(now);
+    }
+    if (!admitted) {
+      MOCHA_METRIC_ADD("serve.rate_limited", 1);
+      return refuse(Outcome::RateLimited,
+                    "tenant " + request.tenant + " over rate");
+    }
+  }
+
+  // Arm the deadline before queueing so time spent queued counts against it.
+  std::uint64_t deadline = request.deadline_ns;
+  if (deadline == 0 && options_.default_deadline_ms > 0) {
+    deadline = now + options_.default_deadline_ms * 1'000'000ull;
+  }
+  if (deadline != 0) ticket->token().set_deadline_ns(deadline);
+
+  QueuedRequest item;
+  item.request = std::move(request);
+  item.ticket = ticket;
+  item.admitted_ns = now;
+  item.id = id;
+
+  QueuedRequest evicted;
+  const AdmissionQueue::Admit admit = queue_.push(std::move(item), &evicted);
+  switch (admit) {
+    case AdmissionQueue::Admit::Queued:
+      break;
+    case AdmissionQueue::Admit::QueuedEvicted: {
+      Response resp;
+      resp.outcome = Outcome::Overloaded;
+      resp.message = "displaced by higher-priority arrival";
+      MOCHA_METRIC_ADD("serve.shed_overload", 1);
+      finish(evicted, std::move(resp));
+      break;
+    }
+    case AdmissionQueue::Admit::Rejected: {
+      MOCHA_METRIC_ADD("serve.shed_overload", 1);
+      Response resp;
+      resp.outcome = Outcome::Overloaded;
+      resp.message = "admission queue full";
+      // push() moved nothing on rejection only because it never touched the
+      // multiset; the item we built still owns the ticket.
+      QueuedRequest rejected;
+      rejected.ticket = ticket;
+      rejected.admitted_ns = now;
+      rejected.id = id;
+      finish(rejected, std::move(resp));
+      break;
+    }
+  }
+  return ticket;
+}
+
+std::shared_ptr<const dataflow::NetworkPlan> ServeEngine::plan_for(
+    Model& model, bool primary) {
+  std::string scenario;
+  fault::FaultModel faults;
+  bool have_faults = false;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    have_faults = have_faults_;
+    if (have_faults_) {
+      faults = faults_;
+      scenario = faults_.summary(model.base_config);
+    } else {
+      scenario = "healthy";
+    }
+  }
+  const std::string key =
+      model.name + "|" + scenario + (primary ? "|primary" : "|fallback");
+
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    MOCHA_METRIC_ADD("serve.plan_cache_hits", 1);
+    return it->second;
+  }
+
+  // Cold plan: search under the *surviving* fabric. Holding plans_mu_
+  // serializes concurrent cold lookups of the same key (the search itself
+  // fans out on the global pool); warm lookups only block for the map probe.
+  MOCHA_TRACE_SCOPE("serve.plan", "serve");
+  MOCHA_METRIC_ADD("serve.plans_built", 1);
+  const fabric::FabricConfig config =
+      have_faults ? fault::degraded_config(model.base_config, faults)
+                  : model.base_config;
+  core::MorphOptions morph = model.morph;
+  morph.force_fallback = morph.force_fallback || !primary;
+  const core::MorphController controller(options_.tech, morph);
+  core::PlanResult result =
+      controller.plan_result(model.net, config, model.stats, 1);
+  auto plan =
+      std::make_shared<const dataflow::NetworkPlan>(std::move(result.plan));
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+void ServeEngine::publish_breaker_gauge(Model& model) {
+  const BreakerState state = model.breaker->state(util::steady_now_ns());
+  MOCHA_METRIC_GAUGE("serve.breaker_state." + model.name,
+                     static_cast<std::int64_t>(state));
+}
+
+void ServeEngine::worker_loop() {
+  for (;;) {
+    std::optional<QueuedRequest> item = queue_.pop();
+    if (!item.has_value()) return;  // closed and drained
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.insert(item->ticket.get());
+    }
+    process(std::move(*item));
+  }
+}
+
+void ServeEngine::process(QueuedRequest item) {
+  MOCHA_TRACE_SCOPE("serve.request", "serve");
+  Ticket& ticket = *item.ticket;
+  util::CancelToken& token = ticket.token();
+
+  Response resp;
+  resp.queue_ns = util::steady_now_ns() - item.admitted_ns;
+  MOCHA_METRIC_HIST("serve.queue_wait_us",
+                    static_cast<std::int64_t>(resp.queue_ns / 1000));
+
+  auto expire = [&](std::string where) {
+    resp.outcome = token.cancel_requested() ? Outcome::Cancelled
+                                            : Outcome::DeadlineExceeded;
+    resp.message = std::move(where);
+    finish(item, std::move(resp));
+  };
+
+  if (token.cancelled()) {
+    expire("expired while queued");
+    return;
+  }
+
+  Model* model = find_model(item.request.model);
+  if (model == nullptr) {  // unregistered between submit and dequeue
+    resp.outcome = Outcome::Rejected;
+    resp.message = "unknown model: " + item.request.model;
+    finish(item, std::move(resp));
+    return;
+  }
+
+  util::Rng jitter(mix_seed(options_.retry.jitter_seed, item.id));
+
+  for (;;) {
+    ++resp.attempts;
+    const std::uint64_t attempt_start = util::steady_now_ns();
+    const bool primary = model->breaker->allow_primary(attempt_start);
+
+    try {
+      std::shared_ptr<const dataflow::NetworkPlan> plan =
+          plan_for(*model, primary);
+
+      dataflow::FunctionalOptions exec;
+      exec.quant = options_.quant;
+      exec.cancel = &token;
+      exec.codec_retry_budget = options_.codec_retry_budget;
+      {
+        std::lock_guard<std::mutex> lock(fault_mu_);
+        exec.codec_flip_rate = have_faults_ ? faults_.codec_bit_flip_rate : 0;
+      }
+      exec.codec_fault_seed =
+          mix_seed(item.id, static_cast<std::uint64_t>(resp.attempts));
+      // Serving computes outputs; it does not need coded-size measurement.
+      // Codecs are exercised only when flips are being injected (the framed
+      // integrity path is what detects them).
+      exec.exercise_codecs = exec.codec_flip_rate > 0;
+      exec.verify_codecs = false;
+
+      dataflow::FunctionalResult result;
+      {
+        MOCHA_TRACE_SCOPE("serve.execute", "serve");
+        result = dataflow::run_functional(model->net, *plan,
+                                          item.request.input, model->weights,
+                                          exec);
+      }
+
+      const std::uint64_t attempt_end = util::steady_now_ns();
+      if (primary) {
+        model->breaker->record_primary_success(attempt_end,
+                                               attempt_end - attempt_start);
+        publish_breaker_gauge(*model);
+      }
+      resp.outcome = Outcome::Completed;
+      resp.output = std::move(result.outputs.back());
+      resp.codec_retries += result.codec_retries;
+      resp.fallback_plan = !primary;
+      if (!primary) {
+        fallback_completions_.fetch_add(1, std::memory_order_relaxed);
+        MOCHA_METRIC_ADD("serve.fallback_completions", 1);
+      }
+      MOCHA_METRIC_HIST(
+          "serve.exec_latency_us",
+          static_cast<std::int64_t>((attempt_end - attempt_start) / 1000));
+      finish(item, std::move(resp));
+      return;
+    } catch (const util::Cancelled&) {
+      if (primary) {
+        model->breaker->abandon_primary();
+        publish_breaker_gauge(*model);
+      }
+      expire(resp.attempts > 1 ? "cancelled during retry"
+                               : "cancelled mid-execution");
+      return;
+    } catch (const compress::DecodeError& e) {
+      // Retryable: persistent data damage past the executor's own re-fetch
+      // budget. Report to the breaker, then back off and re-execute with a
+      // fresh fault seed — unless attempts or the deadline run out.
+      if (primary) {
+        model->breaker->record_primary_failure(util::steady_now_ns());
+        publish_breaker_gauge(*model);
+      }
+      MOCHA_METRIC_ADD("serve.retryable_failures", 1);
+      if (resp.attempts >= options_.retry.max_attempts) {
+        resp.outcome = Outcome::Failed;
+        resp.message = std::string("retry budget exhausted: ") + e.what();
+        finish(item, std::move(resp));
+        return;
+      }
+      const std::uint64_t wait =
+          retry_backoff_ns(options_.retry, resp.attempts, jitter);
+      const std::uint64_t now = util::steady_now_ns();
+      const std::uint64_t deadline = token.deadline_ns();
+      if (deadline != 0 && now + wait >= deadline) {
+        resp.outcome = Outcome::DeadlineExceeded;
+        resp.message = "no deadline budget left for retry backoff";
+        finish(item, std::move(resp));
+        return;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      MOCHA_METRIC_ADD("serve.retries", 1);
+      if (ticket.sleep_until(now + wait)) {
+        expire("cancelled during retry backoff");
+        return;
+      }
+      continue;
+    } catch (const util::CheckFailure& e) {
+      // Non-retryable: a bug (or an infeasible plan). The breaker still
+      // counts it — flipping to the minimal fallback plan is exactly the
+      // right response to a plan that cannot execute.
+      if (primary) {
+        model->breaker->record_primary_failure(util::steady_now_ns());
+        publish_breaker_gauge(*model);
+      }
+      resp.outcome = Outcome::Failed;
+      resp.message = std::string("non-retryable: ") + e.what();
+      finish(item, std::move(resp));
+      return;
+    } catch (const std::exception& e) {
+      if (primary) {
+        model->breaker->record_primary_failure(util::steady_now_ns());
+        publish_breaker_gauge(*model);
+      }
+      resp.outcome = Outcome::Failed;
+      resp.message = std::string("unexpected: ") + e.what();
+      finish(item, std::move(resp));
+      return;
+    }
+  }
+}
+
+void ServeEngine::finish(const QueuedRequest& item, Response&& response) {
+  const Outcome outcome = response.outcome;
+  MOCHA_CHECK(outcome != Outcome::Pending, "finish with Pending outcome");
+  response.latency_ns = util::steady_now_ns() - item.admitted_ns;
+  const std::uint64_t latency_ns = response.latency_ns;
+
+  const bool resolved = item.ticket->resolve(std::move(response));
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(item.ticket.get());
+  }
+  if (!resolved) return;  // lost the race to another resolver; don't count
+
+  by_outcome_[static_cast<int>(outcome)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  if (outcome == Outcome::Completed) {
+    MOCHA_METRIC_ADD("serve.completed", 1);
+    MOCHA_METRIC_HIST("serve.latency_us",
+                      static_cast<std::int64_t>(latency_ns / 1000));
+  } else if (outcome_is_shed(outcome)) {
+    MOCHA_METRIC_ADD("serve.shed", 1);
+  } else {
+    MOCHA_METRIC_ADD("serve.failed", 1);
+  }
+}
+
+void ServeEngine::shutdown(bool drain) {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  accepting_.store(false, std::memory_order_release);
+
+  if (!drain) {
+    // Refuse everything still queued and interrupt what is executing.
+    for (QueuedRequest& item : queue_.drain()) {
+      item.ticket->token().cancel();
+      Response resp;
+      resp.outcome = Outcome::Cancelled;
+      resp.message = "engine shutdown";
+      finish(item, std::move(resp));
+    }
+    std::lock_guard<std::mutex> inflight_lock(inflight_mu_);
+    for (Ticket* ticket : inflight_) ticket->token().cancel();
+  }
+
+  // close() wakes the workers; with drain they finish the queue first
+  // (pop() keeps returning queued work after close until empty).
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  shut_down_.store(true, std::memory_order_release);
+}
+
+ServeStats ServeEngine::stats() const {
+  ServeStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  std::int64_t terminal = 0;
+  for (int i = 0; i < 8; ++i) {
+    out.by_outcome[i] = by_outcome_[i].load(std::memory_order_relaxed);
+    terminal += out.by_outcome[i];
+    const auto outcome = static_cast<Outcome>(i);
+    if (outcome == Outcome::Completed) {
+      out.completed += out.by_outcome[i];
+    } else if (outcome_is_shed(outcome)) {
+      out.shed += out.by_outcome[i];
+    } else if (outcome_is_failure(outcome)) {
+      out.failed += out.by_outcome[i];
+    }
+  }
+  out.in_flight = out.submitted - terminal;
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.fallback_completions =
+      fallback_completions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+BreakerState ServeEngine::breaker_state(const std::string& model) {
+  Model* m = find_model(model);
+  MOCHA_CHECK(m != nullptr, "unknown model: " << model);
+  return m->breaker->state(util::steady_now_ns());
+}
+
+std::int64_t ServeEngine::breaker_trips(const std::string& model) {
+  Model* m = find_model(model);
+  MOCHA_CHECK(m != nullptr, "unknown model: " << model);
+  return m->breaker->trips();
+}
+
+std::int64_t ServeEngine::breaker_recoveries(const std::string& model) {
+  Model* m = find_model(model);
+  MOCHA_CHECK(m != nullptr, "unknown model: " << model);
+  return m->breaker->recoveries();
+}
+
+}  // namespace mocha::serve

@@ -1,0 +1,139 @@
+#include "serve/policy.hpp"
+
+#include <algorithm>
+
+namespace mocha::serve {
+
+std::uint64_t retry_backoff_ns(const RetryOptions& options, int failures,
+                               util::Rng& rng) {
+  MOCHA_CHECK(failures >= 1, "backoff before any failure");
+  const int exponent = std::min(failures - 1, 32);
+  const std::uint64_t window_ms =
+      std::min(options.backoff_cap_ms,
+               options.backoff_base_ms << static_cast<unsigned>(exponent));
+  // Full jitter: uniform in [0, window). A zero window (base 0) retries
+  // immediately — useful for deterministic tests.
+  const auto window_ns = static_cast<double>(window_ms) * 1e6;
+  return static_cast<std::uint64_t>(rng.uniform() * window_ns);
+}
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec), burst_(std::max(burst, 1.0)), tokens_(burst_) {}
+
+bool TokenBucket::try_acquire(std::uint64_t now_ns) {
+  if (rate_ <= 0) return true;
+  if (last_ns_ == 0) last_ns_ = now_ns;
+  if (now_ns > last_ns_) {
+    const double elapsed_s = static_cast<double>(now_ns - last_ns_) * 1e-9;
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+    last_ns_ = now_ns;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::Open:
+      return "open";
+    case BreakerState::HalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::trip_locked(std::uint64_t now_ns) {
+  if (state_ != BreakerState::Open) ++trips_;
+  state_ = BreakerState::Open;
+  opened_ns_ = now_ns;
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  consecutive_slo_violations_ = 0;
+}
+
+bool CircuitBreaker::allow_primary(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::Open:
+      if (now_ns - opened_ns_ < options_.cooldown_ms * 1'000'000ull) {
+        return false;
+      }
+      state_ = BreakerState::HalfOpen;
+      probe_in_flight_ = false;
+      [[fallthrough]];
+    case BreakerState::HalfOpen:
+      // One probe at a time; concurrent requests ride the fallback until
+      // the probe reports back.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_primary_success(std::uint64_t now_ns,
+                                            std::uint64_t latency_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::HalfOpen) {
+    // The probe came back healthy: restore the primary plan for everyone.
+    state_ = BreakerState::Closed;
+    probe_in_flight_ = false;
+    ++recoveries_;
+    consecutive_failures_ = 0;
+    consecutive_slo_violations_ = 0;
+    return;
+  }
+  consecutive_failures_ = 0;
+  if (options_.latency_slo_ms > 0 &&
+      latency_ns > options_.latency_slo_ms * 1'000'000ull) {
+    if (++consecutive_slo_violations_ >= options_.slo_violation_threshold) {
+      trip_locked(now_ns);
+    }
+  } else {
+    consecutive_slo_violations_ = 0;
+  }
+}
+
+void CircuitBreaker::record_primary_failure(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::HalfOpen) {
+    // Probe failed: back to Open, restart the cooldown.
+    trip_locked(now_ns);
+    return;
+  }
+  if (state_ == BreakerState::Open) return;  // stragglers from before a trip
+  if (++consecutive_failures_ >= options_.failure_threshold) {
+    trip_locked(now_ns);
+  }
+}
+
+void CircuitBreaker::abandon_primary() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::HalfOpen) probe_in_flight_ = false;
+}
+
+BreakerState CircuitBreaker::state(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::Open &&
+      now_ns - opened_ns_ >= options_.cooldown_ms * 1'000'000ull) {
+    return BreakerState::HalfOpen;  // what allow_primary would transition to
+  }
+  return state_;
+}
+
+std::int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+std::int64_t CircuitBreaker::recoveries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recoveries_;
+}
+
+}  // namespace mocha::serve

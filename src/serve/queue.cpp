@@ -1,0 +1,69 @@
+#include "serve/queue.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace mocha::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+  MOCHA_CHECK(capacity >= 1, "admission queue needs capacity >= 1");
+}
+
+AdmissionQueue::Admit AdmissionQueue::push(QueuedRequest item,
+                                           QueuedRequest* evicted) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return Admit::Rejected;
+  Admit admit = Admit::Queued;
+  if (queue_.size() >= capacity_) {
+    // The worst entry sorts last. Displace it only for a *strictly* higher
+    // priority arrival — equal priority keeps the earlier request (FIFO
+    // fairness under overload).
+    auto worst = std::prev(queue_.end());
+    if (worst->request.priority >= item.request.priority) {
+      return Admit::Rejected;
+    }
+    *evicted = std::move(queue_.extract(worst).value());
+    admit = Admit::QueuedEvicted;
+  }
+  queue_.insert(std::move(item));
+  MOCHA_METRIC_GAUGE("serve.queue_depth",
+                     static_cast<std::int64_t>(queue_.size()));
+  lock.unlock();
+  cv_.notify_one();
+  return admit;
+}
+
+std::optional<QueuedRequest> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  QueuedRequest item = std::move(queue_.extract(queue_.begin()).value());
+  MOCHA_METRIC_GAUGE("serve.queue_depth",
+                     static_cast<std::int64_t>(queue_.size()));
+  return item;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<QueuedRequest> AdmissionQueue::drain() {
+  std::vector<QueuedRequest> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!queue_.empty()) {
+    out.push_back(std::move(queue_.extract(queue_.begin()).value()));
+  }
+  MOCHA_METRIC_GAUGE("serve.queue_depth", 0);
+  return out;
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace mocha::serve

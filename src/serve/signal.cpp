@@ -1,0 +1,72 @@
+#include "serve/signal.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace mocha::serve {
+namespace {
+
+std::atomic<bool> g_signal_requested{false};
+std::atomic<bool> g_installed{false};
+
+extern "C" void mocha_drain_handler(int sig) {
+  // Async-signal-safe only: flag + restore default so the *next* signal of
+  // the same kind kills the process immediately (escape hatch for a wedged
+  // drain).
+  g_signal_requested.store(true, std::memory_order_release);
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+struct SignalDrain::Impl {
+  std::function<void()> on_signal;
+  std::thread watcher;
+  std::atomic<bool> stop{false};
+
+  void (*prev_int)(int) = SIG_DFL;
+  void (*prev_term)(int) = SIG_DFL;
+};
+
+SignalDrain::SignalDrain() : impl_(new Impl) {
+  MOCHA_CHECK(!g_installed.exchange(true),
+              "only one SignalDrain may be active");
+  g_signal_requested.store(false, std::memory_order_release);
+  impl_->prev_int = std::signal(SIGINT, mocha_drain_handler);
+  impl_->prev_term = std::signal(SIGTERM, mocha_drain_handler);
+}
+
+SignalDrain::SignalDrain(std::function<void()> on_signal) : SignalDrain() {
+  impl_->on_signal = std::move(on_signal);
+  impl_->watcher = std::thread([impl = impl_] {
+    while (!impl->stop.load(std::memory_order_acquire)) {
+      if (g_signal_requested.load(std::memory_order_acquire)) {
+        impl->on_signal();
+        // Static destructors may race threads the drain left behind;
+        // everything durable was flushed (atomically) by the callback.
+        std::_Exit(0);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  });
+}
+
+SignalDrain::~SignalDrain() {
+  impl_->stop.store(true, std::memory_order_release);
+  if (impl_->watcher.joinable()) impl_->watcher.join();
+  std::signal(SIGINT, impl_->prev_int);
+  std::signal(SIGTERM, impl_->prev_term);
+  g_installed.store(false, std::memory_order_release);
+  delete impl_;
+}
+
+bool SignalDrain::requested() {
+  return g_signal_requested.load(std::memory_order_acquire);
+}
+
+}  // namespace mocha::serve

@@ -1,0 +1,44 @@
+// Graceful shutdown on SIGINT/SIGTERM for the CLI tools.
+//
+// The handler itself does the only things a signal handler may: set a flag
+// and restore the default disposition (so a second Ctrl-C force-kills a
+// wedged drain). Everything interesting — draining in-flight requests,
+// flushing trace/metrics/manifest output — happens outside signal context,
+// either on a watcher thread (callback form) or on the tool's own loop
+// (polling form via requested()).
+//
+// Only one SignalDrain may exist at a time per process.
+#pragma once
+
+#include <functional>
+
+namespace mocha::serve {
+
+class SignalDrain {
+ public:
+  /// Polling form: installs the SIGINT/SIGTERM handler; the tool checks
+  /// requested() at convenient points and runs its own drain path.
+  SignalDrain();
+
+  /// Callback form: additionally starts a watcher thread that runs
+  /// `on_signal` once when a signal lands, then terminates the process with
+  /// exit code 0 via std::_Exit (skipping static destructors — the callback
+  /// must flush everything that matters, atomically).
+  explicit SignalDrain(std::function<void()> on_signal);
+
+  /// Restores the previous handlers and stops the watcher (if the callback
+  /// never fired).
+  ~SignalDrain();
+
+  SignalDrain(const SignalDrain&) = delete;
+  SignalDrain& operator=(const SignalDrain&) = delete;
+
+  /// True once SIGINT or SIGTERM has landed.
+  static bool requested();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace mocha::serve

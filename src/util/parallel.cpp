@@ -37,9 +37,10 @@ struct Region {
   std::function<void(std::int64_t, std::int64_t)> const* fn = nullptr;
   std::int64_t end = 0;
   std::int64_t grain = 1;
+  const CancelToken* cancel = nullptr;  // optional cooperative cancellation
 
   std::atomic<std::int64_t> next{0};   // next unclaimed chunk start
-  std::atomic<bool> cancelled{false};  // set on first exception
+  std::atomic<bool> cancelled{false};  // set on first exception / token fire
 
   std::mutex mu;
   std::condition_variable done_cv;
@@ -55,6 +56,9 @@ struct Region {
       const std::int64_t b = next.fetch_add(grain, std::memory_order_relaxed);
       if (b >= end) break;
       const std::int64_t e = std::min(end, b + grain);
+      if (cancel != nullptr && cancel->cancelled()) {
+        cancelled.store(true, std::memory_order_relaxed);
+      }
       if (!cancelled.load(std::memory_order_relaxed)) {
         try {
           MOCHA_TRACE_SCOPE("pool.chunk", "pool");
@@ -165,7 +169,8 @@ bool ThreadPool::on_worker_thread() { return t_on_worker; }
 
 void ThreadPool::for_range(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    const CancelToken* cancel) {
   MOCHA_CHECK(begin <= end, "parallel range [" << begin << ", " << end << ")");
   if (begin >= end) return;
   if (grain < 1) grain = 1;
@@ -176,19 +181,23 @@ void ThreadPool::for_range(
   // machinery, bitwise the same iteration order as the pooled path.
   if (impl_->threads == 1 || chunks == 1 || on_worker_thread()) {
     for (std::int64_t b = begin; b < end; b += grain) {
+      if (cancel != nullptr) cancel->check();
       MOCHA_TRACE_SCOPE("pool.chunk", "pool");
       fn(b, std::min(end, b + grain));
     }
+    if (cancel != nullptr) cancel->check();
     return;
   }
   Region region;
   region.fn = &fn;
   region.end = end;
   region.grain = grain;
+  region.cancel = cancel;
   region.next.store(begin, std::memory_order_relaxed);
   region.pending_chunks = chunks;
   impl_->run(&region);
   if (region.error) std::rethrow_exception(region.error);
+  if (cancel != nullptr) cancel->check();
 }
 
 namespace {
@@ -223,8 +232,9 @@ int ThreadPool::global_threads() {
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  ThreadPool::global().for_range(begin, end, grain, fn);
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  const CancelToken* cancel) {
+  ThreadPool::global().for_range(begin, end, grain, fn, cancel);
 }
 
 std::int64_t default_grain(std::int64_t range, std::int64_t floor) {

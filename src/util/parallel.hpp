@@ -17,14 +17,86 @@
 //    calling thread.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "util/assert.hpp"
 
 namespace mocha::util {
+
+/// steady_clock now in nanoseconds — the time domain CancelToken deadlines
+/// live in (same epoch as obs::wall_now_ns).
+inline std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Thrown when a cancellable loop observes its CancelToken fire. Distinct
+/// from CheckFailure on purpose: cancellation is a *request outcome* (a
+/// deadline passed, a client hung up), not a bug — catch sites map it to
+/// their own error taxonomy (e.g. serve::Outcome::DeadlineExceeded).
+class Cancelled : public std::runtime_error {
+ public:
+  explicit Cancelled(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Cooperative cancellation + deadline for long-running (parallel) work.
+/// One token is shared between the party that cancels (a serving runtime's
+/// deadline watchdog, a client hanging up) and the loops doing the work,
+/// which poll it between tiles/chunks and abandon the remaining range.
+/// All members are thread-safe; polling is one relaxed atomic load plus a
+/// steady_clock read when a deadline is armed.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation (sticky; there is no un-cancel).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True when cancel() was called explicitly (as opposed to the deadline
+  /// passing) — lets catch sites distinguish "client cancelled" from
+  /// "deadline exceeded".
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms an absolute steady-clock deadline (steady_now_ns domain);
+  /// 0 disarms. The token reports cancelled once the deadline passes.
+  void set_deadline_ns(std::uint64_t deadline_ns) noexcept {
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+  }
+  std::uint64_t deadline_ns() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Cancelled explicitly, or past the armed deadline.
+  bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::uint64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != 0 && steady_now_ns() >= deadline;
+  }
+
+  /// Polling helper for loop bodies: throws Cancelled when the token fired.
+  void check() const {
+    if (cancelled()) {
+      throw Cancelled(cancel_requested() ? "operation cancelled"
+                                         : "deadline exceeded");
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> deadline_ns_{0};
+};
 
 /// Fixed-size worker pool executing chunked index ranges. Most code should
 /// use the free functions below (which share one process-global pool) rather
@@ -46,8 +118,14 @@ class ThreadPool {
   /// at most `grain` indices. Blocks until every chunk finished. A region
   /// that resolves to a single chunk — or one issued from a worker thread —
   /// runs inline on the caller.
+  ///
+  /// With a non-null `cancel`, the token is polled at every chunk boundary:
+  /// once it fires, unclaimed chunks are skipped, in-flight chunks finish,
+  /// and the call throws Cancelled on the submitting thread. An exception
+  /// thrown by a chunk body still takes precedence over cancellation.
   void for_range(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                 const std::function<void(std::int64_t, std::int64_t)>& fn);
+                 const std::function<void(std::int64_t, std::int64_t)>& fn,
+                 const CancelToken* cancel = nullptr);
 
   /// True when called from one of *any* ThreadPool's worker threads.
   static bool on_worker_thread();
@@ -69,9 +147,13 @@ class ThreadPool {
 };
 
 /// Chunked parallel loop on the global pool: fn(chunk_begin, chunk_end) over
-/// [begin, end) in chunks of at most `grain`.
+/// [begin, end) in chunks of at most `grain`. A non-null `cancel` makes the
+/// loop cooperative: chunk boundaries poll the token, a fired token skips
+/// the remaining range and the call throws Cancelled (see
+/// ThreadPool::for_range).
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  const CancelToken* cancel = nullptr);
 
 /// A grain that splits `range` into a few chunks per thread — enough slack
 /// for load balance without drowning small loops in dispatch overhead.

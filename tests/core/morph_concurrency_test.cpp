@@ -1,0 +1,107 @@
+// MorphController::plan_result under concurrency: the serving runtime's
+// workers plan concurrently for mixed healthy/degraded/forced-fallback
+// configurations, so the controller must be safely callable from many
+// threads at once — same plans as single-threaded, per-call fallback_used
+// correct, no shared mutable state. Runs under the tsan preset
+// (MorphConcurrency filter).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/morph.hpp"
+#include "fault/model.hpp"
+#include "nn/generate.hpp"
+
+namespace mocha {
+namespace {
+
+core::MorphController quick_controller(bool force_fallback = false) {
+  core::MorphOptions options;
+  options.exact_top_k = 1;
+  options.max_fusion_len = 2;
+  options.parallelism_options = {{1, 1}, {2, 1}};
+  options.force_fallback = force_fallback;
+  return core::MorphController(model::default_tech(), options);
+}
+
+std::string plan_fingerprint(const dataflow::NetworkPlan& plan) {
+  std::ostringstream os;
+  for (const dataflow::LayerPlan& layer : plan.layers) {
+    os << layer.summary() << ";";
+  }
+  return os.str();
+}
+
+TEST(MorphConcurrency, PlanResultIsThreadSafeAndDeterministic) {
+  const nn::Network net = nn::make_lenet5();
+  const auto stats = core::assumed_stats(net, nn::SparsityProfile{});
+  const fabric::FabricConfig healthy = fabric::mocha_default_config();
+  const fabric::FabricConfig degraded = fault::degraded_config(
+      healthy, fault::FaultModel::random_scenario(healthy, 0.25, 11));
+
+  // Single-threaded reference answers for each of the three workloads.
+  const core::MorphController controller = quick_controller();
+  const core::MorphController forced = quick_controller(true);
+  const core::PlanResult ref_healthy =
+      controller.plan_result(net, healthy, stats);
+  const core::PlanResult ref_degraded =
+      controller.plan_result(net, degraded, stats);
+  const core::PlanResult ref_forced = forced.plan_result(net, healthy, stats);
+  EXPECT_FALSE(ref_healthy.fallback_used);
+  EXPECT_TRUE(ref_forced.fallback_used);
+
+  const std::string fp_healthy = plan_fingerprint(ref_healthy.plan);
+  const std::string fp_degraded = plan_fingerprint(ref_degraded.plan);
+  const std::string fp_forced = plan_fingerprint(ref_forced.plan);
+  // The forced fallback must actually differ from the searched plan —
+  // otherwise the cross-thread comparisons below prove nothing.
+  EXPECT_NE(fp_healthy, fp_forced);
+
+  // 8 threads hammer one shared controller pair with an interleaved mix of
+  // all three workloads; every call must match its reference exactly.
+  std::vector<std::thread> threads;
+  std::vector<std::string> errors(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        const int workload = (t + round) % 3;
+        core::PlanResult result;
+        bool expect_fallback = false;
+        std::string expect_fp;
+        if (workload == 0) {
+          result = controller.plan_result(net, healthy, stats);
+          expect_fp = fp_healthy;
+          expect_fallback = ref_healthy.fallback_used;
+        } else if (workload == 1) {
+          result = controller.plan_result(net, degraded, stats);
+          expect_fp = fp_degraded;
+          expect_fallback = ref_degraded.fallback_used;
+        } else {
+          result = forced.plan_result(net, healthy, stats);
+          expect_fp = fp_forced;
+          expect_fallback = ref_forced.fallback_used;
+        }
+        if (result.fallback_used != expect_fallback) {
+          errors[static_cast<std::size_t>(t)] =
+              "fallback_used mismatch, workload " + std::to_string(workload);
+          return;
+        }
+        if (plan_fingerprint(result.plan) != expect_fp) {
+          errors[static_cast<std::size_t>(t)] =
+              "plan fingerprint mismatch, workload " + std::to_string(workload);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_TRUE(errors[static_cast<std::size_t>(t)].empty())
+        << "thread " << t << ": " << errors[static_cast<std::size_t>(t)];
+  }
+}
+
+}  // namespace
+}  // namespace mocha

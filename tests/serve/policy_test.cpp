@@ -1,0 +1,211 @@
+// The serving policies are manual-clock state machines: every transition —
+// backoff growth, bucket refill, breaker trip/probe/recovery — is asserted
+// deterministically, no sleeps, no wall clock.
+#include "serve/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mocha::serve {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;  // ns per ms
+
+TEST(RetryBackoff, StaysInsideTheExponentialWindow) {
+  RetryOptions options;  // base 2 ms, cap 64 ms
+  util::Rng rng(1);
+  for (int failures = 1; failures <= 10; ++failures) {
+    const std::uint64_t cap_ms =
+        std::min<std::uint64_t>(64, 2ull << (failures - 1));
+    for (int draw = 0; draw < 50; ++draw) {
+      EXPECT_LT(retry_backoff_ns(options, failures, rng), cap_ms * kMs)
+          << "failures=" << failures;
+    }
+  }
+}
+
+TEST(RetryBackoff, DeterministicGivenSeed) {
+  RetryOptions options;
+  util::Rng a(42), b(42);
+  for (int failures = 1; failures <= 6; ++failures) {
+    EXPECT_EQ(retry_backoff_ns(options, failures, a),
+              retry_backoff_ns(options, failures, b));
+  }
+}
+
+TEST(RetryBackoff, ZeroBaseRetriesImmediately) {
+  RetryOptions options;
+  options.backoff_base_ms = 0;
+  options.backoff_cap_ms = 0;
+  util::Rng rng(7);
+  EXPECT_EQ(retry_backoff_ns(options, 1, rng), 0u);
+  EXPECT_EQ(retry_backoff_ns(options, 5, rng), 0u);
+}
+
+TEST(RetryBackoff, DeepFailureCountDoesNotOverflow) {
+  RetryOptions options;
+  util::Rng rng(3);
+  // Exponent is clamped; a pathological failure count must still yield a
+  // capped, finite window.
+  EXPECT_LT(retry_backoff_ns(options, 1000, rng), 64 * kMs);
+}
+
+TEST(TokenBucket, BurstThenEmpty) {
+  TokenBucket bucket(1.0, 3.0);
+  const std::uint64_t t0 = 1'000'000'000;
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_FALSE(bucket.try_acquire(t0));  // burst spent, no time has passed
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket bucket(2.0, 2.0);  // 2 tokens/s, burst 2
+  std::uint64_t now = 1'000'000'000;
+  EXPECT_TRUE(bucket.try_acquire(now));
+  EXPECT_TRUE(bucket.try_acquire(now));
+  EXPECT_FALSE(bucket.try_acquire(now));
+  now += 500 * kMs;  // +0.5 s -> +1 token
+  EXPECT_TRUE(bucket.try_acquire(now));
+  EXPECT_FALSE(bucket.try_acquire(now));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket bucket(100.0, 2.0);
+  std::uint64_t now = 1'000'000'000;
+  EXPECT_TRUE(bucket.try_acquire(now));
+  now += 60ull * 1000 * kMs;  // a minute later: refill must cap at burst
+  EXPECT_TRUE(bucket.try_acquire(now));
+  EXPECT_TRUE(bucket.try_acquire(now));
+  EXPECT_FALSE(bucket.try_acquire(now));
+}
+
+TEST(TokenBucket, ZeroRateDisablesMetering) {
+  TokenBucket bucket(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(bucket.try_acquire(1'000'000'000));
+  }
+}
+
+BreakerOptions quick_breaker() {
+  BreakerOptions options;
+  options.failure_threshold = 3;
+  options.cooldown_ms = 100;
+  return options;
+}
+
+TEST(Breaker, StaysClosedBelowThreshold) {
+  CircuitBreaker breaker(quick_breaker());
+  std::uint64_t now = 1'000'000'000;
+  // failure, failure, success — the success resets the streak.
+  breaker.record_primary_failure(now);
+  breaker.record_primary_failure(now);
+  breaker.record_primary_success(now, 1 * kMs);
+  breaker.record_primary_failure(now);
+  breaker.record_primary_failure(now);
+  EXPECT_EQ(breaker.state(now), BreakerState::Closed);
+  EXPECT_TRUE(breaker.allow_primary(now));
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST(Breaker, TripsOnConsecutiveFailuresAndCoolsDown) {
+  CircuitBreaker breaker(quick_breaker());
+  std::uint64_t now = 1'000'000'000;
+  for (int i = 0; i < 3; ++i) breaker.record_primary_failure(now);
+  EXPECT_EQ(breaker.state(now), BreakerState::Open);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_FALSE(breaker.allow_primary(now));  // cooling down
+  EXPECT_FALSE(breaker.allow_primary(now + 99 * kMs));
+
+  // Cooldown elapsed: exactly one probe gets the primary plan.
+  now += 100 * kMs;
+  EXPECT_EQ(breaker.state(now), BreakerState::HalfOpen);
+  EXPECT_TRUE(breaker.allow_primary(now));
+  EXPECT_FALSE(breaker.allow_primary(now));  // probe slot taken
+  EXPECT_FALSE(breaker.allow_primary(now + kMs));
+}
+
+TEST(Breaker, ProbeSuccessRecovers) {
+  CircuitBreaker breaker(quick_breaker());
+  std::uint64_t now = 1'000'000'000;
+  for (int i = 0; i < 3; ++i) breaker.record_primary_failure(now);
+  now += 100 * kMs;
+  ASSERT_TRUE(breaker.allow_primary(now));  // the probe
+  breaker.record_primary_success(now + kMs, 1 * kMs);
+  EXPECT_EQ(breaker.state(now + kMs), BreakerState::Closed);
+  EXPECT_EQ(breaker.recoveries(), 1);
+  EXPECT_TRUE(breaker.allow_primary(now + kMs));
+}
+
+TEST(Breaker, ProbeFailureReopensWithFreshCooldown) {
+  CircuitBreaker breaker(quick_breaker());
+  std::uint64_t now = 1'000'000'000;
+  for (int i = 0; i < 3; ++i) breaker.record_primary_failure(now);
+  now += 100 * kMs;
+  ASSERT_TRUE(breaker.allow_primary(now));
+  breaker.record_primary_failure(now + kMs);
+  EXPECT_EQ(breaker.state(now + kMs), BreakerState::Open);
+  EXPECT_EQ(breaker.trips(), 2);
+  EXPECT_EQ(breaker.recoveries(), 0);
+  // The cooldown restarts from the re-trip, not the original one.
+  EXPECT_FALSE(breaker.allow_primary(now + 99 * kMs));
+  EXPECT_TRUE(breaker.allow_primary(now + 1 * kMs + 100 * kMs));
+}
+
+TEST(Breaker, AbandonedProbeFreesTheSlot) {
+  CircuitBreaker breaker(quick_breaker());
+  std::uint64_t now = 1'000'000'000;
+  for (int i = 0; i < 3; ++i) breaker.record_primary_failure(now);
+  now += 100 * kMs;
+  ASSERT_TRUE(breaker.allow_primary(now));
+  EXPECT_FALSE(breaker.allow_primary(now));
+  // The probe request was cancelled (deadline, client hang-up): without
+  // abandon_primary the breaker would stay half-open with the slot taken
+  // forever.
+  breaker.abandon_primary();
+  EXPECT_TRUE(breaker.allow_primary(now));
+}
+
+TEST(Breaker, StragglersAfterTripAreIgnored) {
+  CircuitBreaker breaker(quick_breaker());
+  const std::uint64_t now = 1'000'000'000;
+  for (int i = 0; i < 3; ++i) breaker.record_primary_failure(now);
+  ASSERT_EQ(breaker.trips(), 1);
+  // In-flight primaries from before the trip report late: no double trip.
+  breaker.record_primary_failure(now + kMs);
+  breaker.record_primary_failure(now + 2 * kMs);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_EQ(breaker.state(now + 2 * kMs), BreakerState::Open);
+}
+
+TEST(Breaker, LatencySloTripsOnSustainedViolation) {
+  BreakerOptions options;
+  options.failure_threshold = 1000;  // out of the way
+  options.latency_slo_ms = 10;
+  options.slo_violation_threshold = 3;
+  options.cooldown_ms = 100;
+  CircuitBreaker breaker(options);
+  std::uint64_t now = 1'000'000'000;
+  breaker.record_primary_success(now, 50 * kMs);  // over SLO
+  breaker.record_primary_success(now, 50 * kMs);
+  breaker.record_primary_success(now, 1 * kMs);  // under: streak resets
+  breaker.record_primary_success(now, 50 * kMs);
+  breaker.record_primary_success(now, 50 * kMs);
+  EXPECT_EQ(breaker.state(now), BreakerState::Closed);
+  breaker.record_primary_success(now, 50 * kMs);  // third consecutive
+  EXPECT_EQ(breaker.state(now), BreakerState::Open);
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(Breaker, SloDisabledByDefault) {
+  CircuitBreaker breaker(quick_breaker());  // latency_slo_ms = 0
+  const std::uint64_t now = 1'000'000'000;
+  for (int i = 0; i < 100; ++i) {
+    breaker.record_primary_success(now, 10'000 * kMs);  // 10 s "latency"
+  }
+  EXPECT_EQ(breaker.state(now), BreakerState::Closed);
+}
+
+}  // namespace
+}  // namespace mocha::serve

@@ -1,0 +1,175 @@
+// serve_soak — time-boxed soak of the serving runtime under fault churn.
+//
+// Several client threads fire a random request mix (priorities, tenants,
+// deadlines, occasional cancels) at one engine while a chaos thread flips
+// the fault scenario every ~250 ms between healthy, resource-kill and
+// codec-corruption states. After ~8 seconds of that, the run must wind
+// down to:
+//
+//   * zero lost requests — every ticket terminal, and the conservation law
+//     submitted == completed + shed + failed holds exactly;
+//   * zero deadlocks — shutdown(drain) returns (the ctest TIMEOUT is the
+//     enforcement backstop);
+//   * monotone counters — engine stats never decrease between samples.
+//
+// Standalone binary (not gtest) registered via add_test as `serve_soak`,
+// so sanitizer presets pick it up by name. Exits 0 on success.
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "fault/model.hpp"
+#include "nn/generate.hpp"
+#include "serve/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mocha;
+
+struct Check {
+  bool ok = true;
+  void expect(bool condition, const std::string& what) {
+    if (!condition) {
+      ok = false;
+      std::cerr << "FAIL: " << what << "\n";
+    }
+  }
+};
+
+int run() {
+  const auto soak_time = std::chrono::seconds(8);
+  const nn::Network net = nn::make_single_conv(4, 16, 16, 8, 3, 1, 1);
+  util::Rng rng(2024);
+  const auto weights = nn::random_weights(net, 0.3, rng);
+
+  serve::ServeOptions options;
+  options.workers = 3;
+  options.queue_capacity = 8;
+  options.default_deadline_ms = 200;
+  options.retry.max_attempts = 2;
+  options.retry.backoff_base_ms = 1;
+  options.codec_retry_budget = 0;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown_ms = 100;
+  options.tenant_rate_per_sec = 200;
+  options.tenant_burst = 20;
+
+  serve::ServeEngine engine(options);
+  core::MorphOptions morph;
+  morph.exact_top_k = 1;
+  morph.max_fusion_len = 1;
+  morph.parallelism_options = {{1, 1}};
+  const fabric::FabricConfig config = fabric::mocha_default_config();
+  engine.register_model("soak", net, weights, config, morph);
+
+  std::vector<nn::ValueTensor> inputs;
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(
+        nn::random_tensor(net.layers.front().input_shape(), 0.4, rng));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> client_submitted{0};
+  Check check;
+
+  // Chaos: churn the fault scenario. Scenarios repeat across the run, so
+  // the plan cache gets both warm hits and cold rebuilds.
+  std::thread chaos([&] {
+    util::Rng chaos_rng(99);
+    while (!stop.load(std::memory_order_acquire)) {
+      const int roll = static_cast<int>(chaos_rng.uniform_int(0, 3));
+      if (roll == 0) {
+        engine.clear_fault_scenario();
+      } else {
+        fault::FaultModel faults = fault::FaultModel::random_scenario(
+            config, 0.25, static_cast<std::uint64_t>(roll));
+        if (roll == 2) faults.codec_bit_flip_rate = 5e-4;
+        if (roll == 3) faults.codec_bit_flip_rate = 1.0;
+        engine.set_fault_scenario(faults);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  });
+
+  // Monotonicity watcher: counters must never decrease.
+  std::thread monitor([&] {
+    serve::ServeStats last = engine.stats();
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const serve::ServeStats now = engine.stats();
+      check.expect(now.submitted >= last.submitted, "submitted decreased");
+      check.expect(now.completed >= last.completed, "completed decreased");
+      check.expect(now.shed >= last.shed, "shed decreased");
+      check.expect(now.failed >= last.failed, "failed decreased");
+      check.expect(now.in_flight >= 0, "negative in_flight");
+      last = now;
+    }
+  });
+
+  std::vector<std::thread> clients;
+  std::vector<std::vector<serve::TicketPtr>> tickets(3);
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng client_rng(static_cast<std::uint64_t>(c) + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        serve::Request req;
+        req.model = "soak";
+        req.tenant = "t" + std::to_string(client_rng.uniform_int(0, 2));
+        req.priority = static_cast<int>(client_rng.uniform_int(0, 4));
+        req.input = inputs[static_cast<std::size_t>(
+            client_rng.uniform_int(0, static_cast<std::int64_t>(
+                                          inputs.size() - 1)))];
+        if (client_rng.bernoulli(0.05)) {
+          req.deadline_ns = util::steady_now_ns() + 1'000'000;  // 1 ms: tight
+        }
+        serve::TicketPtr ticket = engine.submit(std::move(req));
+        if (client_rng.bernoulli(0.03)) ticket->cancel();
+        tickets[static_cast<std::size_t>(c)].push_back(std::move(ticket));
+        client_submitted.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<std::int64_t>(client_rng.uniform_int(200, 2000))));
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(soak_time);
+  stop.store(true, std::memory_order_release);
+  for (std::thread& client : clients) client.join();
+  chaos.join();
+  monitor.join();
+
+  engine.shutdown(/*drain=*/true);
+
+  const serve::ServeStats stats = engine.stats();
+  std::int64_t terminal = 0;
+  for (auto& client_tickets : tickets) {
+    for (const serve::TicketPtr& ticket : client_tickets) {
+      if (ticket->outcome() != serve::Outcome::Pending) ++terminal;
+    }
+  }
+
+  check.expect(stats.submitted == client_submitted.load(),
+               "engine saw a different submission count than the clients");
+  check.expect(terminal == client_submitted.load(),
+               "some tickets never reached a terminal outcome");
+  check.expect(stats.submitted == stats.completed + stats.shed + stats.failed,
+               "conservation violated: submitted != completed + shed + failed");
+  check.expect(stats.in_flight == 0, "in_flight nonzero after shutdown");
+  check.expect(stats.completed > 0, "nothing completed during the soak");
+
+  std::cout << "serve_soak: " << stats.submitted << " submitted, "
+            << stats.completed << " completed, " << stats.shed << " shed, "
+            << stats.failed << " failed, " << stats.retries << " retries, "
+            << stats.fallback_completions << " fallback completions, "
+            << engine.breaker_trips("soak") << " breaker trips, "
+            << engine.breaker_recoveries("soak") << " recoveries\n";
+  std::cout << (check.ok ? "PASS" : "FAIL") << "\n";
+  return check.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

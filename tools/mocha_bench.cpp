@@ -28,6 +28,7 @@
 #include "nn/generate.hpp"
 #include "nn/reference.hpp"
 #include "obs/manifest.hpp"
+#include "obs/sink.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 
@@ -326,9 +327,8 @@ void emit_json(const std::vector<Record>& records,
   }
   json.end_array();
   json.end_object();
-  std::ofstream out(path);
-  MOCHA_CHECK(out.good(), "cannot open " << path);
-  out << json.str() << "\n";
+  MOCHA_CHECK(mocha::obs::write_file_atomic(path, json.str() + "\n"),
+              "cannot write " << path);
   std::cout << "wrote " << path << "\n";
 }
 

@@ -1,0 +1,471 @@
+// mocha_serve — open-loop load generator + SLO report for the resilient
+// serving runtime (src/serve/).
+//
+// Replays a synthetic Poisson request trace against a ServeEngine hosting
+// one network, optionally under an injected fault scenario (resource kills
+// + transient codec bit flips), and prints what the runtime did about it:
+// per-outcome counts, exact latency percentiles of the accepted traffic,
+// retry/fallback activity and circuit-breaker transitions — then checks the
+// conservation law (submitted == completed + shed + failed) and, when
+// --slo-ms is given, the p99 of completed requests against it.
+//
+// Examples:
+//   mocha_serve --network lenet5 --requests 200 --rate 50
+//   mocha_serve --network lenet5 --fault-kill 0.25 --codec-flip 2e-4
+//   mocha_serve --network lenet5 --codec-flip 5e-4 --heal-after 0.5
+//   mocha_serve --network lenet5 --requests 400 --rate 1000 --queue-cap 8
+//
+// SIGINT/SIGTERM stop admission, drain what is in flight, and still print
+// the report (exit 0): the runtime's graceful-shutdown path is the tool's.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/model.hpp"
+#include "nn/generate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+#include "serve/engine.hpp"
+#include "serve/signal.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct Args {
+  std::string network = "lenet5";
+  int requests = 100;
+  double rate = 50;  // arrivals per second (open loop)
+  int workers = 2;
+  int queue_cap = 16;
+  std::int64_t deadline_ms = 1000;
+  int priority_levels = 3;
+  int tenants = 2;
+  double tenant_rate = 0;  // 0 = unmetered
+  double tenant_burst = 4;
+  int retries = 3;
+  int breaker_failures = 3;
+  std::int64_t breaker_cooldown_ms = 250;
+  std::int64_t slo_ms = 0;  // 0 = report only, no SLO gate
+  std::string faults_file;
+  double fault_kill = 0.0;
+  double codec_flip = 0.0;
+  std::uint64_t fault_seed = 42;
+  double heal_after = 0.0;  // clear the fault scenario after this fraction
+  std::uint64_t seed = 1;
+  bool json = false;
+  bool metrics = false;
+  std::string out_file;
+  std::string trace_file;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--network alexnet|vgg16|lenet5|nin|mobilenet] [--requests N] "
+         "[--rate RPS]\n"
+         "       [--workers N] [--queue-cap N] [--deadline-ms N] "
+         "[--priority-levels N]\n"
+         "       [--tenants N] [--tenant-rate RPS] [--tenant-burst N]\n"
+         "       [--retries N] [--breaker-failures N] "
+         "[--breaker-cooldown-ms N] [--slo-ms N]\n"
+         "       [--faults FILE] [--fault-kill FRAC] [--codec-flip RATE] "
+         "[--fault-seed N]\n"
+         "       [--heal-after FRAC] [--seed N] [--json] [--metrics] "
+         "[--out FILE] [--trace FILE]\n";
+  std::exit(2);
+}
+
+[[noreturn]] void bad_arg(const char* argv0, const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  usage(argv0);
+}
+
+std::int64_t parse_int(const char* argv0, const std::string& flag,
+                       const std::string& text, std::int64_t lo,
+                       std::int64_t hi) {
+  std::int64_t value = 0;
+  std::size_t used = 0;
+  try {
+    value = std::stoll(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || text.empty()) {
+    bad_arg(argv0, flag + " expects an integer, got '" + text + "'");
+  }
+  if (value < lo || value > hi) {
+    bad_arg(argv0, flag + "=" + text + " outside [" + std::to_string(lo) +
+                       ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+double parse_double(const char* argv0, const std::string& flag,
+                    const std::string& text, double lo, double hi) {
+  double value = 0;
+  std::size_t used = 0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || text.empty() || !std::isfinite(value)) {
+    bad_arg(argv0, flag + " expects a number, got '" + text + "'");
+  }
+  if (value < lo || value > hi) {
+    std::ostringstream os;
+    os << flag << "=" << text << " outside [" << lo << ", " << hi << "]";
+    bad_arg(argv0, os.str());
+  }
+  return value;
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    bool have_inline = false;
+    std::string inline_value;
+    if (flag.rfind("--", 0) == 0) {
+      const std::size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        have_inline = true;
+        inline_value = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+      }
+    }
+    bool took_value = false;
+    auto value = [&]() -> std::string {
+      took_value = true;
+      if (have_inline) return inline_value;
+      if (i + 1 >= argc) bad_arg(argv[0], flag + " expects a value");
+      return argv[++i];
+    };
+    if (flag == "--network") {
+      args.network = value();
+    } else if (flag == "--requests") {
+      args.requests =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 1 << 20));
+    } else if (flag == "--rate") {
+      args.rate = parse_double(argv[0], flag, value(), 1e-3, 1e6);
+    } else if (flag == "--workers") {
+      args.workers =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 256));
+    } else if (flag == "--queue-cap") {
+      args.queue_cap =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 1 << 20));
+    } else if (flag == "--deadline-ms") {
+      args.deadline_ms = parse_int(argv[0], flag, value(), 0, 1 << 30);
+    } else if (flag == "--priority-levels") {
+      args.priority_levels =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 100));
+    } else if (flag == "--tenants") {
+      args.tenants =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 1000));
+    } else if (flag == "--tenant-rate") {
+      args.tenant_rate = parse_double(argv[0], flag, value(), 0, 1e9);
+    } else if (flag == "--tenant-burst") {
+      args.tenant_burst = parse_double(argv[0], flag, value(), 1, 1e9);
+    } else if (flag == "--retries") {
+      args.retries =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 100));
+    } else if (flag == "--breaker-failures") {
+      args.breaker_failures =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 1000));
+    } else if (flag == "--breaker-cooldown-ms") {
+      args.breaker_cooldown_ms = parse_int(argv[0], flag, value(), 1, 1 << 30);
+    } else if (flag == "--slo-ms") {
+      args.slo_ms = parse_int(argv[0], flag, value(), 0, 1 << 30);
+    } else if (flag == "--faults") {
+      args.faults_file = value();
+    } else if (flag == "--fault-kill") {
+      args.fault_kill = parse_double(argv[0], flag, value(), 0.0, 0.95);
+    } else if (flag == "--codec-flip") {
+      args.codec_flip = parse_double(argv[0], flag, value(), 0.0, 1.0);
+    } else if (flag == "--fault-seed") {
+      args.fault_seed = static_cast<std::uint64_t>(parse_int(
+          argv[0], flag, value(), 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (flag == "--heal-after") {
+      args.heal_after = parse_double(argv[0], flag, value(), 0.0, 1.0);
+    } else if (flag == "--seed") {
+      args.seed = static_cast<std::uint64_t>(parse_int(
+          argv[0], flag, value(), 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--metrics") {
+      args.metrics = true;
+    } else if (flag == "--out") {
+      args.out_file = value();
+    } else if (flag == "--trace") {
+      args.trace_file = value();
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+    } else {
+      bad_arg(argv[0], "unknown flag: " + flag);
+    }
+    if (have_inline && !took_value) {
+      bad_arg(argv[0], flag + " does not take a value");
+    }
+  }
+  if (!args.faults_file.empty() && args.fault_kill > 0.0) {
+    bad_arg(argv[0], "--faults and --fault-kill are mutually exclusive");
+  }
+  return args;
+}
+
+/// Exact percentile of a sorted sample (nearest-rank).
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  index = std::min(std::max<std::size_t>(index, 1), sorted.size());
+  return sorted[index - 1];
+}
+
+int run(const Args& args) {
+  using namespace mocha;
+
+  nn::Network net;
+  if (args.network == "alexnet") {
+    net = nn::make_alexnet();
+  } else if (args.network == "vgg16") {
+    net = nn::make_vgg16();
+  } else if (args.network == "lenet5") {
+    net = nn::make_lenet5();
+  } else if (args.network == "nin") {
+    net = nn::make_nin();
+  } else if (args.network == "mobilenet") {
+    net = nn::make_mobilenet_v1();
+  } else {
+    std::cerr << "unknown network: " << args.network << "\n";
+    return 2;
+  }
+
+  if (args.metrics) obs::MetricsRegistry::global().set_enabled(true);
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!args.trace_file.empty()) {
+    trace = std::make_unique<obs::TraceSession>(args.trace_file);
+  }
+
+  const fabric::FabricConfig config = fabric::mocha_default_config();
+  fault::FaultModel faults;
+  bool inject = false;
+  if (!args.faults_file.empty()) {
+    std::ifstream in(args.faults_file);
+    if (!in) {
+      std::cerr << "error: cannot read fault spec " << args.faults_file
+                << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      faults = fault::FaultModel::from_json(buffer.str());
+    } catch (const CheckFailure& e) {
+      std::cerr << "error: bad fault spec " << args.faults_file << ": "
+                << e.what() << "\n";
+      return 2;
+    }
+    inject = true;
+  } else if (args.fault_kill > 0.0 || args.codec_flip > 0.0) {
+    faults = fault::FaultModel::random_scenario(config, args.fault_kill,
+                                                args.fault_seed);
+    faults.codec_bit_flip_rate = args.codec_flip;
+    inject = true;
+  }
+
+  serve::ServeOptions options;
+  options.workers = args.workers;
+  options.queue_capacity = static_cast<std::size_t>(args.queue_cap);
+  options.default_deadline_ms = static_cast<std::uint64_t>(args.deadline_ms);
+  options.retry.max_attempts = args.retries;
+  options.breaker.failure_threshold = args.breaker_failures;
+  options.breaker.cooldown_ms =
+      static_cast<std::uint64_t>(args.breaker_cooldown_ms);
+  options.breaker.latency_slo_ms = static_cast<std::uint64_t>(args.slo_ms);
+  options.tenant_rate_per_sec = args.tenant_rate;
+  options.tenant_burst = args.tenant_burst;
+
+  serve::ServeEngine engine(options);
+  util::Rng rng(args.seed);
+  engine.register_model(args.network, net, nn::random_weights(net, 0.2, rng),
+                        config);
+  if (inject) {
+    engine.set_fault_scenario(faults);
+    std::cerr << "fault scenario: " << faults.summary(config) << "\n";
+  }
+
+  // A handful of pre-generated inputs cycled across requests: arrival
+  // timing, not input diversity, is what this tool exercises.
+  std::vector<nn::ValueTensor> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(
+        random_tensor(net.layers.front().input_shape(), 0.05, rng));
+  }
+
+  // Ctrl-C / SIGTERM: stop admitting, drain what's queued, still report.
+  serve::SignalDrain drain;
+
+  const int heal_at = args.heal_after > 0.0
+                          ? static_cast<int>(args.heal_after * args.requests)
+                          : -1;
+  bool healed = false;
+
+  std::vector<serve::TicketPtr> tickets;
+  tickets.reserve(static_cast<std::size_t>(args.requests));
+  util::Rng arrivals(args.seed ^ 0x9e3779b97f4a7c15ull);
+  bool interrupted = false;
+  for (int i = 0; i < args.requests; ++i) {
+    if (serve::SignalDrain::requested()) {
+      interrupted = true;
+      break;
+    }
+    if (i == heal_at && inject && !healed) {
+      engine.clear_fault_scenario();
+      healed = true;
+      std::cerr << "fault scenario healed after " << i << " requests\n";
+    }
+    serve::Request request;
+    request.model = args.network;
+    request.tenant = "tenant-" + std::to_string(i % args.tenants);
+    request.priority =
+        static_cast<int>(arrivals.uniform_int(0, args.priority_levels - 1));
+    request.input = inputs[static_cast<std::size_t>(i) % inputs.size()];
+    tickets.push_back(engine.submit(std::move(request)));
+
+    // Open-loop Poisson arrivals: exponential inter-arrival times.
+    const double u = std::max(arrivals.uniform(), 1e-12);
+    const double gap_s = -std::log(u) / args.rate;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(gap_s * 1e9)));
+  }
+
+  engine.shutdown(/*drain=*/true);
+
+  // Every ticket is terminal after shutdown; tally the outcomes.
+  const serve::ServeStats stats = engine.stats();
+  std::vector<std::uint64_t> latencies_us;
+  std::int64_t total_exec_attempts = 0;
+  std::int64_t total_codec_retries = 0;
+  for (const serve::TicketPtr& ticket : tickets) {
+    const serve::Response& resp = ticket->wait();
+    total_exec_attempts += resp.attempts;
+    total_codec_retries += resp.codec_retries;
+    if (resp.outcome == serve::Outcome::Completed) {
+      latencies_us.push_back(resp.latency_ns / 1000);
+    }
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+
+  const std::uint64_t p50 = percentile(latencies_us, 50);
+  const std::uint64_t p90 = percentile(latencies_us, 90);
+  const std::uint64_t p99 = percentile(latencies_us, 99);
+
+  const bool conserved =
+      stats.submitted == stats.completed + stats.shed + stats.failed &&
+      stats.in_flight == 0;
+  const bool slo_ok =
+      args.slo_ms == 0 ||
+      p99 <= static_cast<std::uint64_t>(args.slo_ms) * 1000;
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"mocha.serve.v1\",\n"
+       << "  \"network\": \"" << args.network << "\",\n"
+       << "  \"requests\": " << args.requests << ",\n"
+       << "  \"rate_rps\": " << args.rate << ",\n"
+       << "  \"interrupted\": " << (interrupted ? "true" : "false") << ",\n"
+       << "  \"submitted\": " << stats.submitted << ",\n"
+       << "  \"completed\": " << stats.completed << ",\n"
+       << "  \"shed\": " << stats.shed << ",\n"
+       << "  \"failed\": " << stats.failed << ",\n"
+       << "  \"outcomes\": {";
+  bool first = true;
+  for (int i = 1; i < 8; ++i) {
+    const auto outcome = static_cast<serve::Outcome>(i);
+    if (!first) json << ", ";
+    json << "\"" << serve::outcome_name(outcome)
+         << "\": " << stats.outcome_count(outcome);
+    first = false;
+  }
+  json << "},\n"
+       << "  \"retries\": " << stats.retries << ",\n"
+       << "  \"exec_attempts\": " << total_exec_attempts << ",\n"
+       << "  \"codec_retries\": " << total_codec_retries << ",\n"
+       << "  \"fallback_completions\": " << stats.fallback_completions << ",\n"
+       << "  \"breaker_trips\": " << engine.breaker_trips(args.network)
+       << ",\n"
+       << "  \"breaker_recoveries\": "
+       << engine.breaker_recoveries(args.network) << ",\n"
+       << "  \"latency_us\": {\"p50\": " << p50 << ", \"p90\": " << p90
+       << ", \"p99\": " << p99 << "},\n"
+       << "  \"slo_ms\": " << args.slo_ms << ",\n"
+       << "  \"conserved\": " << (conserved ? "true" : "false") << ",\n"
+       << "  \"slo_ok\": " << (slo_ok ? "true" : "false") << "\n}";
+
+  if (!args.out_file.empty()) {
+    if (!obs::write_file_atomic(args.out_file, json.str() + "\n")) {
+      std::cerr << "error: cannot write " << args.out_file << "\n";
+      return 3;
+    }
+  }
+  if (trace) trace.reset();  // flush before reporting
+
+  if (args.json) {
+    std::cout << json.str() << "\n";
+  } else {
+    std::cout << "serve report: " << args.network << ", "
+              << stats.submitted << " submitted"
+              << (interrupted ? " (interrupted, drained)" : "") << "\n"
+              << "  completed " << stats.completed << "  shed " << stats.shed
+              << "  failed " << stats.failed << "\n  outcomes:";
+    for (int i = 1; i < 8; ++i) {
+      const auto outcome = static_cast<serve::Outcome>(i);
+      if (stats.outcome_count(outcome) == 0) continue;
+      std::cout << " " << serve::outcome_name(outcome) << "="
+                << stats.outcome_count(outcome);
+    }
+    std::cout << "\n  retries " << stats.retries << ", codec re-fetches "
+              << total_codec_retries << ", fallback completions "
+              << stats.fallback_completions << "\n  breaker: trips "
+              << engine.breaker_trips(args.network) << ", recoveries "
+              << engine.breaker_recoveries(args.network) << ", state "
+              << serve::breaker_state_name(
+                     engine.breaker_state(args.network))
+              << "\n  latency (completed): p50 " << p50 << " us, p90 " << p90
+              << " us, p99 " << p99 << " us\n"
+              << "  conservation: "
+              << (conserved ? "ok" : "VIOLATED") << "\n";
+    if (args.slo_ms > 0) {
+      std::cout << "  SLO p99 <= " << args.slo_ms << " ms: "
+                << (slo_ok ? "met" : "MISSED") << "\n";
+    }
+  }
+  if (args.metrics) {
+    std::cout << "\nmetrics: "
+              << obs::MetricsRegistry::global().snapshot().to_json() << "\n";
+  }
+
+  if (!conserved) return 4;
+  return slo_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    return run(args);
+  } catch (const mocha::CheckFailure& e) {
+    std::cerr << "mocha_serve: " << e.what() << "\n";
+    return 3;
+  }
+}

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -31,6 +32,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/signal.hpp"
 #include "sim/dot.hpp"
 #include "util/table.hpp"
 
@@ -274,6 +276,19 @@ int run(const Args& args) {
     trace = std::make_unique<obs::TraceSession>(args.trace_file);
   }
 
+  // Ctrl-C / SIGTERM mid-simulation: flush the trace collected so far (the
+  // write is atomic tmp+rename, so an interrupted run still leaves a
+  // parseable document) and exit cleanly. A second signal force-kills.
+  // The mutex closes a shutdown race: a signal landing while the main
+  // thread is already inside the end-of-run trace.reset() must not _Exit
+  // until that final write has hit disk.
+  std::mutex trace_mu;
+  serve::SignalDrain drain([&trace, &trace_mu] {
+    std::lock_guard<std::mutex> lock(trace_mu);
+    if (trace) trace->flush();
+    std::cerr << "mocha_sim: interrupted; partial trace flushed\n";
+  });
+
   // The config the selected accelerator actually ran with, for the manifest.
   fabric::FabricConfig used_config = customize(fabric::mocha_default_config());
 
@@ -335,7 +350,12 @@ int run(const Args& args) {
     used_config = acc.config();
   }
 
-  trace.reset();  // flush the trace file before reporting
+  {
+    // Flush the trace file before reporting, holding the drain mutex so a
+    // signal arriving mid-write waits for the complete document.
+    std::lock_guard<std::mutex> lock(trace_mu);
+    trace.reset();
+  }
 
   obs::RunManifest manifest = obs::RunManifest::current("mocha_sim");
   manifest.network = args.network;
