@@ -5,6 +5,7 @@
 
 #include "compress/bitmask.hpp"
 #include "compress/huffman.hpp"
+#include "compress/simd.hpp"
 #include "compress/zrle.hpp"
 
 namespace mocha::compress {
@@ -40,20 +41,21 @@ class NullCodec final : public Codec {
 // ---- Framed streams (integrity envelope) ----
 
 /// Little-endian field access into the 16-byte frame header:
-///   [0..1]  magic "MC"        [2]     frame version (1)
+///   [0..1]  magic "MC"        [2]     frame version (2)
 ///   [3]     codec kind        [4..7]  element count
-///   [8..11] payload bytes     [12..15] FNV-1a checksum of the payload
+///   [8..11] payload bytes     [12..15] checksum of the payload
+///
+/// Version 2 switched the checksum from serial FNV-1a to the 8-lane
+/// interleaved fnv1a_lanes (compress/simd.hpp): same single-byte-flip
+/// detection guarantee, ~4× faster because the multiplies pipeline.
+/// Frames only ever live inside one process (tile spill + refetch), so the
+/// bump costs nothing; v1 frames are rejected like any other version lie.
 constexpr std::uint8_t kFrameMagic0 = 'M';
 constexpr std::uint8_t kFrameMagic1 = 'C';
-constexpr std::uint8_t kFrameVersion = 1;
+constexpr std::uint8_t kFrameVersion = 2;
 
-std::uint32_t fnv1a(std::span<const std::uint8_t> bytes) {
-  std::uint32_t hash = 2166136261u;
-  for (std::uint8_t b : bytes) {
-    hash ^= b;
-    hash *= 16777619u;
-  }
-  return hash;
+std::uint32_t frame_checksum(std::span<const std::uint8_t> bytes) {
+  return fnv1a_lanes(bytes.data(), bytes.size());
 }
 
 void put_u32(std::uint8_t* p, std::uint32_t v) {
@@ -112,7 +114,7 @@ std::vector<std::uint8_t> encode_framed(const Codec& codec,
   framed[3] = static_cast<std::uint8_t>(codec.kind());
   put_u32(&framed[4], static_cast<std::uint32_t>(values.size()));
   put_u32(&framed[8], static_cast<std::uint32_t>(payload.size()));
-  put_u32(&framed[12], fnv1a(payload));
+  put_u32(&framed[12], frame_checksum(payload));
   if (!payload.empty()) {
     std::memcpy(framed.data() + kFrameHeaderBytes, payload.data(),
                 payload.size());
@@ -141,7 +143,9 @@ std::vector<nn::Value> decode_framed(const Codec& codec,
   }
   const std::span<const std::uint8_t> payload =
       framed.subspan(kFrameHeaderBytes);
-  if (get_u32(&framed[12]) != fnv1a(payload)) fail("checksum mismatch");
+  if (get_u32(&framed[12]) != frame_checksum(payload)) {
+    fail("checksum mismatch");
+  }
   // The header passed, so any remaining failure is payload damage the
   // checksum cannot see (it can't happen for single-byte flips, but lies in
   // a forged frame can) — the inner decoders MOCHA_CHECK their invariants,

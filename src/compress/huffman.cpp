@@ -1,8 +1,11 @@
 #include "compress/huffman.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <queue>
 
+#include "compress/simd.hpp"
 #include "util/bitio.hpp"
 
 namespace mocha::compress {
@@ -109,8 +112,26 @@ std::vector<std::uint8_t> HuffmanCodec::encode(
   // Flat histogram over the full 16-bit symbol space; the ascending scan
   // below visits symbols in the same order the old std::map iteration did,
   // so the emitted header (and hence the whole stream) is unchanged.
+  // Activation streams are zero-dominated, so the dispatched run scan
+  // credits whole zero runs to bucket 0 at SIMD speed and only the nonzero
+  // values take the scalar increment.
   std::vector<std::uint64_t> histogram(kSymbolSpace, 0);
-  for (nn::Value v : values) ++histogram[static_cast<std::uint16_t>(v)];
+  {
+    const CodecOps& ops = active_codec_ops();
+    const nn::Value* p = values.data();
+    const std::size_t n = values.size();
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t z = ops.zero_run(p + i, n - i);
+      histogram[0] += z;
+      i += z;
+      const std::size_t lit = ops.nonzero_run(p + i, n - i);
+      for (std::size_t k = 0; k < lit; ++k) {
+        ++histogram[static_cast<std::uint16_t>(p[i + k])];
+      }
+      i += lit;
+    }
+  }
 
   std::vector<std::uint16_t> symbols;
   std::vector<std::uint64_t> freqs;
@@ -186,16 +207,34 @@ std::vector<nn::Value> HuffmanCodec::decode(std::span<const std::uint8_t> coded,
   // (stream order == reversed code, so short codes occupy the low bits and
   // every suffix of the index maps to the same entry). 0 means "not covered
   // — take the fallback".
+  //
+  // Filled by region doubling instead of a strided store per (entry, hi)
+  // pair: lengths ascend in canonical order, so keep a prefix of size
+  // 2^cur_bits fully replicated, memcpy-double it when the length grows,
+  // and drop each entry in with ONE store. Prefix-freeness guarantees the
+  // store target still holds 0: a shorter code occupying index `base`
+  // would be a stream-order prefix of this code.
   std::vector<std::uint32_t> fast(1u << kDecodeTableBits, 0);
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const int len = entries[i].length;
-    if (len > kDecodeTableBits) break;  // canonical order: lengths ascend
-    const std::uint64_t base = reverse_bits(codes[i], len);
-    const std::uint32_t packed =
-        (static_cast<std::uint32_t>(entries[i].symbol) << 6) |
-        static_cast<std::uint32_t>(len);
-    for (std::uint64_t hi = 0; hi < (1u << (kDecodeTableBits - len)); ++hi) {
-      fast[base | (hi << len)] = packed;
+  {
+    int cur_bits = 0;
+    const auto double_region = [&fast](int bits) {
+      std::memcpy(fast.data() + (std::size_t{1} << bits), fast.data(),
+                  sizeof(std::uint32_t) << bits);
+    };
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const int len = entries[i].length;
+      if (len > kDecodeTableBits) break;  // canonical order: lengths ascend
+      while (cur_bits < len) {
+        double_region(cur_bits);
+        ++cur_bits;
+      }
+      fast[reverse_bits(codes[i], len)] =
+          (static_cast<std::uint32_t>(entries[i].symbol) << 6) |
+          static_cast<std::uint32_t>(len);
+    }
+    while (cur_bits < kDecodeTableBits) {
+      double_region(cur_bits);
+      ++cur_bits;
     }
   }
 
@@ -209,9 +248,14 @@ std::vector<nn::Value> HuffmanCodec::decode(std::span<const std::uint8_t> coded,
 
   const auto peek64 = [&padded](std::size_t bit_pos) {
     const std::uint8_t* p = padded.data() + (bit_pos >> 3);
-    std::uint64_t word = 0;
-    for (int i = 0; i < 8; ++i) {
-      word |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    std::uint64_t word;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&word, p, 8);  // one load instead of 8 byte inserts
+    } else {
+      word = 0;
+      for (int i = 0; i < 8; ++i) {
+        word |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+      }
     }
     return word >> (bit_pos & 7);
   };

@@ -1,0 +1,82 @@
+// Scalar codec scan primitives (the oracle) and the ISA dispatch table.
+// Vector variants live in simd_avx2.cpp / simd_neon.cpp with per-file
+// ISA flags; this file stays portable.
+#include "compress/simd.hpp"
+
+#include "util/assert.hpp"
+
+namespace mocha::compress {
+
+namespace {
+
+std::size_t zero_run_scalar(const nn::Value* p, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n && p[i] == 0) ++i;
+  return i;
+}
+
+std::size_t nonzero_run_scalar(const nn::Value* p, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n && p[i] != 0) ++i;
+  return i;
+}
+
+constexpr CodecOps kScalarOps = {
+    util::KernelIsa::Scalar,
+    zero_run_scalar,
+    nonzero_run_scalar,
+};
+
+}  // namespace
+
+const CodecOps& scalar_codec_ops() { return kScalarOps; }
+
+const CodecOps& codec_ops_for(util::KernelIsa isa) {
+  MOCHA_CHECK(util::isa_supported(isa),
+              "codec ISA " << util::isa_name(isa)
+                           << " not runnable on this host/build");
+  switch (isa) {
+    case util::KernelIsa::Scalar:
+      return scalar_codec_ops();
+    case util::KernelIsa::Avx2:
+#if MOCHA_KERNEL_AVX2
+      return avx2_codec_ops();
+#else
+      break;
+#endif
+    case util::KernelIsa::Neon:
+#if MOCHA_KERNEL_NEON
+      return neon_codec_ops();
+#else
+      break;
+#endif
+  }
+  MOCHA_UNREACHABLE("isa_supported admitted an uncompiled variant");
+}
+
+const CodecOps& active_codec_ops() {
+  return codec_ops_for(util::active_isa());
+}
+
+std::uint32_t fnv1a_lanes(const std::uint8_t* p, std::size_t n) {
+  constexpr std::uint32_t kBasis = 2166136261u;
+  constexpr std::uint32_t kPrime = 16777619u;
+  std::uint32_t lane[8] = {kBasis, kBasis, kBasis, kBasis,
+                           kBasis, kBasis, kBasis, kBasis};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int j = 0; j < 8; ++j) {
+      lane[j] = (lane[j] ^ p[i + j]) * kPrime;
+    }
+  }
+  for (int j = 0; i < n; ++i, ++j) {
+    lane[j] = (lane[j] ^ p[i]) * kPrime;
+  }
+  std::uint32_t hash = kBasis;
+  for (std::uint32_t l : lane) {
+    hash = (hash ^ l) * kPrime;
+  }
+  return hash;
+}
+
+}  // namespace mocha::compress

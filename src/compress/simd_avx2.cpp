@@ -1,0 +1,59 @@
+// AVX2 codec scan primitives: 16-lane compare + movemask run scans.
+// Compiled with -mavx2 (per-file); intrinsics-only, same ODR rules as
+// nn/kernels_avx2.cpp. Run lengths are exact positions, so the token
+// streams built on top are byte-identical to the scalar encoder's.
+#include <immintrin.h>
+
+#include "compress/simd.hpp"
+
+namespace mocha::compress {
+
+namespace {
+
+// _mm256_cmpeq_epi16 yields all-ones per equal lane; movemask_epi8 turns
+// that into 2 identical mask bits per 16-bit lane, so a bit index halves
+// into a lane index.
+
+std::size_t zero_run_avx2(const nn::Value* p, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi16(v, zero)));
+    if (mask != 0xFFFFFFFFu) {
+      return i + (static_cast<unsigned>(__builtin_ctz(~mask)) >> 1);
+    }
+  }
+  while (i < n && p[i] == 0) ++i;
+  return i;
+}
+
+std::size_t nonzero_run_avx2(const nn::Value* p, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi16(v, zero)));
+    if (mask != 0u) {
+      return i + (static_cast<unsigned>(__builtin_ctz(mask)) >> 1);
+    }
+  }
+  while (i < n && p[i] != 0) ++i;
+  return i;
+}
+
+constexpr CodecOps kAvx2Ops = {
+    util::KernelIsa::Avx2,
+    zero_run_avx2,
+    nonzero_run_avx2,
+};
+
+}  // namespace
+
+const CodecOps& avx2_codec_ops() { return kAvx2Ops; }
+
+}  // namespace mocha::compress

@@ -1,31 +1,42 @@
 #include "compress/zrle.hpp"
 
+#include <algorithm>
+
+#include "compress/simd.hpp"
 #include "util/bitio.hpp"
 
 namespace mocha::compress {
 
 std::vector<std::uint8_t> ZrleCodec::encode(
     std::span<const nn::Value> values) const {
+  // Run-structured scan through the dispatched ISA primitives. The token
+  // stream is defined by run lengths alone, so this emits byte-for-byte
+  // what the per-element walk did: maximal zero runs split at 256, one
+  // 17-bit literal per nonzero value.
+  const CodecOps& ops = active_codec_ops();
+  const nn::Value* data = values.data();
+  const std::size_t n = values.size();
   util::BitWriter writer;
   std::size_t i = 0;
-  while (i < values.size()) {
-    if (values[i] == 0) {
-      std::size_t run = 0;
-      while (i < values.size() && values[i] == 0 && run < 256) {
-        ++run;
-        ++i;
-      }
+  while (i < n) {
+    const std::size_t run =
+        ops.zero_run(data + i, std::min<std::size_t>(n - i, 256));
+    if (run > 0) {
       // Flag and payload fused into one put: LSB-first packing makes
       // put((payload << 1) | flag, w + 1) bit-identical to put_bit(flag)
       // followed by put(payload, w). (256 wraps to 0 by construction.)
       writer.put(((run & 0xFF) << 1) | 1u, 9);
-    } else {
+      i += run;
+      continue;
+    }
+    const std::size_t lit = ops.nonzero_run(data + i, n - i);
+    for (std::size_t k = 0; k < lit; ++k) {
       writer.put(static_cast<std::uint64_t>(
-                     static_cast<std::uint16_t>(values[i]))
+                     static_cast<std::uint16_t>(data[i + k]))
                      << 1,
                  17);
-      ++i;
     }
+    i += lit;
   }
   return writer.finish();
 }
@@ -33,18 +44,19 @@ std::vector<std::uint8_t> ZrleCodec::encode(
 std::vector<nn::Value> ZrleCodec::decode(std::span<const std::uint8_t> coded,
                                          std::size_t count) const {
   util::BitReader reader(coded.data(), coded.size());
-  std::vector<nn::Value> out;
-  out.reserve(count);
-  while (out.size() < count) {
+  // Pre-zeroed output: a run token just advances the cursor, so zero
+  // expansion costs nothing beyond the single allocation.
+  std::vector<nn::Value> out(count, nn::Value{0});
+  std::size_t filled = 0;
+  while (filled < count) {
     if (reader.get_bit()) {
       std::uint64_t run = reader.get(8);
       if (run == 0) run = 256;
-      MOCHA_CHECK(out.size() + run <= count,
-                  "zrle run overruns logical length");
-      out.insert(out.end(), static_cast<std::size_t>(run), nn::Value{0});
+      MOCHA_CHECK(filled + run <= count, "zrle run overruns logical length");
+      filled += static_cast<std::size_t>(run);
     } else {
-      out.push_back(static_cast<nn::Value>(
-          static_cast<std::uint16_t>(reader.get(16))));
+      out[filled++] = static_cast<nn::Value>(
+          static_cast<std::uint16_t>(reader.get(16)));
     }
   }
   return out;

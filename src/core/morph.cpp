@@ -167,17 +167,28 @@ struct SearchContext {
   }
 
   /// Evaluates every plan set in `plan_sets` (built serially, in the
-  /// enumeration's canonical nesting order) across the thread pool. The
-  /// grain floor of 8 matters: one analytical evaluation is microseconds,
-  /// so per-candidate chunks would spend more time in dispatch than in
-  /// scoring — the old per-layer parallelization beat per-candidate chunks
-  /// at 4 threads for exactly that reason.
+  /// enumeration's canonical nesting order) across the thread pool. One
+  /// analytical evaluation is microseconds, so chunking policy dominates:
+  /// small batches stay serial (the pool's wake/join round trip alone costs
+  /// more than scoring ~tens of candidates — measured as the 0.98× alexnet
+  /// planner "speedup" at 2–4 threads), and parallel batches use a grain
+  /// floor of 16 so no chunk is dispatch-bound.
   std::vector<GroupCandidate> evaluate_all(
       const NetworkPlan::Group& group,
       std::vector<std::vector<LayerPlan>> plan_sets) const {
     const auto n = static_cast<std::int64_t>(plan_sets.size());
+    constexpr std::int64_t kSerialBelow = 64;
+    if (n < kSerialBelow) {
+      std::vector<GroupCandidate> out;
+      out.reserve(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        out.push_back(
+            evaluate(group, std::move(plan_sets[static_cast<std::size_t>(i)])));
+      }
+      return out;
+    }
     return util::parallel_transform<GroupCandidate>(
-        n, util::default_grain(n, 8), [&](std::int64_t i) {
+        n, util::default_grain(n, 16), [&](std::int64_t i) {
           return evaluate(group,
                           std::move(plan_sets[static_cast<std::size_t>(i)]));
         });

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/kernels_ops.hpp"
 #include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 
@@ -143,15 +144,10 @@ void RowNonzero::build(const PaddedInput& in, Index channels, Index y0,
       } else if (gy < buf_y_lo || gy >= buf_y_hi || cols_escape_buffer) {
         flag = 1;  // in-map but not provably in-buffer: conservative
       } else {
-        flag = 0;
-        const Value* row = in.row_at(c, gy);
-        for (Index lx = scan_x_lo - in.origin_x; lx < scan_x_hi - in.origin_x;
-             ++lx) {
-          if (row[lx] != 0) {
-            flag = 1;
-            break;
-          }
-        }
+        const Value* row = in.row_at(c, gy) + (scan_x_lo - in.origin_x);
+        flag = active_kernel_ops().any_nonzero(row, scan_x_hi - scan_x_lo)
+                   ? 1
+                   : 0;
       }
       rows_[static_cast<std::size_t>(c * rows + (gy - y0))] = flag;
       any |= flag;
@@ -176,8 +172,10 @@ void conv_region(const LayerSpec& layer, const PaddedInput& in,
 
   if (xspan > 0) {
     // Interior: raw row pointers, register-blocked over output maps, the
-    // innermost x walk contiguous (stride 1) so it autovectorizes.
+    // contiguous (stride 1) x walk handed to the dispatched ISA variant.
+    const KernelOps& ops = active_kernel_ops();
     std::vector<Accum> acc(static_cast<std::size_t>(kMapBlock * xspan));
+    const Value* wrow[kMapBlock] = {};
     // Buffer-local column of the first interior read.
     const Index in_x0 = it.x0 * stride - pad - in.origin_x;
     for (Index m0 = m_begin; m0 < m_end; m0 += kMapBlock) {
@@ -198,28 +196,10 @@ void conv_region(const LayerSpec& layer, const PaddedInput& in,
             }
             const Value* in_row = in.row_at(c, gy) + in_x0;
             for (Index mi = 0; mi < mcnt; ++mi) {
-              const Value* wrow = &weights.at_unchecked(m0 + mi, c, ky, 0);
-              Accum* a = acc.data() + mi * xspan;
-              if (stride == 1) {
-                for (Index kx = 0; kx < kernel; ++kx) {
-                  const Accum wv = wrow[kx];
-                  if (wv == 0) continue;
-                  const Value* p = in_row + kx;
-                  for (Index x = 0; x < xspan; ++x) {
-                    a[x] += static_cast<Accum>(p[x]) * wv;
-                  }
-                }
-              } else {
-                for (Index kx = 0; kx < kernel; ++kx) {
-                  const Accum wv = wrow[kx];
-                  if (wv == 0) continue;
-                  const Value* p = in_row + kx;
-                  for (Index x = 0; x < xspan; ++x) {
-                    a[x] += static_cast<Accum>(p[x * stride]) * wv;
-                  }
-                }
-              }
+              wrow[mi] = &weights.at_unchecked(m0 + mi, c, ky, 0);
             }
+            ops.conv_rows(acc.data(), xspan, in_row, wrow, mcnt, kernel,
+                          stride);
           }
         }
         for (Index mi = 0; mi < mcnt; ++mi) {
@@ -279,6 +259,7 @@ void depthwise_region(const LayerSpec& layer, const PaddedInput& in,
   std::int64_t rows_skipped = 0;
 
   if (xspan > 0) {
+    const KernelOps& ops = active_kernel_ops();
     std::vector<Accum> acc(static_cast<std::size_t>(xspan));
     const Index in_x0 = it.x0 * stride - pad - in.origin_x;
     for (Index c = c_begin; c < c_end; ++c) {
@@ -292,28 +273,8 @@ void depthwise_region(const LayerSpec& layer, const PaddedInput& in,
             continue;
           }
           const Value* in_row = in.row_at(c, gy) + in_x0;
-          const Value* wrow = &weights.at_unchecked(c, 0, ky, 0);
-          if (stride == 1) {
-            for (Index kx = 0; kx < kernel; ++kx) {
-              const Accum wv = wrow[kx];
-              if (wv == 0) continue;
-              const Value* p = in_row + kx;
-              for (Index x = 0; x < xspan; ++x) {
-                acc[static_cast<std::size_t>(x)] +=
-                    static_cast<Accum>(p[x]) * wv;
-              }
-            }
-          } else {
-            for (Index kx = 0; kx < kernel; ++kx) {
-              const Accum wv = wrow[kx];
-              if (wv == 0) continue;
-              const Value* p = in_row + kx;
-              for (Index x = 0; x < xspan; ++x) {
-                acc[static_cast<std::size_t>(x)] +=
-                    static_cast<Accum>(p[x * stride]) * wv;
-              }
-            }
-          }
+          const Value* wk = &weights.at_unchecked(c, 0, ky, 0);
+          ops.conv_rows(acc.data(), xspan, in_row, &wk, 1, kernel, stride);
         }
         Value* orow = &out->at_unchecked(0, c, y - out_y.begin + out_oy,
                                          it.x0 - out_x.begin + out_ox);
@@ -442,38 +403,41 @@ void fc_region(const LayerSpec& layer, const Value* flat_in,
                const Quant& quant, ValueTensor* out) {
   const Index fan_in = layer.in_c * layer.in_h * layer.in_w;
   const bool relu = layer.relu;
+  const KernelOps& ops = active_kernel_ops();
 
-  // Nonzero (index, value) list: zero inputs never enter the MAC stream, so
-  // FC compute cost tracks ifmap sparsity exactly like the codecs do.
-  std::vector<Index> nz_idx;
-  std::vector<Accum> nz_val;
+  // Nonzero (index, value) list in 32-bit lanes (what the gather variants
+  // load directly): zero inputs never enter the MAC stream, so FC compute
+  // cost tracks ifmap sparsity exactly like the codecs do. Indices ascend.
+  std::vector<std::int32_t> nz_idx;
+  std::vector<std::int32_t> nz_val;
   nz_idx.reserve(static_cast<std::size_t>(fan_in));
   nz_val.reserve(static_cast<std::size_t>(fan_in));
   for (Index i = 0; i < fan_in; ++i) {
     if (flat_in[i] != 0) {
-      nz_idx.push_back(i);
-      nz_val.push_back(static_cast<Accum>(flat_in[i]));
+      nz_idx.push_back(static_cast<std::int32_t>(i));
+      nz_val.push_back(flat_in[i]);
     }
   }
   const auto nnz = static_cast<Index>(nz_idx.size());
-  MOCHA_METRIC_ADD("kernels.fc_zero_inputs_skipped", fan_in - nnz);
+
+  // Near-dense ifmaps take the contiguous dot product: zero inputs add
+  // exact +0 terms, so the sum is unchanged, and sequential loads beat the
+  // gather once fewer than ~1/8 of the inputs are zero. The zero-skip
+  // metric only counts work the sparse path actually elided.
+  const bool dense = nnz * 8 >= fan_in * 7;
+  if (!dense && fan_in > nnz) {
+    MOCHA_METRIC_ADD("kernels.fc_zero_inputs_skipped", fan_in - nnz);
+  }
 
   for (Index m0 = m_begin; m0 < m_end; m0 += kMapBlock) {
     const Index mcnt = std::min<Index>(kMapBlock, m_end - m0);
-    Accum acc[kMapBlock] = {0, 0, 0, 0};
-    const Value* wrow[kMapBlock] = {};
     for (Index mi = 0; mi < mcnt; ++mi) {
-      wrow[mi] = &weights.at_unchecked(m0 + mi, 0, 0, 0);
-    }
-    for (Index i = 0; i < nnz; ++i) {
-      const Index idx = nz_idx[static_cast<std::size_t>(i)];
-      const Accum v = nz_val[static_cast<std::size_t>(i)];
-      for (Index mi = 0; mi < mcnt; ++mi) {
-        acc[mi] += v * static_cast<Accum>(wrow[mi][idx]);
-      }
-    }
-    for (Index mi = 0; mi < mcnt; ++mi) {
-      out->at_unchecked(0, m0 + mi, 0, 0) = quant.requantize(acc[mi], relu);
+      const Value* w = &weights.at_unchecked(m0 + mi, 0, 0, 0);
+      const Accum acc = dense ? ops.fc_dot_dense(flat_in, w, fan_in)
+                              : ops.fc_dot_sparse(nz_idx.data(),
+                                                  nz_val.data(), nnz, w,
+                                                  fan_in);
+      out->at_unchecked(0, m0 + mi, 0, 0) = quant.requantize(acc, relu);
     }
   }
 }

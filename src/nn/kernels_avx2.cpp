@@ -1,0 +1,153 @@
+// AVX2 kernel primitives. This translation unit is compiled with -mavx2
+// (per-file, see src/CMakeLists.txt) and must only be *called* after the
+// runtime dispatch confirmed AVX2 — the rest of the binary stays portable.
+//
+// Bit-exactness argument, per primitive: products are int16 × int16 (fit
+// int32 exactly, so _mm256_mullo_epi32 on sign-extended lanes is the true
+// product) and accumulation is 4 × int64 lanes that cannot overflow, so
+// any lane split + horizontal fold equals the scalar left-to-right sum.
+//
+// Keep this file intrinsics-only: no STL, no MOCHA_CHECK. Any inline
+// symbol shared with portable TUs could be resolved to this TU's AVX2
+// codegen by the linker and crash pre-AVX2 hosts.
+#include <immintrin.h>
+
+#include "nn/kernels_ops.hpp"
+
+namespace mocha::nn::kernels {
+
+namespace {
+
+/// a[x] += p[x] * wv for x in [0, n) — the stride-1 interior inner loop.
+inline void axpy_avx2(Accum* a, const Value* p, std::int32_t wv, Index n) {
+  const __m256i vw = _mm256_set1_epi32(wv);
+  Index x = 0;
+  for (; x + 8 <= n; x += 8) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + x));
+    const __m256i v32 = _mm256_cvtepi16_epi32(raw);
+    const __m256i prod = _mm256_mullo_epi32(v32, vw);
+    const __m256i p0 = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod));
+    const __m256i p1 =
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1));
+    __m256i* a0 = reinterpret_cast<__m256i*>(a + x);
+    __m256i* a1 = reinterpret_cast<__m256i*>(a + x + 4);
+    _mm256_storeu_si256(a0, _mm256_add_epi64(_mm256_loadu_si256(a0), p0));
+    _mm256_storeu_si256(a1, _mm256_add_epi64(_mm256_loadu_si256(a1), p1));
+  }
+  for (; x < n; ++x) {
+    a[x] += static_cast<Accum>(p[x]) * wv;
+  }
+}
+
+void conv_rows_avx2(Accum* acc, Index xspan, const Value* in_row,
+                    const Value* const* wrow, Index mcnt, Index kernel,
+                    Index stride) {
+  for (Index mi = 0; mi < mcnt; ++mi) {
+    const Value* w = wrow[mi];
+    Accum* a = acc + mi * xspan;
+    if (stride == 1) {
+      for (Index kx = 0; kx < kernel; ++kx) {
+        if (w[kx] == 0) continue;
+        axpy_avx2(a, in_row + kx, w[kx], xspan);
+      }
+    } else {
+      // Strided reads do not vectorize profitably on AVX2 (no cheap int16
+      // gather); the scalar walk keeps the variant exact everywhere.
+      for (Index kx = 0; kx < kernel; ++kx) {
+        const Accum wv = w[kx];
+        if (wv == 0) continue;
+        const Value* p = in_row + kx;
+        for (Index x = 0; x < xspan; ++x) {
+          a[x] += static_cast<Accum>(p[x * stride]) * wv;
+        }
+      }
+    }
+  }
+}
+
+/// Folds 4 int64 lanes into one sum.
+inline Accum hsum_epi64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return _mm_cvtsi128_si64(s) + _mm_extract_epi64(s, 1);
+}
+
+Accum fc_dot_dense_avx2(const Value* x, const Value* w, Index n) {
+  __m256i acc = _mm256_setzero_si256();
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i xv = _mm256_cvtepi16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i)));
+    const __m256i wv = _mm256_cvtepi16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i)));
+    const __m256i prod = _mm256_mullo_epi32(xv, wv);
+    acc = _mm256_add_epi64(
+        acc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod)));
+    acc = _mm256_add_epi64(
+        acc, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1)));
+  }
+  Accum sum = hsum_epi64(acc);
+  for (; i < n; ++i) {
+    sum += static_cast<Accum>(x[i]) * static_cast<Accum>(w[i]);
+  }
+  return sum;
+}
+
+Accum fc_dot_sparse_avx2(const std::int32_t* idx, const std::int32_t* val,
+                         Index nnz, const Value* w, Index fan_in) {
+  // Each 32-bit gather lane reads w[idx] plus the 16 bits of w[idx + 1],
+  // so a lane with idx == fan_in - 1 would read 2 bytes past the weight
+  // row. Indices ascend: peel trailing entries into the scalar tail.
+  Index vec_n = nnz;
+  while (vec_n > 0 && idx[vec_n - 1] + 1 >= fan_in) --vec_n;
+
+  __m256i acc = _mm256_setzero_si256();
+  Index i = 0;
+  for (; i + 8 <= vec_n; i += 8) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    const __m256i g = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(w), vi, 2);
+    // Low 16 bits of each gathered dword hold w[idx]; sign-extend in lane.
+    const __m256i wv =
+        _mm256_srai_epi32(_mm256_slli_epi32(g, 16), 16);
+    const __m256i vv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(val + i));
+    const __m256i prod = _mm256_mullo_epi32(wv, vv);
+    acc = _mm256_add_epi64(
+        acc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod)));
+    acc = _mm256_add_epi64(
+        acc, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1)));
+  }
+  Accum sum = hsum_epi64(acc);
+  for (; i < nnz; ++i) {
+    sum += static_cast<Accum>(val[i]) * static_cast<Accum>(w[idx[i]]);
+  }
+  return sum;
+}
+
+bool any_nonzero_avx2(const Value* p, Index n) {
+  Index i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    if (!_mm256_testz_si256(v, v)) return true;
+  }
+  for (; i < n; ++i) {
+    if (p[i] != 0) return true;
+  }
+  return false;
+}
+
+constexpr KernelOps kAvx2Ops = {
+    util::KernelIsa::Avx2, conv_rows_avx2,   fc_dot_dense_avx2,
+    fc_dot_sparse_avx2,    any_nonzero_avx2,
+};
+
+}  // namespace
+
+const KernelOps& avx2_kernel_ops() { return kAvx2Ops; }
+
+}  // namespace mocha::nn::kernels

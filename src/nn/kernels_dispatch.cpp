@@ -1,0 +1,100 @@
+// Scalar kernel primitives (the bit-exactness oracle) and the ISA dispatch
+// table. The vector variants live in kernels_avx2.cpp / kernels_neon.cpp,
+// compiled with per-file ISA flags; this file stays portable.
+#include "nn/kernels_ops.hpp"
+
+#include "util/assert.hpp"
+
+namespace mocha::nn::kernels {
+
+namespace {
+
+void conv_rows_scalar(Accum* acc, Index xspan, const Value* in_row,
+                      const Value* const* wrow, Index mcnt, Index kernel,
+                      Index stride) {
+  for (Index mi = 0; mi < mcnt; ++mi) {
+    const Value* w = wrow[mi];
+    Accum* a = acc + mi * xspan;
+    if (stride == 1) {
+      for (Index kx = 0; kx < kernel; ++kx) {
+        const Accum wv = w[kx];
+        if (wv == 0) continue;
+        const Value* p = in_row + kx;
+        for (Index x = 0; x < xspan; ++x) {
+          a[x] += static_cast<Accum>(p[x]) * wv;
+        }
+      }
+    } else {
+      for (Index kx = 0; kx < kernel; ++kx) {
+        const Accum wv = w[kx];
+        if (wv == 0) continue;
+        const Value* p = in_row + kx;
+        for (Index x = 0; x < xspan; ++x) {
+          a[x] += static_cast<Accum>(p[x * stride]) * wv;
+        }
+      }
+    }
+  }
+}
+
+Accum fc_dot_dense_scalar(const Value* x, const Value* w, Index n) {
+  Accum acc = 0;
+  for (Index i = 0; i < n; ++i) {
+    acc += static_cast<Accum>(x[i]) * static_cast<Accum>(w[i]);
+  }
+  return acc;
+}
+
+Accum fc_dot_sparse_scalar(const std::int32_t* idx, const std::int32_t* val,
+                           Index nnz, const Value* w, Index /*fan_in*/) {
+  Accum acc = 0;
+  for (Index i = 0; i < nnz; ++i) {
+    acc += static_cast<Accum>(val[i]) * static_cast<Accum>(w[idx[i]]);
+  }
+  return acc;
+}
+
+bool any_nonzero_scalar(const Value* p, Index n) {
+  for (Index i = 0; i < n; ++i) {
+    if (p[i] != 0) return true;
+  }
+  return false;
+}
+
+constexpr KernelOps kScalarOps = {
+    util::KernelIsa::Scalar, conv_rows_scalar,     fc_dot_dense_scalar,
+    fc_dot_sparse_scalar,    any_nonzero_scalar,
+};
+
+}  // namespace
+
+const KernelOps& scalar_kernel_ops() { return kScalarOps; }
+
+const KernelOps& kernel_ops_for(util::KernelIsa isa) {
+  MOCHA_CHECK(util::isa_supported(isa),
+              "kernel ISA " << util::isa_name(isa)
+                            << " not runnable on this host/build");
+  switch (isa) {
+    case util::KernelIsa::Scalar:
+      return scalar_kernel_ops();
+    case util::KernelIsa::Avx2:
+#if MOCHA_KERNEL_AVX2
+      return avx2_kernel_ops();
+#else
+      break;
+#endif
+    case util::KernelIsa::Neon:
+#if MOCHA_KERNEL_NEON
+      return neon_kernel_ops();
+#else
+      break;
+#endif
+  }
+  MOCHA_UNREACHABLE("isa_supported admitted an uncompiled variant");
+}
+
+const KernelOps& active_kernel_ops() {
+  return kernel_ops_for(util::active_isa());
+}
+
+}  // namespace mocha::nn::kernels

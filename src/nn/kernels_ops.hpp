@@ -1,0 +1,69 @@
+// The inner-loop primitives a kernel ISA variant provides — the interface
+// behind the runtime CPU dispatch (util/cpuid.hpp).
+//
+// kernels.cpp owns all geometry (interior/border split, register blocking,
+// zero-skip metadata) and calls these primitives on the padding-free
+// interior only; each entry is a straight-line loop over raw pointers that
+// an ISA file (kernels_avx2.cpp, kernels_neon.cpp) can implement with
+// intrinsics. Every variant MUST be bit-identical to the scalar one: Accum
+// is int64 and the MAC streams here can never overflow it (|value·weight|
+// ≤ 2^30, and no region sums anywhere near 2^33 terms), so integer
+// summation is exact under any reassociation — a vector variant that
+// widens, blocks, or reorders lanes still produces the same bits. The
+// per-ISA oracle sweeps in tests/nn/kernels_test.cpp enforce this.
+//
+// ISA translation units must stay intrinsics-only (no STL, no MOCHA_CHECK):
+// they are compiled with wider ISA flags than the rest of the tree, and any
+// inline/template symbol they share with portable TUs could be chosen by
+// the linker, leaking illegal instructions into the portable binary.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/tensor.hpp"
+#include "util/cpuid.hpp"
+
+namespace mocha::nn::kernels {
+
+struct KernelOps {
+  util::KernelIsa isa;
+
+  /// Interior conv row pass: accumulates one input row into `mcnt`
+  /// register-blocked output-map rows.
+  ///   acc[mi * xspan + x] += Σ_kx in_row[x * stride + kx] · wrow[mi][kx]
+  /// for x in [0, xspan), skipping zero weights. `in_row` must be readable
+  /// over [0, (xspan - 1) * stride + kernel).
+  void (*conv_rows)(Accum* acc, Index xspan, const Value* in_row,
+                    const Value* const* wrow, Index mcnt, Index kernel,
+                    Index stride);
+
+  /// Dense FC kernel: Σ_i x[i] · w[i] over n contiguous values.
+  Accum (*fc_dot_dense)(const Value* x, const Value* w, Index n);
+
+  /// FC nonzero-gather kernel: Σ_i val[i] · w[idx[i]] over an ascending
+  /// nonzero (index, value) list. `fan_in` bounds the weight row so a
+  /// vector gather can guard its trailing over-read.
+  Accum (*fc_dot_sparse)(const std::int32_t* idx, const std::int32_t* val,
+                         Index nnz, const Value* w, Index fan_in);
+
+  /// Any nonzero element in p[0, n)? (The RowNonzero::build scan.)
+  bool (*any_nonzero)(const Value* p, Index n);
+};
+
+/// The always-present oracle variant.
+const KernelOps& scalar_kernel_ops();
+
+#if MOCHA_KERNEL_AVX2
+const KernelOps& avx2_kernel_ops();  // kernels_avx2.cpp, built with -mavx2
+#endif
+#if MOCHA_KERNEL_NEON
+const KernelOps& neon_kernel_ops();  // kernels_neon.cpp (AArch64 baseline)
+#endif
+
+/// Ops for a specific ISA; MOCHA_CHECKs that it is runnable here.
+const KernelOps& kernel_ops_for(util::KernelIsa isa);
+
+/// Ops for util::active_isa() — what the compute kernels dispatch through.
+const KernelOps& active_kernel_ops();
+
+}  // namespace mocha::nn::kernels

@@ -1,5 +1,6 @@
 #include "obs/manifest.hpp"
 
+#include "util/cpuid.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 
@@ -16,6 +17,7 @@ RunManifest RunManifest::current(std::string tool) {
   RunManifest manifest;
   manifest.tool = std::move(tool);
   manifest.threads = util::ThreadPool::global_threads();
+  manifest.kernel_isa = util::isa_name(util::active_isa());
   manifest.build_type = MOCHA_BUILD_TYPE;
   manifest.version = MOCHA_REPO_VERSION;
   return manifest;
@@ -34,6 +36,9 @@ void RunManifest::write_json(util::JsonWriter& json) const {
   json.key("pe_cols").value(pe_cols);
   json.key("clock_ghz").value(clock_ghz);
   json.key("threads").value(threads);
+  if (!kernel_isa.empty()) {
+    json.key("kernel_isa").value(kernel_isa);
+  }
   json.key("build_type").value(build_type);
   json.key("version").value(version);
   if (!fault_scenario.empty()) {

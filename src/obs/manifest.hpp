@@ -28,6 +28,7 @@ struct RunManifest {
 
   // Execution environment.
   int threads = 0;          // resolved pool width (MOCHA_THREADS)
+  std::string kernel_isa;   // dispatched kernel/codec ISA (util::active_isa)
   std::string build_type;   // CMAKE_BUILD_TYPE at compile time
   std::string version;      // repo git revision at configure time
 

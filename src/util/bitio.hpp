@@ -6,7 +6,9 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -34,6 +36,19 @@ class BitWriter {
     }
     acc_ |= value << fill_;
     fill_ += width;
+    // Word-wide drain: four bytes land with one store instead of four
+    // push_back branches. Same bytes in the same (LSB-first) order, so
+    // streams are unchanged; big-endian keeps the byte loop.
+    if constexpr (std::endian::native == std::endian::little) {
+      if (fill_ >= 32) {
+        const auto word = static_cast<std::uint32_t>(acc_);
+        const std::size_t old = bytes_.size();
+        bytes_.resize(old + 4);
+        std::memcpy(bytes_.data() + old, &word, 4);
+        acc_ >>= 32;
+        fill_ -= 32;
+      }
+    }
     while (fill_ >= 8) {
       bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
       acc_ >>= 8;
@@ -77,6 +92,18 @@ class BitReader {
     MOCHA_CHECK(pos_ + static_cast<std::size_t>(width) <= size_ * 8,
                 "bit read past end: pos=" << pos_ << " width=" << width
                                           << " size_bits=" << size_ * 8);
+    // Word-wide fast path: one unaligned load covers any field of up to
+    // 57 bits (64 minus the worst-case 7-bit offset) when 8 bytes are in
+    // range. Falls back to the byte walk near the buffer tail.
+    if (std::endian::native == std::endian::little && width <= 57 &&
+        (pos_ >> 3) + 8 <= size_) {
+      std::uint64_t word;
+      std::memcpy(&word, data_ + (pos_ >> 3), 8);
+      const std::uint64_t out =
+          (word >> (pos_ & 7)) & ((1ull << width) - 1);
+      pos_ += static_cast<std::size_t>(width);
+      return out;
+    }
     std::uint64_t out = 0;
     int got = 0;
     while (got < width) {

@@ -1,0 +1,119 @@
+#include "util/cpuid.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace mocha::util {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_neon() {
+#if defined(__aarch64__)
+  return true;  // AdvSIMD is architecturally mandatory on AArch64
+#else
+  return false;
+#endif
+}
+
+KernelIsa resolve_startup_isa() {
+  const char* env = std::getenv("MOCHA_KERNEL_ISA");
+  if (env != nullptr && env[0] != '\0') {
+    KernelIsa isa;
+    MOCHA_CHECK(parse_isa(env, &isa),
+                "MOCHA_KERNEL_ISA='" << env
+                                     << "' (expected scalar, avx2, or neon)");
+    MOCHA_CHECK(isa_supported(isa),
+                "MOCHA_KERNEL_ISA=" << isa_name(isa)
+                                    << " is not runnable here (not compiled "
+                                       "in or not supported by this CPU)");
+    return isa;
+  }
+  return best_supported_isa();
+}
+
+/// -1 = not yet resolved; otherwise a KernelIsa value.
+std::atomic<int> g_active_isa{-1};
+
+}  // namespace
+
+const char* isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::Scalar:
+      return "scalar";
+    case KernelIsa::Avx2:
+      return "avx2";
+    case KernelIsa::Neon:
+      return "neon";
+  }
+  MOCHA_UNREACHABLE("bad KernelIsa");
+}
+
+bool parse_isa(std::string_view text, KernelIsa* out) {
+  if (text == "scalar") {
+    *out = KernelIsa::Scalar;
+  } else if (text == "avx2") {
+    *out = KernelIsa::Avx2;
+  } else if (text == "neon") {
+    *out = KernelIsa::Neon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool isa_supported(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::Scalar:
+      return true;
+    case KernelIsa::Avx2:
+      return MOCHA_KERNEL_AVX2 != 0 && cpu_has_avx2();
+    case KernelIsa::Neon:
+      return MOCHA_KERNEL_NEON != 0 && cpu_has_neon();
+  }
+  MOCHA_UNREACHABLE("bad KernelIsa");
+}
+
+KernelIsa best_supported_isa() {
+  if (isa_supported(KernelIsa::Avx2)) return KernelIsa::Avx2;
+  if (isa_supported(KernelIsa::Neon)) return KernelIsa::Neon;
+  return KernelIsa::Scalar;
+}
+
+std::vector<KernelIsa> supported_isas() {
+  std::vector<KernelIsa> isas = {KernelIsa::Scalar};
+  for (KernelIsa isa : {KernelIsa::Avx2, KernelIsa::Neon}) {
+    if (isa_supported(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+KernelIsa active_isa() {
+  int v = g_active_isa.load(std::memory_order_acquire);
+  if (v < 0) {
+    const KernelIsa resolved = resolve_startup_isa();
+    int expected = -1;
+    // Lost races are harmless: resolution is deterministic.
+    g_active_isa.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                         std::memory_order_acq_rel);
+    v = g_active_isa.load(std::memory_order_acquire);
+  }
+  return static_cast<KernelIsa>(v);
+}
+
+void force_isa(KernelIsa isa) {
+  MOCHA_CHECK(isa_supported(isa), "cannot force ISA " << isa_name(isa)
+                                      << ": not runnable on this host/build");
+  g_active_isa.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+}  // namespace mocha::util

@@ -1,0 +1,53 @@
+// Runtime CPU-feature detection and the kernel-ISA dispatch switch.
+//
+// The compute microkernels (nn/kernels_*.cpp) and the codec hot loops
+// (compress/simd_*.cpp) ship explicitly vectorized variants compiled with
+// per-file ISA flags, so the binary itself stays portable: which variant
+// runs is decided here, once, at startup. The scalar variant is always
+// present and is the bit-exactness oracle — every vector variant must
+// reproduce its results exactly (integer arithmetic, no reassociation
+// hazards), which the per-ISA oracle sweeps in tests/ enforce.
+//
+// Resolution order for the active ISA:
+//   1. MOCHA_KERNEL_ISA environment variable ("scalar" | "avx2" | "neon").
+//      Naming an ISA the host or build cannot run is a hard error, never a
+//      silent fallback — a broken SIMD path must fail loudly.
+//   2. Otherwise the best ISA both compiled in and supported by the CPU.
+// Tools and tests can override programmatically with force_isa().
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace mocha::util {
+
+enum class KernelIsa { Scalar = 0, Avx2 = 1, Neon = 2 };
+
+/// "scalar" / "avx2" / "neon".
+const char* isa_name(KernelIsa isa);
+
+/// Parses an isa_name() string (as used by MOCHA_KERNEL_ISA and --isa
+/// flags). Returns false on anything else.
+bool parse_isa(std::string_view text, KernelIsa* out);
+
+/// True when this binary compiled the variant AND the running CPU can
+/// execute it. Scalar is always supported.
+bool isa_supported(KernelIsa isa);
+
+/// The widest supported ISA (what the dispatch picks absent an override).
+KernelIsa best_supported_isa();
+
+/// Every ISA this host can run, scalar (the oracle) first.
+std::vector<KernelIsa> supported_isas();
+
+/// The ISA the dispatched kernels and codec loops currently use. Resolved
+/// once from MOCHA_KERNEL_ISA / best_supported_isa() on first call.
+KernelIsa active_isa();
+
+/// Forces the dispatch to `isa` for the rest of the process (or until the
+/// next call). MOCHA_CHECKs that the ISA is supported. Not meant to be
+/// called while kernels are in flight: callers are CLIs at startup and
+/// tests between cases.
+void force_isa(KernelIsa isa);
+
+}  // namespace mocha::util

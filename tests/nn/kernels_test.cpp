@@ -15,6 +15,7 @@
 #include "dataflow/executor.hpp"
 #include "nn/generate.hpp"
 #include "nn/reference.hpp"
+#include "util/cpuid.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -26,6 +27,16 @@ class WithThreads {
  public:
   explicit WithThreads(int n) { util::ThreadPool::set_global_threads(n); }
   ~WithThreads() { util::ThreadPool::set_global_threads(1); }
+};
+
+/// Forces the kernel dispatch to one ISA and restores the default after.
+/// The oracle sweeps below run once per supported ISA: the oracles are
+/// naive loop nests that never touch the dispatch, so each pass checks one
+/// vectorized variant (and forced-scalar) for bit-identical output.
+class WithIsa {
+ public:
+  explicit WithIsa(util::KernelIsa isa) { util::force_isa(isa); }
+  ~WithIsa() { util::force_isa(util::best_supported_isa()); }
 };
 
 ValueTensor oracle_conv(const ValueTensor& input, const ValueTensor& weights,
@@ -134,49 +145,57 @@ void expect_identical(const ValueTensor& got, const ValueTensor& want,
   }
 }
 
-TEST(KernelsVsOracle, ConvSweepsGeometryAndSparsity) {
+TEST(KernelsVsOracle, ConvSweepsGeometryAndSparsityPerIsa) {
   WithThreads threads(4);
-  util::Rng rng(101);
   const Quant quant;
-  for (Index kernel : {1, 3, 5, 7}) {
-    for (Index stride : {1, 2}) {
-      for (Index pad : {0, 1, 2}) {
-        for (double sparsity : {0.0, 0.5, 0.9}) {
-          LayerSpec layer = conv_layer("conv", 5, 13, 11, 9, kernel, stride,
-                                       pad, /*relu=*/true);
-          if (layer.out_h() < 1 || layer.out_w() < 1) continue;
-          const ValueTensor input =
-              random_tensor(layer.input_shape(), sparsity, rng);
-          const ValueTensor weights =
-              random_tensor(layer.weight_shape(), 0.25, rng, -8, 8);
-          const std::string what =
-              "conv k=" + std::to_string(kernel) + " s=" +
-              std::to_string(stride) + " p=" + std::to_string(pad) +
-              " sparsity=" + std::to_string(sparsity);
-          expect_identical(conv2d_ref(input, weights, layer, quant),
-                           oracle_conv(input, weights, layer, quant), what);
+  for (util::KernelIsa isa : util::supported_isas()) {
+    WithIsa forced(isa);
+    util::Rng rng(101);  // same data per ISA: outputs must agree bit-exactly
+    for (Index kernel : {1, 3, 5, 7}) {
+      for (Index stride : {1, 2}) {
+        for (Index pad : {0, 1, 2}) {
+          for (double sparsity : {0.0, 0.5, 0.9}) {
+            LayerSpec layer = conv_layer("conv", 5, 13, 11, 9, kernel, stride,
+                                         pad, /*relu=*/true);
+            if (layer.out_h() < 1 || layer.out_w() < 1) continue;
+            const ValueTensor input =
+                random_tensor(layer.input_shape(), sparsity, rng);
+            const ValueTensor weights =
+                random_tensor(layer.weight_shape(), 0.25, rng, -8, 8);
+            const std::string what =
+                std::string("isa=") + util::isa_name(isa) + " conv k=" +
+                std::to_string(kernel) + " s=" + std::to_string(stride) +
+                " p=" + std::to_string(pad) + " sparsity=" +
+                std::to_string(sparsity);
+            expect_identical(conv2d_ref(input, weights, layer, quant),
+                             oracle_conv(input, weights, layer, quant), what);
+          }
         }
       }
     }
   }
 }
 
-TEST(KernelsVsOracle, DepthwiseSweep) {
+TEST(KernelsVsOracle, DepthwiseSweepPerIsa) {
   WithThreads threads(4);
-  util::Rng rng(102);
   const Quant quant;
-  for (Index kernel : {3, 5}) {
-    for (Index stride : {1, 2}) {
-      for (double sparsity : {0.0, 0.9}) {
-        const LayerSpec layer = depthwise_layer("dw", 7, 12, 14, kernel,
-                                                stride, kernel / 2);
-        const ValueTensor input =
-            random_tensor(layer.input_shape(), sparsity, rng);
-        const ValueTensor weights =
-            random_tensor(layer.weight_shape(), 0.25, rng, -8, 8);
-        expect_identical(depthwise_ref(input, weights, layer, quant),
-                         oracle_depthwise(input, weights, layer, quant),
-                         "depthwise k=" + std::to_string(kernel));
+  for (util::KernelIsa isa : util::supported_isas()) {
+    WithIsa forced(isa);
+    util::Rng rng(102);
+    for (Index kernel : {3, 5}) {
+      for (Index stride : {1, 2}) {
+        for (double sparsity : {0.0, 0.9}) {
+          const LayerSpec layer = depthwise_layer("dw", 7, 12, 14, kernel,
+                                                  stride, kernel / 2);
+          const ValueTensor input =
+              random_tensor(layer.input_shape(), sparsity, rng);
+          const ValueTensor weights =
+              random_tensor(layer.weight_shape(), 0.25, rng, -8, 8);
+          expect_identical(depthwise_ref(input, weights, layer, quant),
+                           oracle_depthwise(input, weights, layer, quant),
+                           std::string("isa=") + util::isa_name(isa) +
+                               " depthwise k=" + std::to_string(kernel));
+        }
       }
     }
   }
@@ -196,19 +215,25 @@ TEST(KernelsVsOracle, PoolMaxAndAverage) {
   }
 }
 
-TEST(KernelsVsOracle, FullyConnected) {
+TEST(KernelsVsOracle, FullyConnectedPerIsa) {
   WithThreads threads(4);
-  util::Rng rng(104);
   const Quant quant;
-  for (double sparsity : {0.0, 0.5, 0.9}) {
-    const LayerSpec layer = fc_layer("fc", 6 * 5 * 5, 33, /*relu=*/true);
-    const ValueTensor input =
-        random_tensor({1, 6, 5, 5}, sparsity, rng);
-    const ValueTensor weights =
-        random_tensor(layer.weight_shape(), 0.25, rng, -8, 8);
-    expect_identical(fc_ref(input, weights, layer, quant),
-                     oracle_fc(input, weights, layer, quant),
-                     "fc sparsity=" + std::to_string(sparsity));
+  for (util::KernelIsa isa : util::supported_isas()) {
+    WithIsa forced(isa);
+    util::Rng rng(104);
+    // The sparsity points straddle the dense/sparse path threshold, so both
+    // the contiguous dot product and the nonzero gather run on every ISA.
+    for (double sparsity : {0.0, 0.05, 0.5, 0.9, 1.0}) {
+      const LayerSpec layer = fc_layer("fc", 6 * 5 * 5, 33, /*relu=*/true);
+      const ValueTensor input =
+          random_tensor({1, 6, 5, 5}, sparsity, rng);
+      const ValueTensor weights =
+          random_tensor(layer.weight_shape(), 0.25, rng, -8, 8);
+      expect_identical(fc_ref(input, weights, layer, quant),
+                       oracle_fc(input, weights, layer, quant),
+                       std::string("isa=") + util::isa_name(isa) +
+                           " fc sparsity=" + std::to_string(sparsity));
+    }
   }
 }
 

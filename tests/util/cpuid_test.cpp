@@ -1,0 +1,72 @@
+// Runtime ISA detection and the dispatch switch (util/cpuid.hpp): naming,
+// parsing, the supported set, and the force/active override used by tests
+// and CLIs. The bit-exactness of what each ISA computes is covered by the
+// per-ISA sweeps in tests/nn/kernels_test.cpp and
+// tests/compress/isa_equivalence_test.cpp.
+#include "util/cpuid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mocha::util {
+namespace {
+
+class IsaRestore {
+ public:
+  ~IsaRestore() { force_isa(best_supported_isa()); }
+};
+
+TEST(Cpuid, NamesAndParsingRoundTrip) {
+  for (KernelIsa isa :
+       {KernelIsa::Scalar, KernelIsa::Avx2, KernelIsa::Neon}) {
+    KernelIsa parsed;
+    ASSERT_TRUE(parse_isa(isa_name(isa), &parsed)) << isa_name(isa);
+    EXPECT_EQ(parsed, isa);
+  }
+  KernelIsa parsed;
+  EXPECT_FALSE(parse_isa("", &parsed));
+  EXPECT_FALSE(parse_isa("avx9", &parsed));
+  EXPECT_FALSE(parse_isa("AVX2", &parsed));  // names are exact, lower-case
+  EXPECT_FALSE(parse_isa("scalar ", &parsed));
+}
+
+TEST(Cpuid, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(isa_supported(KernelIsa::Scalar));
+}
+
+TEST(Cpuid, SupportedSetIsConsistent) {
+  const std::vector<KernelIsa> isas = supported_isas();
+  ASSERT_FALSE(isas.empty());
+  // Scalar (the oracle) leads, every listed ISA is runnable, and the
+  // dispatch default is in the list.
+  EXPECT_EQ(isas.front(), KernelIsa::Scalar);
+  for (KernelIsa isa : isas) {
+    EXPECT_TRUE(isa_supported(isa)) << isa_name(isa);
+  }
+  EXPECT_NE(std::find(isas.begin(), isas.end(), best_supported_isa()),
+            isas.end());
+}
+
+TEST(Cpuid, ForceIsaOverridesActive) {
+  IsaRestore restore;
+  for (KernelIsa isa : supported_isas()) {
+    force_isa(isa);
+    EXPECT_EQ(active_isa(), isa) << isa_name(isa);
+  }
+}
+
+TEST(Cpuid, ForcingUnsupportedIsaIsAHardError) {
+  // At most one vector ISA can be supported on any real host (AVX2 is
+  // x86-only, NEON is AArch64-only), so the other must be rejected loudly.
+  for (KernelIsa isa : {KernelIsa::Avx2, KernelIsa::Neon}) {
+    if (!isa_supported(isa)) {
+      EXPECT_THROW(force_isa(isa), CheckFailure) << isa_name(isa);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mocha::util

@@ -38,6 +38,8 @@ expect_rejected(${SIM} "usage" --json=yes)              # boolean takes no value
 expect_rejected(${SIM} "usage" --fault-kill 2.0)
 expect_rejected(${SIM} "usage" --fault-seed -1)
 expect_rejected(${SIM} "mutually exclusive" --faults f.json --fault-kill 0.5)
+expect_rejected(${SIM} "usage" --isa)                   # missing value
+expect_rejected(${SIM} "usage" --isa avx9)              # not an ISA name
 expect_rejected(${SIM} "usage" -h)                      # help goes to stderr, exit 2
 
 # --- mocha_sim: validated values past the parser ---
@@ -51,6 +53,10 @@ expect_rejected(${BENCH} "usage" --frobnicate)
 expect_rejected(${BENCH} "usage" --out)                 # missing value
 expect_rejected(${BENCH} "usage" --out=)                # empty inline value
 expect_rejected(${BENCH} "usage" extra-positional)
+expect_rejected(${BENCH} "usage" --threads 0)           # below range
+expect_rejected(${BENCH} "usage" --threads 1,,2)        # empty item
+expect_rejected(${BENCH} "usage" --threads two)         # not a number
+expect_rejected(${BENCH} "usage" --isa avx9)            # not an ISA name
 
 # --- fig_degradation (E15 harness) ---
 expect_rejected(${FIG} "usage" --bogus)

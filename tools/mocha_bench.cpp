@@ -8,10 +8,15 @@
 // determinism cannot be reported as a win.
 //
 // Usage:
-//   mocha_bench [--smoke] [--out BENCH_parallel.json]
+//   mocha_bench [--smoke] [--out BENCH_parallel.json] [--threads 1,2,8]
+//               [--isa scalar|avx2|neon]
 //
 // --smoke shrinks the workloads to seconds (wired as the `bench_smoke` ctest
-// entry so the harness and the JSON emitter cannot rot).
+// entry so the harness and the JSON emitter cannot rot). The default thread
+// sweep never exceeds the host's hardware_concurrency — numbers beyond it
+// measure oversubscription, not scaling — but --threads can ask for any
+// series. --isa forces the kernel/codec dispatch (same as MOCHA_KERNEL_ISA);
+// the dispatched ISA is recorded in every record and in the manifest.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -29,6 +34,7 @@
 #include "nn/reference.hpp"
 #include "obs/manifest.hpp"
 #include "obs/sink.hpp"
+#include "util/cpuid.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 
@@ -86,6 +92,9 @@ struct Record {
   /// points are real measurements but not scaling evidence.
   int hw_threads = 0;
   bool oversubscribed = false;
+  /// Which kernel/codec ISA variant the dispatch routed to — numbers from
+  /// different variants are different benchmarks.
+  std::string kernel_isa;
 };
 
 /// A workload is a deterministic callable returning its result checksum.
@@ -132,6 +141,7 @@ void measure(const Workload& workload, const std::vector<int>& thread_counts,
     record.checksum = checksum;
     record.hw_threads = hw;
     record.oversubscribed = hw > 0 && threads > hw;
+    record.kernel_isa = util::isa_name(util::active_isa());
     if (record.oversubscribed) {
       std::string warning = workload.name + ": " + std::to_string(threads) +
                             " threads requested on a machine with " +
@@ -323,6 +333,7 @@ void emit_json(const std::vector<Record>& records,
     json.key("wall_ms").value(record.wall_ms);
     json.key("speedup").value(record.speedup);
     json.key("checksum").value(record.checksum);
+    json.key("kernel_isa").value(record.kernel_isa);
     json.end_object();
   }
   json.end_array();
@@ -332,9 +343,35 @@ void emit_json(const std::vector<Record>& records,
   std::cout << "wrote " << path << "\n";
 }
 
+/// Parses a comma-separated positive-integer list ("1,2,8").
+bool parse_thread_list(const std::string& text, std::vector<int>* out) {
+  out->clear();
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', start), text.size());
+    const std::string item = text.substr(start, comma - start);
+    if (item.empty()) return false;
+    int value = 0;
+    for (char ch : item) {
+      if (ch < '0' || ch > '9') return false;
+      value = value * 10 + (ch - '0');
+      if (value > 1 << 16) return false;
+    }
+    if (value < 1) return false;
+    out->push_back(value);
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
 int run(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_parallel.json";
+  std::vector<int> thread_override;
+  const auto usage = [] {
+    std::cerr << "usage: mocha_bench [--smoke] [--out path] "
+                 "[--threads 1,2,8] [--isa scalar|avx2|neon]\n";
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -343,19 +380,41 @@ int run(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg.rfind("--out=", 0) == 0 && arg.size() > 6) {
       out_path = arg.substr(6);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      if (!parse_thread_list(argv[++i], &thread_override)) {
+        std::cerr << "error: bad --threads list '" << argv[i] << "'\n";
+        usage();
+        return 2;
+      }
+    } else if (arg == "--isa" && i + 1 < argc) {
+      util::KernelIsa isa;
+      if (!util::parse_isa(argv[++i], &isa)) {
+        std::cerr << "error: bad --isa '" << argv[i] << "'\n";
+        usage();
+        return 2;
+      }
+      util::force_isa(isa);  // hard error if not runnable here
     } else {
-      std::cerr << "error: bad argument '" << arg << "'\n"
-                << "usage: mocha_bench [--smoke] [--out path]\n";
+      std::cerr << "error: bad argument '" << arg << "'\n";
+      usage();
       return 2;
     }
   }
 
-  // 1, 2, and "all the machine has" (at least 4, so the scaling series is
-  // meaningful even when the host underreports).
-  const int hw = std::max(4u, std::thread::hardware_concurrency());
-  std::vector<int> thread_counts = {1, 2, hw};
-  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
-                      thread_counts.end());
+  // Default sweep: 1, 2, and "all the machine has", capped at the host's
+  // hardware_concurrency — counts beyond it measure oversubscription, not
+  // scaling. --threads overrides uncapped (the oversubscription warnings
+  // then say what the numbers mean).
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> thread_counts = thread_override;
+  if (thread_counts.empty()) {
+    for (int t : {1, 2, hw}) {
+      if (t <= hw) thread_counts.push_back(t);
+    }
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+  }
   const int reps = smoke ? 1 : 3;
 
   std::vector<Record> records;

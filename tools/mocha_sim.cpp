@@ -32,6 +32,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/cpuid.hpp"
 #include "serve/signal.hpp"
 #include "sim/dot.hpp"
 #include "util/table.hpp"
@@ -67,7 +68,7 @@ struct Args {
          "[--pe N] [--clock-mhz N]\n"
          "       [--no-compression] [--huffman] [--json] [--plan] "
          "[--dot FILE]\n"
-         "       [--trace FILE] [--metrics]\n"
+         "       [--trace FILE] [--metrics] [--isa scalar|avx2|neon]\n"
          "       [--faults FILE] [--fault-kill FRAC] [--fault-seed N]\n";
   std::exit(2);
 }
@@ -180,6 +181,16 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--fault-seed") {
       args.fault_seed = static_cast<std::uint64_t>(parse_int(
           argv[0], flag, value(), 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (flag == "--isa") {
+      // Kernel/codec dispatch override, same values as MOCHA_KERNEL_ISA.
+      // Parse errors are a CLI problem (exit 2); an unsupported-but-valid
+      // ISA is a host/build problem and stays the hard MOCHA_CHECK.
+      const std::string text = value();
+      mocha::util::KernelIsa isa;
+      if (!mocha::util::parse_isa(text, &isa)) {
+        bad_arg(argv[0], "--isa expects scalar|avx2|neon, got '" + text + "'");
+      }
+      mocha::util::force_isa(isa);
     } else if (flag == "--help" || flag == "-h") {
       usage(argv[0]);
     } else {
