@@ -6,6 +6,7 @@
 #include "dataflow/schedule.hpp"
 #include "fabric/pe_array.hpp"
 #include "model/energy.hpp"
+#include "obs/critpath.hpp"
 #include "obs/trace.hpp"
 #include "sim/trace.hpp"
 #include "util/log.hpp"
@@ -76,19 +77,8 @@ RunReport Accelerator::run_with_plan(
       gr.dense_macs += batch * net.layers[l].macs();
     }
     gr.counts = run.totals;
-    // Each group switch loads a new fabric context. A morphable fabric
-    // loads a full plan context (sized by fabric::plan_context_words); a
-    // fixed-function controller swaps only its static per-layer registers.
-    const dataflow::LayerPlan& head_plan = plan.layers[group.first];
-    const bool coded =
-        head_plan.ifmap_codec != compress::CodecKind::None ||
-        head_plan.kernel_codec != compress::CodecKind::None ||
-        head_plan.ofmap_codec != compress::CodecKind::None;
     const std::int64_t reconfig =
-        config_.has_morph_controller
-            ? fabric::reconfig_cycles_for(config_, head_plan.total_groups(),
-                                          coded)
-            : config_.reconfig_cycles;
+        group_reconfig_cycles(config_, plan, group.first);
     gr.counts.reconfigs = 1;
     gr.counts.cycles += reconfig;
     gr.cycles += static_cast<sim::Cycle>(reconfig);
@@ -107,6 +97,9 @@ RunReport Accelerator::run_with_plan(
            run.resource_busy_cycles[r],
            run.utilization(static_cast<sim::ResourceId>(r))});
     }
+    const obs::CritPathReport critpath =
+        obs::analyze_critical_path(built.graph, run);
+    gr.critpath = obs::summarize(critpath);
 
 #if MOCHA_OBS
     // Render this group's executed task graph on the simulated-time lanes;
@@ -120,7 +113,10 @@ RunReport Accelerator::run_with_plan(
       }
       session->set_sim_offset(session->sim_offset() +
                               static_cast<sim::Cycle>(reconfig));
-      sim::emit_trace(built.graph, built.layout.specs, session);
+      sim::TraceEmitOptions emit_options;
+      emit_options.group = static_cast<std::int64_t>(gi);
+      emit_options.on_critical_path = &critpath.on_path;
+      sim::emit_trace(built.graph, built.layout.specs, session, emit_options);
       session->set_sim_offset(session->sim_offset() + run.makespan);
     }
 #endif
@@ -146,6 +142,22 @@ RunReport Accelerator::run_with_plan(
     report.groups.push_back(std::move(gr));
   }
   return report;
+}
+
+std::int64_t group_reconfig_cycles(const fabric::FabricConfig& config,
+                                   const dataflow::NetworkPlan& plan,
+                                   std::size_t group_first) {
+  // Each group switch loads a new fabric context. A morphable fabric
+  // loads a full plan context (sized by fabric::plan_context_words); a
+  // fixed-function controller swaps only its static per-layer registers.
+  const dataflow::LayerPlan& head_plan = plan.layers[group_first];
+  const bool coded = head_plan.ifmap_codec != compress::CodecKind::None ||
+                     head_plan.kernel_codec != compress::CodecKind::None ||
+                     head_plan.ofmap_codec != compress::CodecKind::None;
+  return config.has_morph_controller
+             ? fabric::reconfig_cycles_for(config, head_plan.total_groups(),
+                                           coded)
+             : config.reconfig_cycles;
 }
 
 Accelerator make_mocha_accelerator(fabric::FabricConfig config,

@@ -60,4 +60,12 @@ Accelerator make_mocha_accelerator(
     model::TechParams tech = model::default_tech(),
     Objective objective = Objective::EnergyDelayProduct);
 
+/// Fabric context-switch cost charged when entering the fusion group whose
+/// head layer is `group_first` — the same number run_with_plan folds into
+/// each GroupReport, factored out so offline analyzers (mocha_critpath)
+/// reconstruct identical totals.
+std::int64_t group_reconfig_cycles(const fabric::FabricConfig& config,
+                                   const dataflow::NetworkPlan& plan,
+                                   std::size_t group_first);
+
 }  // namespace mocha::core

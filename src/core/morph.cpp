@@ -1,6 +1,7 @@
 #include "core/morph.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "dataflow/cost.hpp"
@@ -104,6 +105,10 @@ struct GroupCandidate {
   std::vector<LayerPlan> plans;
   CostEstimate est;
   double score = std::numeric_limits<double>::infinity();
+  /// Ranking key: equals `score` unless slack hints bias this group
+  /// toward cycles (MorphOptions::layer_criticality). Selection sorts by
+  /// rank; the DP and all reported numbers keep the unbiased score.
+  double rank = std::numeric_limits<double>::infinity();
   /// True for the injected plan-of-last-resort candidate.
   bool fallback = false;
 };
@@ -124,6 +129,27 @@ struct SearchContext {
 
   bool compression_on() const {
     return options.allow_compression && config.has_compression;
+  }
+
+  /// Hint weight for a group: clamp(strength * max layer criticality, 0, 1).
+  /// 0 (no hints / uncritical group) leaves ranking == score.
+  double hint_weight(const NetworkPlan::Group& group) const {
+    if (options.layer_criticality.empty()) return 0.0;
+    double crit = 0.0;
+    for (std::size_t l = group.first;
+         l <= group.last && l < options.layer_criticality.size(); ++l) {
+      crit = std::max(crit, options.layer_criticality[l]);
+    }
+    return std::min(1.0, std::max(0.0, options.hint_strength * crit));
+  }
+
+  /// Geometric blend between the objective score and pure cycles: the
+  /// ranking key for a group with hint weight `w`. Both inputs are already
+  /// positive (cycle/energy scores of buildable plans).
+  static double blend_rank(double score, double cycles, double w) {
+    if (w <= 0.0) return score;
+    return std::pow(std::max(score, 1e-300), 1.0 - w) *
+           std::pow(std::max(cycles, 1.0), w);
   }
 
   std::vector<std::pair<int, int>> parallelism() const {
@@ -151,17 +177,25 @@ struct SearchContext {
     candidate.est = est;
     candidate.score = objective_score(options.objective, est.cycles,
                                       est.energy_pj);
+    candidate.rank =
+        blend_rank(candidate.score, est.cycles, hint_weight(group));
     // Compactness tiebreak: among near-equal plans prefer the smaller
     // working set — compressed residency then directly lowers the storage
     // requirement, and a small footprint leaves headroom for cascading.
-    candidate.score *= 1.0 + 0.40 * static_cast<double>(est.footprint_bytes) /
-                                 static_cast<double>(config.sram_bytes);
+    const double tiebreak =
+        1.0 + 0.40 * static_cast<double>(est.footprint_bytes) /
+                  static_cast<double>(config.sram_bytes);
+    candidate.score *= tiebreak;
+    candidate.rank *= tiebreak;
     // A non-fitting plan is only kept as a last resort; the penalty grows
     // with the overflow so the least-overflowing candidate wins when
     // literally nothing fits.
     if (est.footprint_bytes > sram_budget()) {
-      candidate.score *= 1e6 * static_cast<double>(est.footprint_bytes) /
-                         static_cast<double>(std::max<std::int64_t>(1, sram_budget()));
+      const double penalty =
+          1e6 * static_cast<double>(est.footprint_bytes) /
+          static_cast<double>(std::max<std::int64_t>(1, sram_budget()));
+      candidate.score *= penalty;
+      candidate.rank *= penalty;
     }
     return candidate;
   }
@@ -198,6 +232,7 @@ struct SearchContext {
 void keep_best(std::vector<GroupCandidate>* candidates, std::size_t k) {
   std::sort(candidates->begin(), candidates->end(),
             [](const GroupCandidate& a, const GroupCandidate& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
               return a.score < b.score;
             });
   if (candidates->size() > k) {
@@ -423,7 +458,8 @@ GroupCandidate refine_exact(const SearchContext& ctx,
   MOCHA_CHECK(!candidates.empty(), "no candidates to refine");
 
   const model::EnergyModel energy_model(ctx.tech, ctx.config);
-  std::vector<double> scores(candidates.size());
+  const double hint_w = ctx.hint_weight(group);
+  std::vector<double> ranks(candidates.size());
   std::vector<GroupTrace::Finalist> finalists(candidates.size());
   util::parallel_for(
       0, static_cast<std::int64_t>(candidates.size()), 1,
@@ -439,19 +475,22 @@ GroupCandidate refine_exact(const SearchContext& ctx,
           const sim::Engine engine(built.layout.specs);
           const sim::RunResult run = engine.run(built.graph);
           const double energy_pj = energy_model.energy(run.totals).total_pj();
-          double score = objective_score(ctx.options.objective,
-                                         static_cast<double>(run.makespan),
-                                         energy_pj);
-          // Same compactness tiebreak as the analytical ranking.
-          score *= 1.0 + 0.40 * static_cast<double>(run.peak_sram_bytes) /
-                             static_cast<double>(ctx.config.sram_bytes);
-          if (run.peak_sram_bytes > ctx.config.sram_bytes) score *= 1e6;
+          const double score = objective_score(ctx.options.objective,
+                                               static_cast<double>(run.makespan),
+                                               energy_pj);
+          // Measured selection key: same slack-hint blend and compactness
+          // tiebreak as the analytical ranking.
+          double rank = SearchContext::blend_rank(
+              score, static_cast<double>(run.makespan), hint_w);
+          rank *= 1.0 + 0.40 * static_cast<double>(run.peak_sram_bytes) /
+                            static_cast<double>(ctx.config.sram_bytes);
+          if (run.peak_sram_bytes > ctx.config.sram_bytes) rank *= 1e6;
           // Record the measured quantities so downstream consumers see
           // reality.
           candidate.est.cycles = static_cast<double>(run.makespan);
           candidate.est.energy_pj = energy_pj;
           candidate.est.footprint_bytes = run.peak_sram_bytes;
-          scores[ci] = score;
+          ranks[ci] = rank;
           finalists[ci].plan_summary = candidate.plans.front().summary();
           finalists[ci].cycles = candidate.est.cycles;
           finalists[ci].energy_pj = energy_pj;
@@ -460,10 +499,10 @@ GroupCandidate refine_exact(const SearchContext& ctx,
       });
 
   std::size_t best_index = 0;
-  double best_score = std::numeric_limits<double>::infinity();
+  double best_rank = std::numeric_limits<double>::infinity();
   for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
-    if (scores[ci] < best_score) {
-      best_score = scores[ci];
+    if (ranks[ci] < best_rank) {
+      best_rank = ranks[ci];
       best_index = ci;
     }
   }
@@ -530,6 +569,15 @@ PlanResult MorphController::plan_result(
   net.validate();
   config.validate();
   MOCHA_CHECK(batch >= 1, "batch=" << batch);
+  MOCHA_CHECK(options_.layer_criticality.empty() ||
+                  options_.layer_criticality.size() == net.layers.size(),
+              "layer_criticality has " << options_.layer_criticality.size()
+                                       << " entries for "
+                                       << net.layers.size() << " layers");
+  for (double crit : options_.layer_criticality) {
+    MOCHA_CHECK(std::isfinite(crit) && crit >= 0.0 && crit <= 1.0,
+                "layer_criticality value " << crit << " outside [0, 1]");
+  }
   PlanResult result;
   const SearchContext ctx{net, config, stats, tech_, options_, batch};
   const std::size_t n = net.layers.size();
@@ -582,6 +630,7 @@ PlanResult MorphController::plan_result(
         // worst-case score so the DP can still place it.
         fallback.plans = plans;
         fallback.score = 1e30;
+        fallback.rank = 1e30;
         result.diagnostics.push_back(
             {i, i, std::string("fallback cost estimate failed: ") + e.what()});
       }
@@ -643,6 +692,9 @@ PlanResult MorphController::plan_result(
       result.diagnostics.push_back(
           {i, i + len - 1,
            std::string("exact refinement failed: ") + e.what()});
+    }
+    if (ctx.hint_weight(group) > 0.0) {
+      MOCHA_METRIC_ADD("planner.hinted_groups", 1);
     }
     if (winner.fallback) {
       result.fallback_used = true;

@@ -63,6 +63,24 @@ struct MorphOptions {
   /// minimal_fallback_plan(). An emergency escape hatch (and the test hook
   /// that proves the fallback executes end to end on every network).
   bool force_fallback = false;
+
+  /// Per-layer criticality hints in [0, 1] from trace-driven critical-path
+  /// analysis (obs/critpath.hpp; produced by `mocha_critpath --emit-hints`,
+  /// consumed via `mocha_sim --slack-hints`). Empty = unbiased search.
+  /// When set, the size must equal the network's layer count.
+  ///
+  /// A group's hint weight w = clamp(hint_strength * max criticality over
+  /// its layers, 0, 1) interpolates the candidate-ranking key from the
+  /// configured objective (w=0) to pure cycles (w=1): critical-path layers
+  /// gate the whole-network makespan, so trading their energy score for
+  /// cycles is how the planner acts on measured slack. Only the *ranking*
+  /// is biased — fusion-DP segmentation costs and reported scores stay on
+  /// the unbiased objective.
+  std::vector<double> layer_criticality;
+
+  /// Gain applied to the criticality hints (see above). 1.0 means a fully
+  /// critical layer ranks purely by cycles; 0 disables the bias.
+  double hint_strength = 1.0;
 };
 
 /// The plan of last resort for one layer: smallest reasonable tile, weight-

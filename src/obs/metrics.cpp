@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+
 #include "util/json.hpp"
 
 namespace mocha::obs {
@@ -32,6 +34,35 @@ void HistogramData::add(std::int64_t value) {
   ++buckets[static_cast<std::size_t>(bucket_of(value))];
 }
 
+double HistogramData::percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const double rank = clamped / 100.0 * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t next = seen + buckets[i];
+    if (rank <= static_cast<double>(next) || next == count) {
+      // Bucket bounds: bucket 0 covers (-inf, 0] (observed floor: min),
+      // bucket i covers [2^(i-1), 2^i).
+      const double lo =
+          i == 0 ? static_cast<double>(std::min<std::int64_t>(min, 0))
+                 : static_cast<double>(std::int64_t{1}
+                                       << static_cast<int>(i - 1));
+      const double hi =
+          i == 0 ? 0.0
+                 : static_cast<double>(std::int64_t{1} << static_cast<int>(i));
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      const double value = lo + std::min(1.0, std::max(0.0, frac)) * (hi - lo);
+      return std::min(static_cast<double>(max),
+                      std::max(static_cast<double>(min), value));
+    }
+    seen = next;
+  }
+  return static_cast<double>(max);
+}
+
 void HistogramData::merge(const HistogramData& other) {
   if (other.count == 0) return;
   count += other.count;
@@ -59,6 +90,9 @@ void MetricsSnapshot::write_json(util::JsonWriter& json) const {
     json.key("min").value(hist.count == 0 ? 0 : hist.min);
     json.key("max").value(hist.count == 0 ? 0 : hist.max);
     json.key("mean").value(hist.mean());
+    json.key("p50").value(hist.percentile(50));
+    json.key("p90").value(hist.percentile(90));
+    json.key("p99").value(hist.percentile(99));
     // [bucket upper bound (exclusive), count] for non-empty buckets; the
     // first bucket covers values <= 0.
     json.key("log2_buckets").begin_array();

@@ -55,6 +55,12 @@ struct HistogramData {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Estimated value at percentile `p` in [0, 100]: linear interpolation
+  /// inside the log2 bucket holding that rank, clamped to the observed
+  /// [min, max] (so p0 == min and p100 == max exactly). Worst-case error
+  /// is the width of one bucket. Returns 0 on an empty histogram.
+  double percentile(double p) const;
 };
 
 /// A merged, point-in-time view of the registry.

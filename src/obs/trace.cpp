@@ -57,7 +57,8 @@ TraceSession::~TraceSession() {
 
 void TraceSession::sim_event(const std::string& lane, const std::string& name,
                              const char* category, std::uint64_t ts_cycles,
-                             std::uint64_t dur_cycles) {
+                             std::uint64_t dur_cycles, std::int64_t group,
+                             std::int64_t task) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] =
       sim_lanes_.try_emplace(lane, static_cast<int>(sim_lanes_.size()));
@@ -68,7 +69,30 @@ void TraceSession::sim_event(const std::string& lane, const std::string& name,
   event.ts_us = static_cast<double>(sim_offset_ + ts_cycles);
   event.dur_us = static_cast<double>(dur_cycles);
   event.tid = it->second;
+  event.group = group;
+  event.task = task;
   sim_events_.push_back(std::move(event));
+}
+
+void TraceSession::sim_flow(const std::string& lane, const char* name,
+                            const char* category, std::uint64_t ts_cycles,
+                            std::uint64_t flow_id, bool begin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      sim_lanes_.try_emplace(lane, static_cast<int>(sim_lanes_.size()));
+  (void)inserted;
+  FlowEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_us = static_cast<double>(sim_offset_ + ts_cycles);
+  event.tid = it->second;
+  event.id = flow_id;
+  event.begin = begin;
+  sim_flows_events_.push_back(event);
+}
+
+std::uint64_t TraceSession::next_flow_id() {
+  return next_flow_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
 TraceSession::ThreadBuf& TraceSession::local_buf() {
@@ -99,7 +123,7 @@ void TraceSession::wall_event(const char* name, const char* category,
 
 std::size_t TraceSession::event_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::size_t n = sim_events_.size();
+  std::size_t n = sim_events_.size() + sim_flows_events_.size();
   for (const auto& buf : wall_bufs_) {
     std::lock_guard<std::mutex> blocked(buf->mu);
     n += buf->events.size();
@@ -140,6 +164,24 @@ void TraceSession::write_document() {
     json.key("cat").value(event.category);
     json.key("ts").value(event.ts_us);
     json.key("dur").value(event.dur_us);
+    if (event.group >= 0 || event.task >= 0) {
+      json.key("args").begin_object();
+      if (event.group >= 0) json.key("g").value(event.group);
+      if (event.task >= 0) json.key("task").value(event.task);
+      json.end_object();
+    }
+    json.end_object();
+  };
+  auto emit_flow = [&](int pid, const FlowEvent& event) {
+    json.begin_object();
+    json.key("ph").value(event.begin ? "s" : "f");
+    if (!event.begin) json.key("bp").value("e");
+    json.key("pid").value(pid);
+    json.key("tid").value(event.tid);
+    json.key("name").value(event.name);
+    json.key("cat").value(event.category);
+    json.key("id").value(static_cast<std::int64_t>(event.id));
+    json.key("ts").value(event.ts_us);
     json.end_object();
   };
 
@@ -158,6 +200,7 @@ void TraceSession::write_document() {
     emit_thread_meta(kSimPid, tid, lane);
   }
   for (const Event& event : sim_events_) emit_complete(kSimPid, event);
+  for (const FlowEvent& event : sim_flows_events_) emit_flow(kSimPid, event);
   for (const auto& buf : wall_bufs_) {
     std::lock_guard<std::mutex> blocked(buf->mu);
     emit_thread_meta(kWallPid, buf->tid,

@@ -51,10 +51,34 @@ class TraceSession {
 
   /// Records a complete event on a simulated-time lane. `ts_cycles` is
   /// relative to the current sim offset (see below), so successive engine
-  /// runs lay out sequentially on shared lanes.
+  /// runs lay out sequentially on shared lanes. Non-negative `group` /
+  /// `task` ids are stamped into the event's args ({"g": N, "task": N}) so
+  /// critical-path reports can be cross-referenced against the trace.
   void sim_event(const std::string& lane, const std::string& name,
                  const char* category, std::uint64_t ts_cycles,
-                 std::uint64_t dur_cycles);
+                 std::uint64_t dur_cycles, std::int64_t group = -1,
+                 std::int64_t task = -1);
+
+  /// Records one endpoint of a Chrome flow event (`ph:"s"` when `begin`,
+  /// else `ph:"f"` with `bp:"e"`) on a simulated-time lane. Both endpoints
+  /// of a flow share `flow_id` (allocate with next_flow_id()) and must use
+  /// the same `name`/`category` literals. Emitted by sim::emit_trace for
+  /// task dependence edges when flows are enabled.
+  void sim_flow(const std::string& lane, const char* name,
+                const char* category, std::uint64_t ts_cycles,
+                std::uint64_t flow_id, bool begin);
+
+  std::uint64_t next_flow_id();
+
+  /// Dependence-edge flow events are opt-in (mocha_sim --trace-flows,
+  /// mocha_critpath --trace) so default trace documents — and their
+  /// goldens — keep the complete-events-only shape.
+  bool sim_flows_enabled() const {
+    return sim_flows_.load(std::memory_order_relaxed);
+  }
+  void set_sim_flows(bool enabled) {
+    sim_flows_.store(enabled, std::memory_order_relaxed);
+  }
 
   /// Base added to every sim_event timestamp. The accelerator advances it
   /// by each group's cycle count so the whole network renders as one
@@ -86,6 +110,17 @@ class TraceSession {
     double ts_us = 0;
     double dur_us = 0;
     int tid = 0;
+    std::int64_t group = -1;  // >= 0: emitted as args.g
+    std::int64_t task = -1;   // >= 0: emitted as args.task
+  };
+
+  struct FlowEvent {
+    const char* name;      // string literals only
+    const char* category;  // string literals only
+    double ts_us = 0;
+    int tid = 0;
+    std::uint64_t id = 0;
+    bool begin = false;  // true => ph "s", false => ph "f"
   };
 
   struct ThreadBuf {
@@ -100,9 +135,12 @@ class TraceSession {
   std::string path_;
   std::uint64_t id_ = 0;  // distinguishes sessions for thread-local caches
   std::uint64_t sim_offset_ = 0;
+  std::atomic<bool> sim_flows_{false};
+  std::atomic<std::uint64_t> next_flow_id_{1};
 
   mutable std::mutex mu_;  // guards the fields below
   std::vector<Event> sim_events_;
+  std::vector<FlowEvent> sim_flows_events_;
   std::map<std::string, int> sim_lanes_;  // lane name -> tid, discovery order
   std::vector<std::unique_ptr<ThreadBuf>> wall_bufs_;
 };

@@ -13,10 +13,26 @@
 
 namespace mocha::sim {
 
+struct TraceEmitOptions {
+  /// Fusion-group index stamped into each event's args (with the task id)
+  /// so critpath reports cross-reference the trace; negative = omit args.
+  std::int64_t group = -1;
+
+  /// Per-task critical-chain membership (obs::CritPathReport::on_path).
+  /// When set and the session has flows enabled, dependence edges whose
+  /// endpoints are both on the chain are emitted with category "critical"
+  /// instead of "dep", so the bottleneck chain pops out in Perfetto.
+  const std::vector<char>* on_critical_path = nullptr;
+};
+
 /// Emits every nonzero-duration task of `graph` (already executed) as
 /// complete events on `session`'s simulated-time lanes. Lane names are
 /// "resource" for capacity-1 resources and "resource[unit]" otherwise.
+/// When the session has sim flows enabled, also emits one flow-event pair
+/// per dependence edge between nonzero-duration tasks ("s" at the
+/// producer's finish on its lane, "f" at the consumer's start).
 void emit_trace(const TaskGraph& graph, const std::vector<ResourceSpec>& specs,
-                obs::TraceSession* session);
+                obs::TraceSession* session,
+                const TraceEmitOptions& options = {});
 
 }  // namespace mocha::sim

@@ -89,6 +89,37 @@ TEST(Metrics, HistogramBucketsAndMerge) {
   EXPECT_DOUBLE_EQ(a.mean(), 37.0);
 }
 
+TEST(Metrics, HistogramPercentiles) {
+  HistogramData empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+
+  HistogramData h;
+  for (int v : {10, 20, 40, 80, 160}) h.add(v);
+  // Clamped to the observed range at the extremes.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 160.0);
+  // Interpolated estimates stay inside the range and are monotone in p.
+  double prev = h.percentile(0);
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double value = h.percentile(p);
+    EXPECT_GE(value, 10.0);
+    EXPECT_LE(value, 160.0);
+    EXPECT_GE(value, prev) << "p" << p;
+    prev = value;
+  }
+  // The estimate's error is bounded by one log2 bucket: the median rank
+  // lands in bucket [32, 64), so p50 must too.
+  EXPECT_GE(h.percentile(50), 32.0);
+  EXPECT_LE(h.percentile(50), 64.0);
+
+  // A single value collapses every percentile onto it.
+  HistogramData one;
+  one.add(1000);
+  EXPECT_DOUBLE_EQ(one.percentile(0), 1000.0);
+  EXPECT_DOUBLE_EQ(one.percentile(50), 1000.0);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 1000.0);
+}
+
 TEST(Metrics, ResetDropsValues) {
   MetricsRegistry registry;
   registry.counter_add("c", 3);
@@ -149,6 +180,17 @@ TEST(Metrics, SnapshotJsonRoundTrips) {
   EXPECT_DOUBLE_EQ(hist.at("mean").number, 8.0);
   ASSERT_TRUE(hist.at("log2_buckets").is_array());
   EXPECT_FALSE(hist.at("log2_buckets").array.empty());
+  // Derived percentiles ride along so consumers (mocha_serve's SLO
+  // report, dashboards) never re-implement the estimator.
+  const HistogramData expected = [] {
+    HistogramData h;
+    h.add(7);
+    h.add(9);
+    return h;
+  }();
+  EXPECT_DOUBLE_EQ(hist.at("p50").number, expected.percentile(50));
+  EXPECT_DOUBLE_EQ(hist.at("p90").number, expected.percentile(90));
+  EXPECT_DOUBLE_EQ(hist.at("p99").number, expected.percentile(99));
 }
 
 }  // namespace

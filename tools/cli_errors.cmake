@@ -3,7 +3,7 @@
 #
 # Invoked by the `cli_errors` test as
 #   cmake -DSIM=<mocha_sim> -DBENCH=<mocha_bench> -DFIG=<fig_degradation>
-#         -P cli_errors.cmake
+#         -DCRITPATH=<mocha_critpath> -P cli_errors.cmake
 
 # Runs `exe` with the remaining arguments and asserts exit code 2. When
 # `pattern` is non-empty, stderr must match it (e.g. "usage" proves the
@@ -41,6 +41,9 @@ expect_rejected(${SIM} "mutually exclusive" --faults f.json --fault-kill 0.5)
 expect_rejected(${SIM} "usage" --isa)                   # missing value
 expect_rejected(${SIM} "usage" --isa avx9)              # not an ISA name
 expect_rejected(${SIM} "usage" -h)                      # help goes to stderr, exit 2
+expect_rejected(${SIM} "requires --trace" --trace-flows)  # flows need a file
+expect_rejected(${SIM} "only applies" --slack-hints h.json --accelerator tiling)
+expect_rejected(${SIM} "cannot read" --slack-hints ${CMAKE_CURRENT_LIST_DIR}/no-such-hints.json)
 
 # --- mocha_sim: validated values past the parser ---
 expect_rejected(${SIM} "unknown network" --network bogus)
@@ -57,6 +60,16 @@ expect_rejected(${BENCH} "usage" --threads 0)           # below range
 expect_rejected(${BENCH} "usage" --threads 1,,2)        # empty item
 expect_rejected(${BENCH} "usage" --threads two)         # not a number
 expect_rejected(${BENCH} "usage" --isa avx9)            # not an ISA name
+
+# --- mocha_critpath ---
+expect_rejected(${CRITPATH} "usage" --frobnicate)
+expect_rejected(${CRITPATH} "usage" --what-if)            # missing value
+expect_rejected(${CRITPATH} "usage" --what-if dram+0)     # add must be positive
+expect_rejected(${CRITPATH} "usage" --what-if pe_groups*0)  # zero scale
+expect_rejected(${CRITPATH} "usage" --what-if bogus/2)    # unknown task kind
+expect_rejected(${CRITPATH} "usage" --top-k 0)
+expect_rejected(${CRITPATH} "unknown network" --network bogus)
+expect_rejected(${CRITPATH} "unknown objective" --objective speed)
 
 # --- fig_degradation (E15 harness) ---
 expect_rejected(${FIG} "usage" --bogus)

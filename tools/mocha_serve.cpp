@@ -222,15 +222,6 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-/// Exact percentile of a sorted sample (nearest-rank).
-std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const double rank = p / 100.0 * static_cast<double>(sorted.size());
-  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
-  index = std::min(std::max<std::size_t>(index, 1), sorted.size());
-  return sorted[index - 1];
-}
-
 int run(const Args& args) {
   using namespace mocha;
 
@@ -353,7 +344,11 @@ int run(const Args& args) {
 
   // Every ticket is terminal after shutdown; tally the outcomes.
   const serve::ServeStats stats = engine.stats();
-  std::vector<std::uint64_t> latencies_us;
+  // Completed-request latency distribution, accumulated into the same
+  // log2-bucketed histogram the metrics registry uses — the report's
+  // percentiles are the registry's derived p50/p90/p99, not a private
+  // nearest-rank implementation.
+  obs::HistogramData latency_hist;
   std::int64_t total_exec_attempts = 0;
   std::int64_t total_codec_retries = 0;
   for (const serve::TicketPtr& ticket : tickets) {
@@ -361,14 +356,16 @@ int run(const Args& args) {
     total_exec_attempts += resp.attempts;
     total_codec_retries += resp.codec_retries;
     if (resp.outcome == serve::Outcome::Completed) {
-      latencies_us.push_back(resp.latency_ns / 1000);
+      latency_hist.add(static_cast<std::int64_t>(resp.latency_ns / 1000));
     }
   }
-  std::sort(latencies_us.begin(), latencies_us.end());
 
-  const std::uint64_t p50 = percentile(latencies_us, 50);
-  const std::uint64_t p90 = percentile(latencies_us, 90);
-  const std::uint64_t p99 = percentile(latencies_us, 99);
+  const auto hist_pct = [&](double p) {
+    return static_cast<std::uint64_t>(std::llround(latency_hist.percentile(p)));
+  };
+  const std::uint64_t p50 = hist_pct(50);
+  const std::uint64_t p90 = hist_pct(90);
+  const std::uint64_t p99 = hist_pct(99);
 
   const bool conserved =
       stats.submitted == stats.completed + stats.shed + stats.failed &&

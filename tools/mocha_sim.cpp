@@ -12,6 +12,7 @@
 //   mocha_sim --network alexnet --batch 8 --json        # machine-readable
 //   mocha_sim --network alexnet --trace trace.json      # chrome://tracing
 //   mocha_sim --network alexnet --fault-kill 0.25       # degraded fabric
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <iostream>
@@ -20,6 +21,7 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <fstream>
 
@@ -32,6 +34,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/json_parse.hpp"
 #include "util/cpuid.hpp"
 #include "serve/signal.hpp"
 #include "sim/dot.hpp"
@@ -52,6 +55,9 @@ struct Args {
   bool json = false;
   bool show_plan = false;
   bool metrics = false;   // collect and print a MetricsRegistry snapshot
+  bool critpath = false;  // per-group critical-path summary in the report
+  bool trace_flows = false;  // dependence-edge flow events in the trace
+  std::string slack_hints_file;  // mocha.hints.v1 planner bias (mocha only)
   std::string dot_file;   // export the first group's schedule as Graphviz
   std::string trace_file; // write a Chrome trace-event JSON of the run
   std::string faults_file;  // JSON fault scenario (fault/model.hpp)
@@ -68,7 +74,9 @@ struct Args {
          "[--pe N] [--clock-mhz N]\n"
          "       [--no-compression] [--huffman] [--json] [--plan] "
          "[--dot FILE]\n"
-         "       [--trace FILE] [--metrics] [--isa scalar|avx2|neon]\n"
+         "       [--trace FILE] [--trace-flows] [--metrics] "
+         "[--isa scalar|avx2|neon]\n"
+         "       [--critpath] [--slack-hints FILE]\n"
          "       [--faults FILE] [--fault-kill FRAC] [--fault-seed N]\n";
   std::exit(2);
 }
@@ -174,6 +182,12 @@ Args parse(int argc, char** argv) {
       args.trace_file = value();
     } else if (flag == "--metrics") {
       args.metrics = true;
+    } else if (flag == "--critpath") {
+      args.critpath = true;
+    } else if (flag == "--trace-flows") {
+      args.trace_flows = true;
+    } else if (flag == "--slack-hints") {
+      args.slack_hints_file = value();
     } else if (flag == "--faults") {
       args.faults_file = value();
     } else if (flag == "--fault-kill") {
@@ -203,12 +217,84 @@ Args parse(int argc, char** argv) {
   if (!args.faults_file.empty() && args.fault_kill > 0.0) {
     bad_arg(argv[0], "--faults and --fault-kill are mutually exclusive");
   }
+  if (args.trace_flows && args.trace_file.empty()) {
+    bad_arg(argv[0], "--trace-flows requires --trace");
+  }
+  if (!args.slack_hints_file.empty() && args.accelerator != "mocha") {
+    bad_arg(argv[0], "--slack-hints only applies to --accelerator mocha");
+  }
   return args;
 }
 
 }  // namespace
 
 namespace {
+
+/// Loads a mocha.hints.v1 document (written by `mocha_critpath --emit-hints`)
+/// into a per-layer criticality vector for MorphOptions. Any structural
+/// problem is a CLI-input error: explain on stderr, return false.
+bool load_slack_hints(const std::string& path, const mocha::nn::Network& net,
+                      std::vector<double>* out) {
+  using mocha::util::JsonValue;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read slack hints " << path << "\n";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue doc;
+  try {
+    doc = mocha::util::parse_json(buffer.str());
+  } catch (const mocha::CheckFailure& e) {
+    std::cerr << "error: bad slack hints " << path << ": " << e.what() << "\n";
+    return false;
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->string != "mocha.hints.v1") {
+    std::cerr << "error: " << path << " is not a mocha.hints.v1 document\n";
+    return false;
+  }
+  const JsonValue* hint_net = doc.find("network");
+  if (hint_net != nullptr && hint_net->string != net.name) {
+    // Stale hints silently biasing the wrong network would be a debugging
+    // trap; a mismatch is a hard error, not a warning.
+    std::cerr << "error: slack hints are for network '" << hint_net->string
+              << "', simulating '" << net.name << "'\n";
+    return false;
+  }
+  const JsonValue* layers = doc.find("layers");
+  if (layers == nullptr || !layers->is_array()) {
+    std::cerr << "error: " << path << " has no layers array\n";
+    return false;
+  }
+  std::vector<double> hints(net.layers.size(), 0.0);
+  for (const JsonValue& entry : layers->array) {
+    const JsonValue* layer = entry.find("layer");
+    const JsonValue* crit = entry.find("criticality");
+    if (layer == nullptr || crit == nullptr) {
+      std::cerr << "error: " << path
+                << ": each layer entry needs 'layer' and 'criticality'\n";
+      return false;
+    }
+    const double idx = layer->number;
+    if (idx < 0 || idx >= static_cast<double>(hints.size()) ||
+        idx != static_cast<double>(static_cast<std::size_t>(idx))) {
+      std::cerr << "error: " << path << ": layer index " << idx
+                << " outside network (" << hints.size() << " layers)\n";
+      return false;
+    }
+    if (!std::isfinite(crit->number) || crit->number < 0.0 ||
+        crit->number > 1.0) {
+      std::cerr << "error: " << path << ": criticality " << crit->number
+                << " outside [0, 1]\n";
+      return false;
+    }
+    hints[static_cast<std::size_t>(idx)] = crit->number;
+  }
+  *out = std::move(hints);
+  return true;
+}
 
 int run(const Args& args) {
   using namespace mocha;
@@ -285,6 +371,9 @@ int run(const Args& args) {
   std::unique_ptr<obs::TraceSession> trace;
   if (!args.trace_file.empty()) {
     trace = std::make_unique<obs::TraceSession>(args.trace_file);
+    // Dependence-edge flow events are opt-in: they roughly double the event
+    // count and older trace consumers may not expect ph:"s"/"f" records.
+    if (args.trace_flows) trace->set_sim_flows(true);
   }
 
   // Ctrl-C / SIGTERM mid-simulation: flush the trace collected so far (the
@@ -309,6 +398,11 @@ int run(const Args& args) {
     options.objective = objective;
     options.allow_compression = !args.no_compression;
     options.allow_huffman = args.huffman;
+    if (!args.slack_hints_file.empty() &&
+        !load_slack_hints(args.slack_hints_file, net,
+                          &options.layer_criticality)) {
+      return 2;
+    }
     const core::Accelerator acc(
         customize(fabric::mocha_default_config()), model::default_tech(),
         std::make_shared<core::MorphController>(model::default_tech(),
@@ -384,7 +478,8 @@ int run(const Args& args) {
 
   if (args.json) {
     std::cout << core::report_to_json(report, &manifest,
-                                      args.metrics ? &snapshot : nullptr)
+                                      args.metrics ? &snapshot : nullptr,
+                                      args.critpath)
               << "\n";
     return 0;
   }
@@ -408,6 +503,33 @@ int run(const Args& args) {
             << report.total_energy_pj * 1e-9 << " mJ, peak scratchpad "
             << static_cast<double>(report.peak_sram_bytes) / 1024.0
             << " KiB, sram_ok=" << (report.sram_ok ? "yes" : "no") << "\n";
+  if (args.critpath) {
+    // Bottleneck ranking: groups by cycle share, with each group's dominant
+    // critical-path task kind and its contention gap (schedule makespan
+    // minus the dependence-only critical path — cycles queueing would
+    // reclaim with more resources).
+    std::vector<std::size_t> order(report.groups.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return report.groups[a].cycles > report.groups[b].cycles;
+                     });
+    std::cout << "\ncritical-path bottlenecks (top "
+              << std::min<std::size_t>(order.size(), 5) << " of "
+              << order.size() << " groups):\n";
+    for (std::size_t rank = 0; rank < order.size() && rank < 5; ++rank) {
+      const core::GroupReport& group = report.groups[order[rank]];
+      const double share =
+          report.total_cycles == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(group.cycles) /
+                    static_cast<double>(report.total_cycles);
+      std::cout << "  " << group.label << ": " << group.cycles << " cycles ("
+                << share << "% of total), dominant kind "
+                << group.critpath.dominant_kind << ", contention gap "
+                << group.critpath.contention_gap << " cycles\n";
+    }
+  }
   if (args.metrics) {
     std::cout << "\nmetrics: " << snapshot.to_json() << "\n";
   }
