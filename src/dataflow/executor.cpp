@@ -156,50 +156,45 @@ void extract_region(const ValueTensor& tensor, Index c_begin, Index c_end,
   }
 }
 
-}  // namespace
-
-FunctionalResult run_functional(const nn::Network& net,
-                                const NetworkPlan& plan,
-                                const nn::ValueTensor& input,
-                                const std::vector<nn::ValueTensor>& weights,
-                                const FunctionalOptions& options) {
-  net.validate();
-  plan.validate(net);
-  MOCHA_CHECK(weights.size() == net.layers.size(), "weights size mismatch");
-
-  FunctionalResult result;
-  result.outputs.resize(net.layers.size());
-  result.measured_stats.resize(net.layers.size());
-  result.streams.resize(net.layers.size());
-
-  RetryBudget retry_budget;
-  retry_budget.budget = options.codec_retry_budget;
-
-  // Measure kernel streams once per layer.
+/// Stage 1 of a functional run: per-layer kernel-stream measurement.
+/// Seed-dependent only under fault injection, which is why a fault-free
+/// batch can run this once and share the result across images.
+void measure_kernel_streams(const nn::Network& net, const NetworkPlan& plan,
+                            const std::vector<ValueTensor>& weights,
+                            const FunctionalOptions& options,
+                            FunctionalResult* result, RetryBudget* budget) {
   for (std::size_t i = 0; i < net.layers.size(); ++i) {
     if (!net.layers[i].has_weights()) continue;
     MOCHA_CHECK(weights[i].shape() == net.layers[i].weight_shape(),
                 net.layers[i].name << ": weight shape mismatch");
-    result.measured_stats[i].kernel_sparsity = weights[i].sparsity();
-    result.streams[i].kernel_raw =
+    result->measured_stats[i].kernel_sparsity = weights[i].sparsity();
+    result->streams[i].kernel_raw =
         weights[i].size() * static_cast<Index>(sizeof(Value));
     if (options.exercise_codecs) {
       const std::span<const Value> kernel_stream(
           weights[i].data(), static_cast<std::size_t>(weights[i].size()));
       const compress::CodecKind kind = plan.layers[i].kernel_codec;
       if (inject_faults(options, kind)) {
-        result.streams[i].kernel_coded = measure_with_faults(
+        result->streams[i].kernel_coded = measure_with_faults(
             *compress::make_codec(kind), kernel_stream,
             options.codec_flip_rate,
             stream_seed(options.codec_fault_seed, StreamTag::Kernel, i, 0),
-            &result.codec_retries, &retry_budget);
+            &result->codec_retries, budget);
       } else {
-        result.streams[i].kernel_coded =
+        result->streams[i].kernel_coded =
             measure_coded_bytes(kind, kernel_stream, options.verify_codecs);
       }
     }
   }
+}
 
+/// Stage 2: the fusion-group sweep — tile compute, ifmap/ofmap stream
+/// measurement, output commit. Owns everything image-specific.
+void run_groups(const nn::Network& net, const NetworkPlan& plan,
+                const ValueTensor& input,
+                const std::vector<ValueTensor>& weights,
+                const FunctionalOptions& options, FunctionalResult* result,
+                RetryBudget* budget) {
   ValueTensor flattened;  // staging for spatial->FC transitions
   const ValueTensor* current = &input;
 
@@ -224,11 +219,11 @@ FunctionalResult run_functional(const nn::Network& net,
     // Allocate every member's full output (the fused intermediates are
     // written too, so per-layer outputs remain comparable to the reference).
     for (std::size_t l = group.first; l <= group.last; ++l) {
-      result.outputs[l] = ValueTensor(net.layers[l].output_shape());
+      result->outputs[l] = ValueTensor(net.layers[l].output_shape());
     }
 
-    result.measured_stats[group.first].ifmap_sparsity = current->sparsity();
-    result.streams[group.first].ifmap_raw =
+    result->measured_stats[group.first].ifmap_sparsity = current->sparsity();
+    result->streams[group.first].ifmap_raw =
         current->size() * static_cast<Index>(sizeof(Value));
 
     const auto grid = tile_grid(tail, tail_plan.tile.th, tail_plan.tile.tw);
@@ -273,7 +268,7 @@ FunctionalResult run_functional(const nn::Network& net,
                 *ifmap_codec, stream, options.codec_flip_rate,
                 stream_seed(options.codec_fault_seed, StreamTag::Ifmap,
                             group.first, static_cast<std::uint64_t>(ti)),
-                &tile_retries[static_cast<std::size_t>(ti)], &retry_budget);
+                &tile_retries[static_cast<std::size_t>(ti)], budget);
           } else {
             tile_coded[static_cast<std::size_t>(ti)] = measure_coded_bytes(
                 *ifmap_codec, stream, options.verify_codecs);
@@ -308,7 +303,7 @@ FunctionalResult run_functional(const nn::Network& net,
           {
             std::unique_lock<std::mutex> lock(commit_mu, std::defer_lock);
             if (l < group.last) lock.lock();  // overlapping halo regions
-            ValueTensor& full = result.outputs[l];
+            ValueTensor& full = result->outputs[l];
             for (Index c = 0; c < layer.out_channels(); ++c) {
               for (Index y = 0; y < geo.out_y.size; ++y) {
                 const Value* src = &out_tile.at_unchecked(0, c, y, 0);
@@ -328,33 +323,112 @@ FunctionalResult run_functional(const nn::Network& net,
                        compute_tiles, options.cancel);
     std::int64_t ifmap_coded_total = 0;
     for (std::int64_t coded : tile_coded) ifmap_coded_total += coded;
-    result.streams[group.first].ifmap_coded = ifmap_coded_total;
-    for (std::int64_t retried : tile_retries) result.codec_retries += retried;
+    result->streams[group.first].ifmap_coded = ifmap_coded_total;
+    for (std::int64_t retried : tile_retries) result->codec_retries += retried;
 
     // Tail output stream measurement.
-    const ValueTensor& tail_out = result.outputs[group.last];
-    result.measured_stats[group.last].ofmap_sparsity = tail_out.sparsity();
-    result.streams[group.last].ofmap_raw =
+    const ValueTensor& tail_out = result->outputs[group.last];
+    result->measured_stats[group.last].ofmap_sparsity = tail_out.sparsity();
+    result->streams[group.last].ofmap_raw =
         tail_out.size() * static_cast<Index>(sizeof(Value));
     if (options.exercise_codecs) {
       const std::span<const Value> ofmap_stream(
           tail_out.data(), static_cast<std::size_t>(tail_out.size()));
       if (inject_faults(options, tail_plan.ofmap_codec)) {
-        result.streams[group.last].ofmap_coded = measure_with_faults(
+        result->streams[group.last].ofmap_coded = measure_with_faults(
             *compress::make_codec(tail_plan.ofmap_codec), ofmap_stream,
             options.codec_flip_rate,
             stream_seed(options.codec_fault_seed, StreamTag::Ofmap,
                         group.last, 0),
-            &result.codec_retries, &retry_budget);
+            &result->codec_retries, budget);
       } else {
-        result.streams[group.last].ofmap_coded = measure_coded_bytes(
+        result->streams[group.last].ofmap_coded = measure_coded_bytes(
             tail_plan.ofmap_codec, ofmap_stream, options.verify_codecs);
       }
     }
 
-    current = &result.outputs[group.last];
+    current = &result->outputs[group.last];
   }
+}
+
+}  // namespace
+
+FunctionalResult run_functional(const nn::Network& net,
+                                const NetworkPlan& plan,
+                                const nn::ValueTensor& input,
+                                const std::vector<nn::ValueTensor>& weights,
+                                const FunctionalOptions& options) {
+  net.validate();
+  plan.validate(net);
+  MOCHA_CHECK(weights.size() == net.layers.size(), "weights size mismatch");
+
+  FunctionalResult result;
+  result.outputs.resize(net.layers.size());
+  result.measured_stats.resize(net.layers.size());
+  result.streams.resize(net.layers.size());
+
+  RetryBudget retry_budget;
+  retry_budget.budget = options.codec_retry_budget;
+
+  measure_kernel_streams(net, plan, weights, options, &result, &retry_budget);
+  run_groups(net, plan, input, weights, options, &result, &retry_budget);
   return result;
+}
+
+std::vector<BatchOutput> run_functional_batch(
+    const nn::Network& net, const NetworkPlan& plan,
+    const std::vector<BatchInput>& items,
+    const std::vector<nn::ValueTensor>& weights,
+    const FunctionalOptions& options) {
+  net.validate();
+  plan.validate(net);
+  MOCHA_CHECK(weights.size() == net.layers.size(), "weights size mismatch");
+  MOCHA_CHECK(!items.empty(), "run_functional_batch with an empty batch");
+
+  // Fault-free kernel measurement is seed-independent: run it once and
+  // share the layer-level fields across the batch. Under injection every
+  // image keeps its own seed-derived measurement (and retry budget).
+  const bool shared_kernels = options.codec_flip_rate == 0.0;
+  FunctionalResult shared;
+  if (shared_kernels) {
+    shared.outputs.resize(net.layers.size());
+    shared.measured_stats.resize(net.layers.size());
+    shared.streams.resize(net.layers.size());
+    RetryBudget unused;  // fault-free: never spent
+    measure_kernel_streams(net, plan, weights, options, &shared, &unused);
+  }
+
+  std::vector<BatchOutput> out(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    MOCHA_CHECK(items[i].input != nullptr, "batch item without an input");
+    FunctionalOptions local = options;
+    local.cancel = items[i].cancel;
+    local.codec_fault_seed = items[i].codec_fault_seed;
+
+    FunctionalResult& result = out[i].result;
+    result.outputs.resize(net.layers.size());
+    result.measured_stats.resize(net.layers.size());
+    result.streams.resize(net.layers.size());
+    RetryBudget retry_budget;
+    retry_budget.budget = local.codec_retry_budget;
+    try {
+      if (shared_kernels) {
+        result.measured_stats = shared.measured_stats;
+        result.streams = shared.streams;
+      } else {
+        measure_kernel_streams(net, plan, weights, local, &result,
+                               &retry_budget);
+      }
+      run_groups(net, plan, *items[i].input, weights, local, &result,
+                 &retry_budget);
+      MOCHA_METRIC_ADD("executor.batched_images", 1);
+    } catch (const util::Cancelled&) {
+      // Only this image's token fired; the batch carries on.
+      out[i].cancelled = true;
+      out[i].result = FunctionalResult{};
+    }
+  }
+  return out;
 }
 
 }  // namespace mocha::dataflow

@@ -93,4 +93,36 @@ FunctionalResult run_functional(const nn::Network& net,
                                 const std::vector<nn::ValueTensor>& weights,
                                 const FunctionalOptions& options = {});
 
+/// One image of a coalesced batch run (see run_functional_batch).
+struct BatchInput {
+  const nn::ValueTensor* input = nullptr;
+  /// Per-image cancellation: this image's token (null = uncancellable).
+  /// Overrides FunctionalOptions::cancel for its image only.
+  const util::CancelToken* cancel = nullptr;
+  /// Per-image transient-fault seed (FunctionalOptions::codec_fault_seed).
+  std::uint64_t codec_fault_seed = 1;
+};
+
+struct BatchOutput {
+  /// This image's token fired mid-run; `result` is empty and the remaining
+  /// images still executed.
+  bool cancelled = false;
+  FunctionalResult result;
+};
+
+/// Cross-request batching: executes every image of `items` under one plan
+/// in a single executor pass. Validation and — when no transient faults
+/// are being injected (codec_flip_rate == 0, so the measurement is
+/// seed-independent) — the per-layer kernel-stream codec measurement run
+/// once for the whole batch instead of once per image; image outputs are
+/// bit-identical to per-image run_functional calls. Each image runs under
+/// its own cancel token and fault seed, so per-request deadline semantics
+/// survive coalescing: a cancelled image is marked and skipped, the batch
+/// carries on.
+std::vector<BatchOutput> run_functional_batch(
+    const nn::Network& net, const NetworkPlan& plan,
+    const std::vector<BatchInput>& items,
+    const std::vector<nn::ValueTensor>& weights,
+    const FunctionalOptions& options = {});
+
 }  // namespace mocha::dataflow

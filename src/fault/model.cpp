@@ -63,7 +63,7 @@ std::vector<int> json_int_array(const util::JsonValue& value,
 bool FaultModel::any() const {
   return !dead_pes.empty() || !dead_sram_banks.empty() ||
          dead_codec_units > 0 || dram_bandwidth_factor < 1.0 ||
-         codec_bit_flip_rate > 0.0;
+         codec_bit_flip_rate > 0.0 || exec_stall_ms > 0;
 }
 
 void FaultModel::validate(const fabric::FabricConfig& base) const {
@@ -79,6 +79,8 @@ void FaultModel::validate(const fabric::FabricConfig& base) const {
               "dram_bandwidth_factor=" << dram_bandwidth_factor);
   MOCHA_CHECK(codec_bit_flip_rate >= 0.0 && codec_bit_flip_rate <= 1.0,
               "codec_bit_flip_rate=" << codec_bit_flip_rate);
+  MOCHA_CHECK(exec_stall_ms >= 0 && exec_stall_ms <= 60'000,
+              "exec_stall_ms=" << exec_stall_ms << " outside [0, 60000]");
 }
 
 std::string FaultModel::summary(const fabric::FabricConfig& base) const {
@@ -91,6 +93,7 @@ std::string FaultModel::summary(const fabric::FabricConfig& base) const {
      << base.codec_units << " dram="
      << static_cast<int>(std::lround(dram_bandwidth_factor * 100.0)) << "%";
   if (codec_bit_flip_rate > 0.0) os << " flip=" << codec_bit_flip_rate;
+  if (exec_stall_ms > 0) os << " stall=" << exec_stall_ms << "ms";
   return os.str();
 }
 
@@ -107,6 +110,7 @@ std::string FaultModel::to_json() const {
   json.key("dead_codec_units").value(dead_codec_units);
   json.key("dram_bandwidth_factor").value(dram_bandwidth_factor);
   json.key("codec_bit_flip_rate").value(codec_bit_flip_rate);
+  json.key("exec_stall_ms").value(exec_stall_ms);
   json.key("seed").value(static_cast<std::uint64_t>(seed));
   json.end_object();
   return json.str();
@@ -130,6 +134,8 @@ FaultModel FaultModel::from_json(std::string_view text) {
       model.dram_bandwidth_factor = value.number;
     } else if (key == "codec_bit_flip_rate") {
       model.codec_bit_flip_rate = value.number;
+    } else if (key == "exec_stall_ms") {
+      model.exec_stall_ms = static_cast<std::int64_t>(value.number);
     } else if (key == "seed") {
       MOCHA_CHECK(value.number >= 0, "negative seed");
       model.seed = static_cast<std::uint64_t>(value.number);
@@ -163,6 +169,32 @@ FaultModel FaultModel::random_scenario(const fabric::FabricConfig& base,
   model.dead_codec_units = kill(base.codec_units, base.codec_units);
   model.validate(base);
   return model;
+}
+
+std::vector<FaultModel> fleet_scenarios(const fabric::FabricConfig& base,
+                                        int shards, int faulty_shards,
+                                        double kill_fraction,
+                                        std::uint64_t seed) {
+  MOCHA_CHECK(shards >= 1, "fleet_scenarios: shards=" << shards);
+  MOCHA_CHECK(faulty_shards >= 0 && faulty_shards <= shards,
+              "fleet_scenarios: faulty_shards=" << faulty_shards << " of "
+                                                << shards);
+  std::vector<FaultModel> fleet;
+  fleet.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    if (i >= faulty_shards) {
+      fleet.emplace_back();  // healthy
+      continue;
+    }
+    // splitmix64 finalizer decorrelates the per-shard seed: shard k's
+    // scenario does not change when the fleet is resized around it.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(i) + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    fleet.push_back(FaultModel::random_scenario(base, kill_fraction, z));
+  }
+  return fleet;
 }
 
 fabric::FabricConfig degraded_config(const fabric::FabricConfig& base,

@@ -51,6 +51,15 @@ struct FaultModel {
   /// the tile uncompressed (compress/codec.hpp).
   double codec_bit_flip_rate = 0.0;
 
+  /// Latency degradation: a fixed pre-execution stall per request, in
+  /// milliseconds (a thermally throttled shard, a sick host, a congested
+  /// interconnect). Permanent resource faults change *what* survives;
+  /// this one changes *how fast* it answers — it is what drives a serving
+  /// shard's health score into Degraded without any resource dying.
+  /// Consumed by serve::ServeEngine; ignored by degraded_config() (the
+  /// fabric itself is intact).
+  std::int64_t exec_stall_ms = 0;
+
   /// Seed for transient-fault injection (and provenance of generated
   /// scenarios).
   std::uint64_t seed = 0;
@@ -78,6 +87,16 @@ struct FaultModel {
   static FaultModel random_scenario(const fabric::FabricConfig& base,
                                     double kill_fraction, std::uint64_t seed);
 };
+
+/// Per-shard scenario assignment for a serving fleet: `shards` independent
+/// scenarios, each drawn from a seed decorrelated per shard (so shard k's
+/// faults are stable under fleet resizing of the *other* shards). Shards
+/// with index >= `faulty_shards` stay healthy — the usual fleet experiment
+/// is "one or two shards go sick, the rest must carry the traffic".
+std::vector<FaultModel> fleet_scenarios(const fabric::FabricConfig& base,
+                                        int shards, int faulty_shards,
+                                        double kill_fraction,
+                                        std::uint64_t seed);
 
 /// The fabric that survives `faults`: dead PEs marked (grid geometry kept —
 /// partitions must plan around the holes), SRAM shrunk to the live banks,

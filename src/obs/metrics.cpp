@@ -189,6 +189,20 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return out;
 }
 
+std::string lane_name(std::string_view subsystem, std::string_view scope,
+                      std::string_view name) {
+  std::string out;
+  out.reserve(subsystem.size() + scope.size() + name.size() + 2);
+  out.append(subsystem);
+  out.push_back('.');
+  if (!scope.empty()) {
+    out.append(scope);
+    out.push_back('.');
+  }
+  out.append(name);
+  return out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(shards_mu_);
   for (const auto& shard : shards_) {

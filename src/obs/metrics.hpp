@@ -124,6 +124,14 @@ class MetricsRegistry {
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+/// Composes a per-instance metric lane name: "subsystem.name" when `scope`
+/// is empty, "subsystem.scope.name" otherwise (e.g. lane_name("serve",
+/// "shard2", "completed") -> "serve.shard2.completed"). Call sites that
+/// record on a hot path precompose the lane names once (the serving engine
+/// builds its set at construction) instead of concatenating per record.
+std::string lane_name(std::string_view subsystem, std::string_view scope,
+                      std::string_view name);
+
 namespace detail {
 inline std::atomic<bool> g_metrics_enabled{false};
 }

@@ -62,8 +62,35 @@ bool outcome_is_failure(Outcome outcome) {
 }
 
 ServeEngine::ServeEngine(ServeOptions options)
-    : options_(options), queue_(options.queue_capacity) {
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity,
+             obs::lane_name("serve", options_.metrics_scope, "queue_depth")) {
+  const auto lane = [&](const char* name) {
+    return obs::lane_name("serve", options_.metrics_scope, name);
+  };
+  lanes_.submitted = lane("submitted");
+  lanes_.rate_limited = lane("rate_limited");
+  lanes_.shed_overload = lane("shed_overload");
+  lanes_.plan_cache_hits = lane("plan_cache_hits");
+  lanes_.plans_built = lane("plans_built");
+  lanes_.queue_wait_us = lane("queue_wait_us");
+  lanes_.exec_latency_us = lane("exec_latency_us");
+  lanes_.fallback_completions = lane("fallback_completions");
+  lanes_.retries = lane("retries");
+  lanes_.retryable_failures = lane("retryable_failures");
+  lanes_.completed = lane("completed");
+  lanes_.shed = lane("shed");
+  lanes_.failed = lane("failed");
+  lanes_.latency_us = lane("latency_us");
+  lanes_.batches = lane("batches");
+  lanes_.batch_coalesced = lane("batch_coalesced");
+  lanes_.exec_stalls = lane("exec_stalls");
+  lanes_.steals_out = lane("steals_out");
+  lanes_.steals_in = lane("steals_in");
+  lanes_.breaker_prefix = lane("breaker_state.");
+
   MOCHA_CHECK(options_.workers >= 1, "serve engine needs >= 1 worker");
+  MOCHA_CHECK(options_.max_batch >= 1, "max_batch must be >= 1");
   MOCHA_CHECK(options_.retry.max_attempts >= 1,
               "retry.max_attempts must be >= 1");
   workers_.reserve(static_cast<std::size_t>(options_.workers));
@@ -136,7 +163,7 @@ TicketPtr ServeEngine::submit(Request request) {
   const std::uint64_t now = util::steady_now_ns();
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  MOCHA_METRIC_ADD("serve.submitted", 1);
+  MOCHA_METRIC_ADD(lanes_.submitted, 1);
 
   auto refuse = [&](Outcome outcome, std::string message) {
     Response resp;
@@ -178,7 +205,7 @@ TicketPtr ServeEngine::submit(Request request) {
       admitted = it->second.try_acquire(now);
     }
     if (!admitted) {
-      MOCHA_METRIC_ADD("serve.rate_limited", 1);
+      MOCHA_METRIC_ADD(lanes_.rate_limited, 1);
       return refuse(Outcome::RateLimited,
                     "tenant " + request.tenant + " over rate");
     }
@@ -206,12 +233,12 @@ TicketPtr ServeEngine::submit(Request request) {
       Response resp;
       resp.outcome = Outcome::Overloaded;
       resp.message = "displaced by higher-priority arrival";
-      MOCHA_METRIC_ADD("serve.shed_overload", 1);
+      MOCHA_METRIC_ADD(lanes_.shed_overload, 1);
       finish(evicted, std::move(resp));
       break;
     }
     case AdmissionQueue::Admit::Rejected: {
-      MOCHA_METRIC_ADD("serve.shed_overload", 1);
+      MOCHA_METRIC_ADD(lanes_.shed_overload, 1);
       Response resp;
       resp.outcome = Outcome::Overloaded;
       resp.message = "admission queue full";
@@ -249,7 +276,7 @@ std::shared_ptr<const dataflow::NetworkPlan> ServeEngine::plan_for(
   std::lock_guard<std::mutex> lock(plans_mu_);
   auto it = plans_.find(key);
   if (it != plans_.end()) {
-    MOCHA_METRIC_ADD("serve.plan_cache_hits", 1);
+    MOCHA_METRIC_ADD(lanes_.plan_cache_hits, 1);
     return it->second;
   }
 
@@ -257,7 +284,7 @@ std::shared_ptr<const dataflow::NetworkPlan> ServeEngine::plan_for(
   // serializes concurrent cold lookups of the same key (the search itself
   // fans out on the global pool); warm lookups only block for the map probe.
   MOCHA_TRACE_SCOPE("serve.plan", "serve");
-  MOCHA_METRIC_ADD("serve.plans_built", 1);
+  MOCHA_METRIC_ADD(lanes_.plans_built, 1);
   const fabric::FabricConfig config =
       have_faults ? fault::degraded_config(model.base_config, faults)
                   : model.base_config;
@@ -274,19 +301,26 @@ std::shared_ptr<const dataflow::NetworkPlan> ServeEngine::plan_for(
 
 void ServeEngine::publish_breaker_gauge(Model& model) {
   const BreakerState state = model.breaker->state(util::steady_now_ns());
-  MOCHA_METRIC_GAUGE("serve.breaker_state." + model.name,
+  MOCHA_METRIC_GAUGE(lanes_.breaker_prefix + model.name,
                      static_cast<std::int64_t>(state));
 }
 
 void ServeEngine::worker_loop() {
   for (;;) {
-    std::optional<QueuedRequest> item = queue_.pop();
-    if (!item.has_value()) return;  // closed and drained
+    std::vector<QueuedRequest> batch =
+        queue_.pop_batch(static_cast<std::size_t>(options_.max_batch));
+    if (batch.empty()) return;  // closed and drained
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
-      inflight_.insert(item->ticket.get());
+      for (const QueuedRequest& item : batch) {
+        inflight_.insert(item.ticket.get());
+      }
     }
-    process(std::move(*item));
+    if (batch.size() == 1) {
+      process(std::move(batch.front()));
+    } else {
+      process_batch(std::move(batch));
+    }
   }
 }
 
@@ -297,7 +331,7 @@ void ServeEngine::process(QueuedRequest item) {
 
   Response resp;
   resp.queue_ns = util::steady_now_ns() - item.admitted_ns;
-  MOCHA_METRIC_HIST("serve.queue_wait_us",
+  MOCHA_METRIC_HIST(lanes_.queue_wait_us,
                     static_cast<std::int64_t>(resp.queue_ns / 1000));
 
   auto expire = [&](std::string where) {
@@ -335,9 +369,11 @@ void ServeEngine::process(QueuedRequest item) {
       exec.quant = options_.quant;
       exec.cancel = &token;
       exec.codec_retry_budget = options_.codec_retry_budget;
+      std::int64_t stall_ms = 0;
       {
         std::lock_guard<std::mutex> lock(fault_mu_);
         exec.codec_flip_rate = have_faults_ ? faults_.codec_bit_flip_rate : 0;
+        stall_ms = have_faults_ ? faults_.exec_stall_ms : 0;
       }
       exec.codec_fault_seed =
           mix_seed(item.id, static_cast<std::uint64_t>(resp.attempts));
@@ -346,6 +382,19 @@ void ServeEngine::process(QueuedRequest item) {
       // integrity path is what detects them).
       exec.exercise_codecs = exec.codec_flip_rate > 0;
       exec.verify_codecs = false;
+
+      if (stall_ms > 0) {
+        // Injected latency degradation (fault::FaultModel::exec_stall_ms):
+        // the attempt slows down but stays deadline-aware — the stall is
+        // interruptible, and a fired token takes the same Cancelled path as
+        // any mid-execution expiry.
+        MOCHA_METRIC_ADD(lanes_.exec_stalls, 1);
+        if (ticket.sleep_until(attempt_start +
+                               static_cast<std::uint64_t>(stall_ms) *
+                                   1'000'000ull)) {
+          throw util::Cancelled("injected execution stall interrupted");
+        }
+      }
 
       dataflow::FunctionalResult result;
       {
@@ -367,10 +416,10 @@ void ServeEngine::process(QueuedRequest item) {
       resp.fallback_plan = !primary;
       if (!primary) {
         fallback_completions_.fetch_add(1, std::memory_order_relaxed);
-        MOCHA_METRIC_ADD("serve.fallback_completions", 1);
+        MOCHA_METRIC_ADD(lanes_.fallback_completions, 1);
       }
       MOCHA_METRIC_HIST(
-          "serve.exec_latency_us",
+          lanes_.exec_latency_us,
           static_cast<std::int64_t>((attempt_end - attempt_start) / 1000));
       finish(item, std::move(resp));
       return;
@@ -390,7 +439,7 @@ void ServeEngine::process(QueuedRequest item) {
         model->breaker->record_primary_failure(util::steady_now_ns());
         publish_breaker_gauge(*model);
       }
-      MOCHA_METRIC_ADD("serve.retryable_failures", 1);
+      MOCHA_METRIC_ADD(lanes_.retryable_failures, 1);
       if (resp.attempts >= options_.retry.max_attempts) {
         resp.outcome = Outcome::Failed;
         resp.message = std::string("retry budget exhausted: ") + e.what();
@@ -408,7 +457,7 @@ void ServeEngine::process(QueuedRequest item) {
         return;
       }
       retries_.fetch_add(1, std::memory_order_relaxed);
-      MOCHA_METRIC_ADD("serve.retries", 1);
+      MOCHA_METRIC_ADD(lanes_.retries, 1);
       if (ticket.sleep_until(now + wait)) {
         expire("cancelled during retry backoff");
         return;
@@ -439,6 +488,154 @@ void ServeEngine::process(QueuedRequest item) {
   }
 }
 
+void ServeEngine::process_batch(std::vector<QueuedRequest> items) {
+  // Batch semantics are only sound when one executor pass serves every
+  // request identically: transient-fault injection needs per-attempt seeds
+  // wired into per-request retry, and injected stalls are per-ticket. In
+  // those regimes (and for a model unregistered since submit) the batch
+  // degrades to the per-request path.
+  double flip_rate = 0;
+  std::int64_t stall_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    flip_rate = have_faults_ ? faults_.codec_bit_flip_rate : 0;
+    stall_ms = have_faults_ ? faults_.exec_stall_ms : 0;
+  }
+  Model* model = find_model(items.front().request.model);
+  if (flip_rate > 0 || stall_ms > 0 || model == nullptr) {
+    for (QueuedRequest& item : items) process(std::move(item));
+    return;
+  }
+
+  MOCHA_TRACE_SCOPE("serve.batch", "serve");
+  const std::uint64_t dequeued = util::steady_now_ns();
+  std::vector<QueuedRequest> live;
+  std::vector<Response> resps;
+  live.reserve(items.size());
+  resps.reserve(items.size());
+  for (QueuedRequest& item : items) {
+    Response resp;
+    resp.queue_ns = dequeued - item.admitted_ns;
+    MOCHA_METRIC_HIST(lanes_.queue_wait_us,
+                      static_cast<std::int64_t>(resp.queue_ns / 1000));
+    util::CancelToken& token = item.ticket->token();
+    if (token.cancelled()) {
+      resp.outcome = token.cancel_requested() ? Outcome::Cancelled
+                                              : Outcome::DeadlineExceeded;
+      resp.message = "expired while queued";
+      finish(item, std::move(resp));
+    } else {
+      live.push_back(std::move(item));
+      resps.push_back(std::move(resp));
+    }
+  }
+  if (live.empty()) return;
+
+  const std::uint64_t start = util::steady_now_ns();
+  const bool primary = model->breaker->allow_primary(start);
+  try {
+    std::shared_ptr<const dataflow::NetworkPlan> plan =
+        plan_for(*model, primary);
+
+    dataflow::FunctionalOptions exec;
+    exec.quant = options_.quant;
+    exec.codec_retry_budget = options_.codec_retry_budget;
+    // No flips in this regime (checked above) -> no measurement needed.
+    exec.exercise_codecs = false;
+    exec.verify_codecs = false;
+
+    std::vector<dataflow::BatchInput> inputs(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      inputs[i].input = &live[i].request.input;
+      inputs[i].cancel = &live[i].ticket->token();
+      inputs[i].codec_fault_seed = mix_seed(live[i].id, 1);
+    }
+    std::vector<dataflow::BatchOutput> outs;
+    {
+      MOCHA_TRACE_SCOPE("serve.execute", "serve");
+      outs = dataflow::run_functional_batch(model->net, *plan, inputs,
+                                            model->weights, exec);
+    }
+    const std::uint64_t end = util::steady_now_ns();
+    if (primary) {
+      model->breaker->record_primary_success(end, end - start);
+      publish_breaker_gauge(*model);
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_coalesced_.fetch_add(static_cast<std::int64_t>(live.size()),
+                               std::memory_order_relaxed);
+    MOCHA_METRIC_ADD(lanes_.batches, 1);
+    MOCHA_METRIC_ADD(lanes_.batch_coalesced,
+                     static_cast<std::int64_t>(live.size()));
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Response& resp = resps[i];
+      resp.attempts = 1;
+      if (outs[i].cancelled) {
+        resp.outcome = live[i].ticket->token().cancel_requested()
+                           ? Outcome::Cancelled
+                           : Outcome::DeadlineExceeded;
+        resp.message = "cancelled mid-batch";
+      } else {
+        resp.outcome = Outcome::Completed;
+        resp.output = std::move(outs[i].result.outputs.back());
+        resp.codec_retries += outs[i].result.codec_retries;
+        resp.fallback_plan = !primary;
+        if (!primary) {
+          fallback_completions_.fetch_add(1, std::memory_order_relaxed);
+          MOCHA_METRIC_ADD(lanes_.fallback_completions, 1);
+        }
+        MOCHA_METRIC_HIST(lanes_.exec_latency_us,
+                          static_cast<std::int64_t>((end - start) / 1000));
+      }
+      finish(live[i], std::move(resp));
+    }
+  } catch (const std::exception&) {
+    // Plan or execution failed at batch granularity (CheckFailure, or the
+    // defensive catch-all). Nothing was finished on this path — finishes
+    // happen only after a successful batch run — so fall back to the
+    // per-request path: each request re-runs individually and books its own
+    // breaker/retry outcome, with no double counting.
+    if (primary) {
+      model->breaker->record_primary_failure(util::steady_now_ns());
+      publish_breaker_gauge(*model);
+    }
+    for (QueuedRequest& item : live) process(std::move(item));
+  }
+}
+
+std::size_t ServeEngine::transfer_to(ServeEngine& dst, std::size_t max) {
+  MOCHA_CHECK(&dst != this, "transfer_to: source and destination identical");
+  std::vector<QueuedRequest> taken = queue_.steal_back(max);
+  std::size_t moved = 0;
+  for (QueuedRequest& item : taken) {
+    // Count the arrival before the handoff: once try_append succeeds a dst
+    // worker may finish the request instantly, and stolen_in must already
+    // cover it or dst's conservation identity would transiently fail.
+    dst.stolen_in_.fetch_add(1, std::memory_order_relaxed);
+    MOCHA_METRIC_ADD(dst.lanes_.steals_in, 1);
+    if (dst.queue_.try_append(item)) {
+      stolen_out_.fetch_add(1, std::memory_order_relaxed);
+      MOCHA_METRIC_ADD(lanes_.steals_out, 1);
+      ++moved;
+      continue;
+    }
+    // Bounced: dst filled up (or closed) mid-transfer. Book the bounce as a
+    // dst departure — both counters stay monotone and net to zero — and put
+    // the entry back home.
+    dst.stolen_out_.fetch_add(1, std::memory_order_relaxed);
+    MOCHA_METRIC_ADD(dst.lanes_.steals_out, 1);
+    if (queue_.try_append(item)) continue;
+    // Home refilled (or closed) too: shed. The ticket still reaches exactly
+    // one terminal outcome, booked here where it was submitted.
+    Response resp;
+    resp.outcome = Outcome::Overloaded;
+    resp.message = "displaced during work stealing";
+    MOCHA_METRIC_ADD(lanes_.shed_overload, 1);
+    finish(item, std::move(resp));
+  }
+  return moved;
+}
+
 void ServeEngine::finish(const QueuedRequest& item, Response&& response) {
   const Outcome outcome = response.outcome;
   MOCHA_CHECK(outcome != Outcome::Pending, "finish with Pending outcome");
@@ -455,13 +652,13 @@ void ServeEngine::finish(const QueuedRequest& item, Response&& response) {
   by_outcome_[static_cast<int>(outcome)].fetch_add(1,
                                                    std::memory_order_relaxed);
   if (outcome == Outcome::Completed) {
-    MOCHA_METRIC_ADD("serve.completed", 1);
-    MOCHA_METRIC_HIST("serve.latency_us",
+    MOCHA_METRIC_ADD(lanes_.completed, 1);
+    MOCHA_METRIC_HIST(lanes_.latency_us,
                       static_cast<std::int64_t>(latency_ns / 1000));
   } else if (outcome_is_shed(outcome)) {
-    MOCHA_METRIC_ADD("serve.shed", 1);
+    MOCHA_METRIC_ADD(lanes_.shed, 1);
   } else {
-    MOCHA_METRIC_ADD("serve.failed", 1);
+    MOCHA_METRIC_ADD(lanes_.failed, 1);
   }
 }
 
@@ -508,10 +705,14 @@ ServeStats ServeEngine::stats() const {
       out.failed += out.by_outcome[i];
     }
   }
-  out.in_flight = out.submitted - terminal;
+  out.stolen_in = stolen_in_.load(std::memory_order_relaxed);
+  out.stolen_out = stolen_out_.load(std::memory_order_relaxed);
+  out.in_flight = out.submitted + out.stolen_in - out.stolen_out - terminal;
   out.retries = retries_.load(std::memory_order_relaxed);
   out.fallback_completions =
       fallback_completions_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.batch_coalesced = batch_coalesced_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -65,13 +65,25 @@ struct ServeOptions {
   /// Per-tenant token bucket; rate <= 0 disables metering.
   double tenant_rate_per_sec = 0;
   double tenant_burst = 4;
+  /// Cross-request batching: a worker dequeues up to this many same-model
+  /// requests (priority-then-FIFO order preserved) and runs them as one
+  /// executor pass — validation and kernel-stream measurement amortize
+  /// across the batch. 1 = no coalescing. Batching steps aside whenever
+  /// per-request semantics demand it (transient-fault injection, stalls).
+  int max_batch = 1;
+  /// Metric-lane scope (obs::lane_name): per-shard engines pass "shardK" so
+  /// every counter/gauge/histogram lands in its own fault-domain lane
+  /// ("serve.shardK.completed"). Empty = the legacy "serve.*" names.
+  std::string metrics_scope;
   /// Requantization for execution (must match how weights were produced).
   nn::Quant quant;
   model::TechParams tech = model::default_tech();
 };
 
-/// Point-in-time counters. Conservation: submitted == completed + shed +
-/// failed + in_flight, always; in_flight == 0 after shutdown().
+/// Point-in-time counters. Conservation (generalized for fleet mode):
+/// submitted + stolen_in == completed + shed + failed + stolen_out +
+/// in_flight, always; in_flight == 0 after shutdown(). Every field except
+/// in_flight is monotone non-decreasing — soak monitors rely on that.
 struct ServeStats {
   std::int64_t submitted = 0;
   std::int64_t completed = 0;
@@ -89,6 +101,15 @@ struct ServeStats {
   std::int64_t retries = 0;
   /// Completions served by a breaker-selected fallback plan.
   std::int64_t fallback_completions = 0;
+  /// Work stealing (transfer_to): requests that arrived from / departed to
+  /// a sibling engine's queue. A stolen request's terminal outcome books on
+  /// the engine that finishes it.
+  std::int64_t stolen_in = 0;
+  std::int64_t stolen_out = 0;
+  /// Coalesced executor passes (cross-request batching, max_batch > 1) and
+  /// the requests served by them.
+  std::int64_t batches = 0;
+  std::int64_t batch_coalesced = 0;
 
   std::int64_t accepted() const { return submitted - shed; }
   std::int64_t outcome_count(Outcome o) const {
@@ -134,6 +155,19 @@ class ServeEngine {
 
   ServeStats stats() const;
 
+  /// Current admission-queue depth — the load signal the shard router's
+  /// power-of-two-choices placement and work stealing read.
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Work stealing: moves up to `max` entries from the *back* of this
+  /// engine's queue (lowest-priority, youngest) into `dst`'s queue, bounded
+  /// and eviction-free on arrival. Returns how many moved. An entry that no
+  /// longer fits anywhere (both queues filled up mid-transfer) is shed as
+  /// Overloaded here — every ticket still reaches exactly one terminal
+  /// outcome, and the stolen_in/stolen_out counters keep both engines'
+  /// conservation identities exact and monotone.
+  std::size_t transfer_to(ServeEngine& dst, std::size_t max);
+
   /// Breaker observability for one model (throws on unknown name).
   BreakerState breaker_state(const std::string& model);
   std::int64_t breaker_trips(const std::string& model);
@@ -150,17 +184,31 @@ class ServeEngine {
     std::unique_ptr<CircuitBreaker> breaker;
   };
 
+  /// Precomposed metric-lane names (obs::lane_name with metrics_scope) so
+  /// the hot paths never rebuild strings.
+  struct Lanes {
+    std::string submitted, rate_limited, shed_overload, plan_cache_hits,
+        plans_built, queue_wait_us, exec_latency_us, fallback_completions,
+        retries, retryable_failures, completed, shed, failed, latency_us,
+        batches, batch_coalesced, exec_stalls, steals_out, steals_in,
+        breaker_prefix;
+  };
+
   Model* find_model(const std::string& name);
   /// The (possibly warm) plan for `model` under the current fault scenario.
   std::shared_ptr<const dataflow::NetworkPlan> plan_for(Model& model,
                                                         bool primary);
   void worker_loop();
   void process(QueuedRequest item);
+  /// Coalesced path for a same-model batch (worker thread). Falls back to
+  /// per-request process() whenever batch semantics would be lossy.
+  void process_batch(std::vector<QueuedRequest> items);
   /// Resolves the ticket and books the terminal outcome into the stats.
   void finish(const QueuedRequest& item, Response&& response);
   void publish_breaker_gauge(Model& model);
 
   ServeOptions options_;
+  Lanes lanes_;
   AdmissionQueue queue_;
   std::vector<std::thread> workers_;
 
@@ -188,6 +236,10 @@ class ServeEngine {
   std::atomic<std::int64_t> submitted_{0};
   std::atomic<std::int64_t> retries_{0};
   std::atomic<std::int64_t> fallback_completions_{0};
+  std::atomic<std::int64_t> stolen_in_{0};
+  std::atomic<std::int64_t> stolen_out_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> batch_coalesced_{0};
   std::atomic<std::int64_t> by_outcome_[8] = {};
 };
 

@@ -1,0 +1,173 @@
+#include "serve/health.hpp"
+
+#include "util/assert.hpp"
+
+namespace mocha::serve {
+
+const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::Healthy:
+      return "healthy";
+    case HealthState::Degraded:
+      return "degraded";
+    case HealthState::Quarantined:
+      return "quarantined";
+    case HealthState::Probing:
+      return "probing";
+  }
+  return "?";
+}
+
+ShardHealth::ShardHealth(HealthOptions options) : options_(options) {
+  MOCHA_CHECK(options_.ewma_alpha > 0 && options_.ewma_alpha <= 1,
+              "ewma_alpha must be in (0, 1]");
+  MOCHA_CHECK(options_.degraded_error_rate > 0 &&
+                  options_.degraded_error_rate <= 1,
+              "degraded_error_rate must be in (0, 1]");
+  MOCHA_CHECK(options_.recovery_fraction > 0 &&
+                  options_.recovery_fraction <= 1,
+              "recovery_fraction must be in (0, 1]");
+  MOCHA_CHECK(options_.quarantine_streak >= 1,
+              "quarantine_streak must be >= 1");
+  MOCHA_CHECK(options_.probe_timeout_ns > 0, "probe_timeout_ns must be > 0");
+}
+
+void ShardHealth::update_degraded_locked() {
+  const double lat_threshold =
+      static_cast<double>(options_.degraded_latency_ns);
+  const bool latency_bad = have_latency_ && ewma_latency_ns_ > lat_threshold;
+  const bool errors_bad = ewma_error_ > options_.degraded_error_rate;
+  if (!degraded_) {
+    degraded_ = latency_bad || errors_bad;
+    return;
+  }
+  const bool latency_ok =
+      !have_latency_ ||
+      ewma_latency_ns_ < lat_threshold * options_.recovery_fraction;
+  const bool errors_ok =
+      ewma_error_ < options_.degraded_error_rate * options_.recovery_fraction;
+  if (latency_ok && errors_ok) degraded_ = false;
+}
+
+void ShardHealth::enter_quarantine_locked(std::uint64_t now_ns) {
+  quarantined_ = true;
+  probing_ = false;
+  quarantined_at_ns_ = now_ns;
+  ++quarantine_count_;
+}
+
+void ShardHealth::expire_probe_locked(std::uint64_t now_ns) {
+  if (probing_ && now_ns - probe_started_ns_ > options_.probe_timeout_ns) {
+    ++probes_abandoned_;
+    enter_quarantine_locked(now_ns);
+  }
+}
+
+void ShardHealth::record_success(std::uint64_t now_ns,
+                                 std::uint64_t latency_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_probe_locked(now_ns);
+  const double a = options_.ewma_alpha;
+  const auto sample = static_cast<double>(latency_ns);
+  ewma_latency_ns_ =
+      have_latency_ ? (1 - a) * ewma_latency_ns_ + a * sample : sample;
+  have_latency_ = true;
+  ewma_error_ = (1 - a) * ewma_error_;
+  hard_streak_ = 0;
+  update_degraded_locked();
+}
+
+void ShardHealth::record_failure(std::uint64_t now_ns, bool hard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_probe_locked(now_ns);
+  const double a = options_.ewma_alpha;
+  ewma_error_ = (1 - a) * ewma_error_ + a;
+  if (hard) {
+    ++hard_streak_;
+    // Late failures from before a quarantine (or during a probe) must not
+    // re-enter quarantine and reset the cooldown/probe — the half-open
+    // cycle owns the shard until its verdict.
+    if (!quarantined_ && !probing_ &&
+        hard_streak_ >= options_.quarantine_streak) {
+      enter_quarantine_locked(now_ns);
+    }
+  }
+  update_degraded_locked();
+}
+
+HealthState ShardHealth::state(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_probe_locked(now_ns);
+  if (probing_) return HealthState::Probing;
+  if (quarantined_) return HealthState::Quarantined;
+  return degraded_ ? HealthState::Degraded : HealthState::Healthy;
+}
+
+bool ShardHealth::in_ring(std::uint64_t now_ns) {
+  const HealthState s = state(now_ns);
+  return s == HealthState::Healthy || s == HealthState::Degraded;
+}
+
+bool ShardHealth::try_begin_probe(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_probe_locked(now_ns);
+  if (!quarantined_ ||
+      now_ns - quarantined_at_ns_ < options_.probe_after_ns) {
+    return false;
+  }
+  quarantined_ = false;
+  probing_ = true;
+  probe_started_ns_ = now_ns;
+  ++probes_started_;
+  return true;
+}
+
+void ShardHealth::record_probe_success(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_probe_locked(now_ns);
+  if (!probing_) return;  // probe was abandoned; verdict arrives too late
+  probing_ = false;
+  quarantined_ = false;
+  hard_streak_ = 0;
+  // The error history belongs to the quarantined epoch; the latency EWMA
+  // survives so a slow-but-alive shard readmits as Degraded, not Healthy.
+  ewma_error_ = 0;
+  update_degraded_locked();
+}
+
+void ShardHealth::record_probe_failure(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_probe_locked(now_ns);
+  if (!probing_) return;
+  const double a = options_.ewma_alpha;
+  ewma_error_ = (1 - a) * ewma_error_ + a;
+  enter_quarantine_locked(now_ns);
+  update_degraded_locked();
+}
+
+double ShardHealth::ewma_latency_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_latency_ns_;
+}
+
+double ShardHealth::error_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_error_;
+}
+
+std::int64_t ShardHealth::quarantines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantine_count_;
+}
+
+std::int64_t ShardHealth::probes_started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_started_;
+}
+
+std::int64_t ShardHealth::probes_abandoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_abandoned_;
+}
+
+}  // namespace mocha::serve

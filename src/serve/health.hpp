@@ -1,0 +1,120 @@
+// Per-shard health state machine for the serving fleet.
+//
+// The shard router (serve/router.hpp) scores every shard from two signals —
+// an EWMA of observed request latency and an EWMA error rate — plus a
+// consecutive hard-failure streak, and drives each shard through
+//
+//   Healthy -> Degraded -> Quarantined -> Probing -> Healthy
+//
+// Degraded is advisory: the shard stays in the placement ring (MOCHA's
+// morphable fabric keeps producing correct results on a degraded substrate,
+// so imprecise-but-alive capacity is still capacity) but the power-of-two
+// spill and the health gauge see it. Quarantined removes the shard from the
+// ring entirely; after a cooldown a single canary probe (half-open, exactly
+// like serve::CircuitBreaker) decides between readmission and another
+// quarantine round. A probe whose verdict never arrives — the prober died
+// mid-canary — is *abandoned* on the next clock observation and counts as a
+// failed probe, so a hung shard cannot wedge the state machine in Probing.
+//
+// Every method takes the current steady-clock time explicitly, which makes
+// the machine fully deterministic under a manual clock (tests drive every
+// transition without sleeping). Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace mocha::serve {
+
+enum class HealthState { Healthy, Degraded, Quarantined, Probing };
+
+const char* health_state_name(HealthState state);
+
+struct HealthOptions {
+  /// EWMA smoothing for both signals (weight of the newest sample).
+  double ewma_alpha = 0.3;
+  /// EWMA latency above this marks the shard Degraded.
+  std::uint64_t degraded_latency_ns = 50'000'000;
+  /// EWMA error rate (0..1, sheds and failures both count) above this
+  /// marks the shard Degraded.
+  double degraded_error_rate = 0.5;
+  /// Hysteresis: Degraded returns to Healthy only once both signals fall
+  /// below threshold * recovery_fraction, so a shard hovering at the
+  /// threshold does not flap.
+  double recovery_fraction = 0.8;
+  /// Consecutive *hard* failures (work consumed and lost: Failed,
+  /// DeadlineExceeded) that quarantine the shard. Soft failures — sheds
+  /// under queue pressure — degrade but never quarantine.
+  int quarantine_streak = 3;
+  /// Quarantine cooldown before a canary probe may begin.
+  std::uint64_t probe_after_ns = 200'000'000;
+  /// A probe older than this is abandoned: the machine returns to
+  /// Quarantined (fresh cooldown) as if the probe had failed.
+  std::uint64_t probe_timeout_ns = 1'000'000'000;
+};
+
+class ShardHealth {
+ public:
+  explicit ShardHealth(HealthOptions options = {});
+
+  /// A request served by this shard completed in `latency_ns`. Resets the
+  /// hard-failure streak; never lifts a quarantine (only a probe does).
+  void record_success(std::uint64_t now_ns, std::uint64_t latency_ns);
+
+  /// A request charged to this shard ended badly. `hard` failures (Failed,
+  /// DeadlineExceeded) advance the quarantine streak; soft ones (sheds)
+  /// only feed the error rate.
+  void record_failure(std::uint64_t now_ns, bool hard);
+
+  /// Current state. Observing the clock is what retires an expired probe,
+  /// so callers polling state() also enforce the probe timeout.
+  HealthState state(std::uint64_t now_ns);
+
+  /// True while the shard belongs in the placement ring (Healthy or
+  /// Degraded).
+  bool in_ring(std::uint64_t now_ns);
+
+  /// Claims the single probe slot: Quarantined + cooldown elapsed ->
+  /// Probing. Exactly one caller wins; everyone else keeps routing around
+  /// the shard until the probe verdict lands.
+  bool try_begin_probe(std::uint64_t now_ns);
+
+  /// Probe verdict: readmit (success — error EWMA and streak reset, the
+  /// latency EWMA survives so a slow-but-alive shard readmits as Degraded)
+  /// or re-quarantine with a fresh cooldown. A verdict for an already
+  /// abandoned probe is ignored.
+  void record_probe_success(std::uint64_t now_ns);
+  void record_probe_failure(std::uint64_t now_ns);
+
+  double ewma_latency_ns() const;
+  double error_rate() const;
+
+  /// Total entries into Quarantined (including via abandoned probes).
+  std::int64_t quarantines() const;
+  std::int64_t probes_started() const;
+  std::int64_t probes_abandoned() const;
+
+ private:
+  /// Re-derives the Degraded flag from the EWMAs (with hysteresis).
+  void update_degraded_locked();
+  /// Retires a timed-out probe: Probing -> Quarantined.
+  void expire_probe_locked(std::uint64_t now_ns);
+  void enter_quarantine_locked(std::uint64_t now_ns);
+
+  const HealthOptions options_;
+  mutable std::mutex mu_;
+  double ewma_latency_ns_ = 0;
+  bool have_latency_ = false;
+  double ewma_error_ = 0;
+  int hard_streak_ = 0;
+  bool degraded_ = false;
+  bool quarantined_ = false;
+  bool probing_ = false;
+  std::uint64_t quarantined_at_ns_ = 0;
+  std::uint64_t probe_started_ns_ = 0;
+  std::int64_t quarantine_count_ = 0;
+  std::int64_t probes_started_ = 0;
+  std::int64_t probes_abandoned_ = 0;
+};
+
+}  // namespace mocha::serve

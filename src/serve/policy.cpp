@@ -2,19 +2,18 @@
 
 #include <algorithm>
 
+#include "util/timing.hpp"
+
 namespace mocha::serve {
 
 std::uint64_t retry_backoff_ns(const RetryOptions& options, int failures,
                                util::Rng& rng) {
-  MOCHA_CHECK(failures >= 1, "backoff before any failure");
-  const int exponent = std::min(failures - 1, 32);
-  const std::uint64_t window_ms =
-      std::min(options.backoff_cap_ms,
-               options.backoff_base_ms << static_cast<unsigned>(exponent));
-  // Full jitter: uniform in [0, window). A zero window (base 0) retries
-  // immediately — useful for deterministic tests.
-  const auto window_ns = static_cast<double>(window_ms) * 1e6;
-  return static_cast<std::uint64_t>(rng.uniform() * window_ns);
+  // Full jitter over the capped exponential window (util/timing.hpp): a
+  // zero window (base 0) retries immediately — useful for deterministic
+  // tests.
+  const std::uint64_t window_ms = util::backoff_window_ms(
+      options.backoff_base_ms, options.backoff_cap_ms, failures);
+  return util::full_jitter_ns(rng, window_ms * 1'000'000ull);
 }
 
 TokenBucket::TokenBucket(double rate_per_sec, double burst)

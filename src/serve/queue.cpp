@@ -1,11 +1,14 @@
 #include "serve/queue.hpp"
 
+#include <utility>
+
 #include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace mocha::serve {
 
-AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+AdmissionQueue::AdmissionQueue(std::size_t capacity, std::string depth_gauge)
+    : capacity_(capacity), depth_gauge_(std::move(depth_gauge)) {
   MOCHA_CHECK(capacity >= 1, "admission queue needs capacity >= 1");
 }
 
@@ -26,7 +29,7 @@ AdmissionQueue::Admit AdmissionQueue::push(QueuedRequest item,
     admit = Admit::QueuedEvicted;
   }
   queue_.insert(std::move(item));
-  MOCHA_METRIC_GAUGE("serve.queue_depth",
+  MOCHA_METRIC_GAUGE(depth_gauge_,
                      static_cast<std::int64_t>(queue_.size()));
   lock.unlock();
   cv_.notify_one();
@@ -38,9 +41,56 @@ std::optional<QueuedRequest> AdmissionQueue::pop() {
   cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
   if (queue_.empty()) return std::nullopt;  // closed and drained
   QueuedRequest item = std::move(queue_.extract(queue_.begin()).value());
-  MOCHA_METRIC_GAUGE("serve.queue_depth",
+  MOCHA_METRIC_GAUGE(depth_gauge_,
                      static_cast<std::int64_t>(queue_.size()));
   return item;
+}
+
+std::vector<QueuedRequest> AdmissionQueue::pop_batch(std::size_t max) {
+  MOCHA_CHECK(max >= 1, "pop_batch with max=0");
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  std::vector<QueuedRequest> batch;
+  if (queue_.empty()) return batch;  // closed and drained
+  batch.push_back(std::move(queue_.extract(queue_.begin()).value()));
+  // Coalesce same-model entries in ranking order: the batch never reorders
+  // work relative to single pops, it only widens the head. Copy (not
+  // reference) the key: push_back below may reallocate the vector.
+  const std::string model = batch.front().request.model;
+  for (auto it = queue_.begin(); it != queue_.end() && batch.size() < max;) {
+    if (it->request.model == model) {
+      auto next = std::next(it);
+      batch.push_back(std::move(queue_.extract(it).value()));
+      it = next;
+    } else {
+      ++it;
+    }
+  }
+  MOCHA_METRIC_GAUGE(depth_gauge_,
+                     static_cast<std::int64_t>(queue_.size()));
+  return batch;
+}
+
+std::vector<QueuedRequest> AdmissionQueue::steal_back(std::size_t max) {
+  std::vector<QueuedRequest> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (out.size() < max && !queue_.empty()) {
+    out.push_back(std::move(queue_.extract(std::prev(queue_.end())).value()));
+  }
+  MOCHA_METRIC_GAUGE(depth_gauge_,
+                     static_cast<std::int64_t>(queue_.size()));
+  return out;
+}
+
+bool AdmissionQueue::try_append(QueuedRequest& item) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_ || queue_.size() >= capacity_) return false;
+  queue_.insert(std::move(item));
+  MOCHA_METRIC_GAUGE(depth_gauge_,
+                     static_cast<std::int64_t>(queue_.size()));
+  lock.unlock();
+  cv_.notify_one();
+  return true;
 }
 
 void AdmissionQueue::close() {
@@ -57,7 +107,7 @@ std::vector<QueuedRequest> AdmissionQueue::drain() {
   while (!queue_.empty()) {
     out.push_back(std::move(queue_.extract(queue_.begin()).value()));
   }
-  MOCHA_METRIC_GAUGE("serve.queue_depth", 0);
+  MOCHA_METRIC_GAUGE(depth_gauge_, 0);
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "serve/request.hpp"
@@ -41,7 +42,11 @@ class AdmissionQueue {
     Rejected,
   };
 
-  explicit AdmissionQueue(std::size_t capacity);
+  /// `depth_gauge` names the queue-depth metric lane — per-shard queues
+  /// pass "serve.shardK.queue_depth" so fleet dashboards see one lane per
+  /// fault domain (obs::lane_name).
+  explicit AdmissionQueue(std::size_t capacity,
+                          std::string depth_gauge = "serve.queue_depth");
 
   /// Admission decision for `item` (see Admit). Never blocks.
   Admit push(QueuedRequest item, QueuedRequest* evicted);
@@ -50,6 +55,22 @@ class AdmissionQueue {
   /// is open and empty. nullopt once closed *and* drained — the workers'
   /// exit signal.
   std::optional<QueuedRequest> pop();
+
+  /// Batch dequeue: takes the highest-priority entry plus up to `max - 1`
+  /// further entries for the *same model* (in priority-then-FIFO order), so
+  /// a worker can coalesce them into one executor pass. Blocks like pop();
+  /// empty result means closed and drained. `max >= 1`.
+  std::vector<QueuedRequest> pop_batch(std::size_t max);
+
+  /// Work stealing: removes up to `max` entries from the *back* of the
+  /// queue — the lowest-priority, youngest work, i.e. what would otherwise
+  /// wait the longest here. Never blocks; may return fewer (or none).
+  std::vector<QueuedRequest> steal_back(std::size_t max);
+
+  /// Plain bounded append for stolen work arriving from another shard:
+  /// queues `item` if there is room, no eviction. Returns false when full
+  /// or closed (the item is untouched and stays with the caller).
+  bool try_append(QueuedRequest& item);
 
   /// Stops admission and wakes blocked poppers. Queued entries remain
   /// poppable (drain-on-shutdown) unless drain() removes them.
@@ -71,6 +92,7 @@ class AdmissionQueue {
   };
 
   const std::size_t capacity_;
+  const std::string depth_gauge_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::multiset<QueuedRequest, Order> queue_;

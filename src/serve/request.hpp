@@ -9,9 +9,11 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "nn/tensor.hpp"
 #include "util/parallel.hpp"
@@ -111,16 +113,43 @@ class Ticket {
   /// The cancellation/deadline token execution threads poll.
   util::CancelToken& token() { return token_; }
 
+  /// Registers a completion hook, invoked exactly once with the terminal
+  /// response — on the resolver's thread if the ticket is still pending,
+  /// or immediately on the caller's if it is already terminal. This is how
+  /// the shard router observes attempt completion without a watcher thread
+  /// per request (first-wins hedging). One hook per ticket; the hook runs
+  /// outside the ticket lock, so it may wait()/cancel() other tickets but
+  /// must not re-enter this one's resolution.
+  void on_resolve(std::function<void(const Response&)> hook) {
+    std::unique_lock<std::mutex> lock(mu_);
+    MOCHA_CHECK(!hook_, "ticket already has a completion hook");
+    if (response_.outcome != Outcome::Pending) {
+      lock.unlock();
+      hook(response_);
+      return;
+    }
+    hook_ = std::move(hook);
+  }
+
  private:
   friend class ServeEngine;
+  friend class ShardRouter;  // resolves fleet-level client tickets
 
   /// Resolves the ticket (engine only). Returns false if it was already
   /// terminal — the caller's resolution loses and must not double-count.
   bool resolve(Response&& response) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (response_.outcome != Outcome::Pending) return false;
-    response_ = std::move(response);
-    cv_.notify_all();
+    std::function<void(const Response&)> hook;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (response_.outcome != Outcome::Pending) return false;
+      response_ = std::move(response);
+      hook = std::move(hook_);
+      hook_ = nullptr;
+      cv_.notify_all();
+    }
+    // The hook observes a terminal, immutable response; invoked outside the
+    // lock so it can touch other tickets without ordering hazards.
+    if (hook) hook(response_);
     return true;
   }
 
@@ -143,6 +172,7 @@ class Ticket {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   Response response_;
+  std::function<void(const Response&)> hook_;
   util::CancelToken token_;
 };
 

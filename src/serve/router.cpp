@@ -1,0 +1,583 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace mocha::serve {
+
+ShardRouter::ShardRouter(RouterOptions options)
+    : options_(std::move(options)), ring_(options_.ring_vnodes) {
+  MOCHA_CHECK(options_.shards >= 1, "router needs >= 1 shard");
+  MOCHA_CHECK(options_.maintenance_tick_ms >= 1,
+              "maintenance_tick_ms must be >= 1");
+  MOCHA_CHECK(options_.hedge_percentile > 0 &&
+                  options_.hedge_percentile <= 100,
+              "hedge_percentile must be in (0, 100]");
+  MOCHA_CHECK(options_.hedge_floor_ms <= options_.hedge_cap_ms,
+              "hedge_floor_ms must be <= hedge_cap_ms");
+  MOCHA_CHECK(options_.steal_max >= 1, "steal_max must be >= 1");
+
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    const std::string scope = "shard" + std::to_string(i);
+    auto shard = std::make_unique<Shard>(options_.health);
+    ServeOptions engine_options = options_.engine;
+    engine_options.metrics_scope = scope;
+    shard->engine = std::make_unique<ServeEngine>(std::move(engine_options));
+    shard->health_gauge = obs::lane_name("serve", scope, "health");
+    shard->depth_gauge = obs::lane_name("serve", scope, "queue_depth");
+    ring_.add(i);
+    shards_.push_back(std::move(shard));
+  }
+  maintenance_ = std::thread([this] { maintenance_loop(); });
+}
+
+ShardRouter::~ShardRouter() { shutdown(/*drain=*/false); }
+
+void ShardRouter::register_model(const std::string& name,
+                                 const nn::Network& net,
+                                 const std::vector<nn::ValueTensor>& weights,
+                                 const fabric::FabricConfig& config,
+                                 core::MorphOptions morph) {
+  for (auto& shard : shards_) {
+    shard->engine->register_model(name, net, weights, config, morph);
+  }
+  if (canary_model_.empty()) {
+    canary_model_ = name;
+    // Zero input of the head shape: cheap, shape-valid, and exercises the
+    // full plan — exactly what a liveness canary needs.
+    canary_input_ = nn::ValueTensor(net.layers.front().input_shape());
+  }
+}
+
+TicketPtr ShardRouter::submit(Request request) {
+  MOCHA_TRACE_SCOPE("router.submit", "serve");
+  auto client = std::make_shared<Ticket>();
+  const std::uint64_t now = util::steady_now_ns();
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  MOCHA_METRIC_ADD("serve.fleet.submitted", 1);
+
+  auto route = std::make_shared<Route>();
+  route->id = id;
+  route->client = client;
+  route->submitted_ns = now;
+
+  auto refuse = [&](std::string message) {
+    Response resp;
+    resp.outcome = Outcome::Rejected;
+    resp.message = std::move(message);
+    resolve_client(route, std::move(resp));
+    return client;
+  };
+
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return refuse("fleet is shutting down");
+  }
+
+  // Resolve the deadline to an absolute instant here so a later hedge
+  // attempt shares it exactly — both attempts race the same clock.
+  if (request.deadline_ns == 0 && options_.engine.default_deadline_ms > 0) {
+    request.deadline_ns =
+        now + options_.engine.default_deadline_ms * 1'000'000ull;
+  }
+
+  // Placement: consistent hash by (tenant, model) over the live ring, then
+  // power-of-two-choices spill by queue depth.
+  const std::string key = request.tenant + "|" + request.model;
+  HashRing::Placement placement;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    placement = ring_.place(key);
+  }
+  if (placement.primary < 0) return refuse("no healthy shards in the ring");
+  int target = placement.primary;
+  int alternate = placement.alternate;
+  if (alternate >= 0) {
+    const std::size_t home =
+        shards_[static_cast<std::size_t>(target)]->engine->queue_depth();
+    const std::size_t alt =
+        shards_[static_cast<std::size_t>(alternate)]->engine->queue_depth();
+    if (home >= alt + std::max<std::size_t>(options_.spill_margin, 1)) {
+      std::swap(target, alternate);
+      MOCHA_METRIC_ADD("serve.fleet.spills", 1);
+    }
+  }
+
+  // Every field the maintenance thread may read must be set before the
+  // route becomes visible in the registry.
+  route->primary_shard = target;
+  route->hedge_shard = alternate;
+  route->request = request;  // kept for the hedge re-submit
+  route->outstanding = 1;
+  if (options_.hedge && alternate >= 0) {
+    route->hedge_planned = true;
+    route->hedge_due_ns = now + hedge_delay_ns();
+  }
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    routes_.emplace(id, route);
+  }
+
+  TicketPtr attempt =
+      shards_[static_cast<std::size_t>(target)]->engine->submit(
+          std::move(request));
+  {
+    std::lock_guard<std::mutex> lock(route->mu);
+    route->attempts[0] = attempt;
+  }
+  attempt->on_resolve([this, route, target](const Response& response) {
+    on_attempt(route, 0, target, response);
+  });
+  return client;
+}
+
+std::uint64_t ShardRouter::hedge_delay_ns() const {
+  const std::uint64_t floor = options_.hedge_floor_ms * 1'000'000ull;
+  const std::uint64_t cap = options_.hedge_cap_ms * 1'000'000ull;
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  if (latency_us_.count < options_.hedge_min_samples) return cap;
+  const double p_us = latency_us_.percentile(options_.hedge_percentile);
+  const auto ns = static_cast<std::uint64_t>(std::max(0.0, p_us) * 1000.0);
+  return std::min(cap, std::max(floor, ns));
+}
+
+int ShardRouter::coldest_shard(int exclude) {
+  const std::uint64_t now = util::steady_now_ns();
+  int best = -1;
+  std::size_t best_depth = 0;
+  for (int i = 0; i < options_.shards; ++i) {
+    if (i == exclude) continue;
+    Shard& shard = *shards_[static_cast<std::size_t>(i)];
+    if (!shard.health.in_ring(now)) continue;
+    const std::size_t depth = shard.engine->queue_depth();
+    if (best < 0 || depth < best_depth) {
+      best = i;
+      best_depth = depth;
+    }
+  }
+  return best;
+}
+
+void ShardRouter::issue_hedge(const RoutePtr& route, bool failover) {
+  Request request;
+  int target = -1;
+  bool resolve_now = false;
+  Response client_resp;
+  {
+    std::lock_guard<std::mutex> lock(route->mu);
+    if (route->done || route->hedge_issued || !route->hedge_planned) return;
+    if (route->client->token().cancel_requested()) return;
+    const std::uint64_t now = util::steady_now_ns();
+    // Re-validate the target: the alternate chosen at placement time may
+    // have been quarantined since.
+    target = route->hedge_shard;
+    const bool target_ok =
+        target >= 0 && target != route->primary_shard &&
+        shards_[static_cast<std::size_t>(target)]->health.in_ring(now);
+    if (!target_ok) target = coldest_shard(route->primary_shard);
+    if (target < 0) {
+      // Nowhere to hedge. On the failover path the primary has already
+      // failed, so the client gets the pending outcome now.
+      route->hedge_planned = false;
+      route->hedge_due_ns = 0;
+      if (route->outstanding == 0 && route->have_pending) {
+        route->done = true;
+        resolve_now = true;
+        client_resp = std::move(route->pending);
+      }
+    } else {
+      route->hedge_shard = target;
+      route->hedge_issued = true;
+      route->hedge_due_ns = 0;
+      ++route->outstanding;
+      request = route->request;  // copy; shares the absolute deadline
+    }
+  }
+  if (resolve_now) {
+    resolve_client(route, std::move(client_resp));
+    erase_route(route->id);
+    return;
+  }
+  if (target < 0) return;
+
+  MOCHA_TRACE_SCOPE("router.hedge", "serve");
+  hedges_issued_.fetch_add(1, std::memory_order_relaxed);
+  MOCHA_METRIC_ADD("serve.fleet.hedges", 1);
+  if (failover) {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    MOCHA_METRIC_ADD("serve.fleet.failovers", 1);
+  }
+  TicketPtr attempt =
+      shards_[static_cast<std::size_t>(target)]->engine->submit(
+          std::move(request));
+  {
+    std::lock_guard<std::mutex> lock(route->mu);
+    route->attempts[1] = attempt;
+  }
+  const int shard = target;
+  attempt->on_resolve([this, route, shard](const Response& response) {
+    on_attempt(route, 1, shard, response);
+  });
+  // The hedge may have resolved synchronously above (e.g. shed on a full
+  // queue); the cleanup check in on_attempt already ran in that case, and
+  // this one is a no-op. Checking again here covers the normal async path
+  // where nothing has resolved yet — no, nothing to do: on_attempt owns
+  // cleanup for every resolution.
+}
+
+void ShardRouter::on_attempt(const RoutePtr& route, int attempt, int shard,
+                             const Response& response) {
+  TicketPtr to_cancel;
+  bool resolve = false;
+  bool loser = false;
+  bool failover = false;
+  Response client_resp;
+  {
+    std::lock_guard<std::mutex> lock(route->mu);
+    --route->outstanding;
+    if (route->done) {
+      loser = true;  // the other attempt already resolved the client
+    } else if (response.outcome == Outcome::Completed) {
+      route->done = true;
+      route->hedge_due_ns = 0;
+      resolve = true;
+      client_resp = response;  // the engine ticket keeps its own copy
+      if (attempt == 1) {
+        hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+        MOCHA_METRIC_ADD("serve.fleet.hedge_wins", 1);
+      }
+      to_cancel = route->attempts[attempt == 0 ? 1 : 0];
+    } else {
+      // Failed or shed attempt. Keep the most informative outcome for the
+      // client: failures (work consumed) beat sheds; the first in a class
+      // wins.
+      if (!route->have_pending ||
+          (outcome_is_failure(response.outcome) &&
+           !outcome_is_failure(route->pending.outcome))) {
+        route->pending = response;
+        route->have_pending = true;
+      }
+      if (route->outstanding == 0) {
+        const bool cancelled = route->client->token().cancel_requested();
+        if (route->hedge_planned && !route->hedge_issued && !cancelled &&
+            accepting_.load(std::memory_order_acquire)) {
+          // Promote the hedge immediately: health-checked failover instead
+          // of waiting out the hedge delay.
+          failover = true;
+        } else {
+          route->done = true;
+          resolve = true;
+          client_resp = std::move(route->pending);
+        }
+      }
+    }
+  }
+  record_attempt_health(shard, response, loser);
+  if (to_cancel) to_cancel->cancel();
+  if (resolve) resolve_client(route, std::move(client_resp));
+  if (failover) issue_hedge(route, /*failover=*/true);
+
+  bool finished;
+  {
+    std::lock_guard<std::mutex> lock(route->mu);
+    finished = route->done && route->outstanding == 0;
+  }
+  if (finished) erase_route(route->id);
+}
+
+void ShardRouter::record_attempt_health(int shard, const Response& response,
+                                        bool loser) {
+  // Cancelled attempts carry no health signal: they are our own first-wins
+  // cancellation (the loser) or a client hang-up — neither is the shard's
+  // fault.
+  if (response.outcome == Outcome::Cancelled) return;
+  (void)loser;  // a completed loser is still a healthy signal
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  const std::uint64_t now = util::steady_now_ns();
+  if (response.outcome == Outcome::Completed) {
+    sh.health.record_success(now, response.latency_ns);
+  } else if (outcome_is_shed(response.outcome)) {
+    sh.health.record_failure(now, /*hard=*/false);
+  } else {
+    sh.health.record_failure(now, /*hard=*/true);
+  }
+}
+
+void ShardRouter::resolve_client(const RoutePtr& route, Response&& response) {
+  const Outcome outcome = response.outcome;
+  MOCHA_CHECK(outcome != Outcome::Pending, "resolve_client with Pending");
+  response.latency_ns = util::steady_now_ns() - route->submitted_ns;
+  const std::uint64_t latency_ns = response.latency_ns;
+  if (!route->client->resolve(std::move(response))) return;
+
+  by_outcome_[static_cast<int>(outcome)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  if (outcome == Outcome::Completed) {
+    MOCHA_METRIC_ADD("serve.fleet.completed", 1);
+    MOCHA_METRIC_HIST("serve.fleet.latency_us",
+                      static_cast<std::int64_t>(latency_ns / 1000));
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    latency_us_.add(static_cast<std::int64_t>(latency_ns / 1000));
+  } else if (outcome_is_shed(outcome)) {
+    MOCHA_METRIC_ADD("serve.fleet.shed", 1);
+  } else {
+    MOCHA_METRIC_ADD("serve.fleet.failed", 1);
+  }
+}
+
+void ShardRouter::erase_route(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  routes_.erase(id);
+}
+
+void ShardRouter::maintenance_loop() {
+  std::unique_lock<std::mutex> lock(maint_mu_);
+  while (!stop_) {
+    maint_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.maintenance_tick_ms));
+    if (stop_) break;
+    lock.unlock();
+    tick(util::steady_now_ns());
+    lock.lock();
+  }
+}
+
+void ShardRouter::tick(std::uint64_t now_ns) {
+  MOCHA_TRACE_SCOPE("router.tick", "serve");
+  // Hedge timers + client-cancel propagation.
+  std::vector<RoutePtr> routes;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    routes.reserve(routes_.size());
+    for (const auto& [id, route] : routes_) routes.push_back(route);
+  }
+  for (const RoutePtr& route : routes) {
+    bool hedge_now = false;
+    std::vector<TicketPtr> to_cancel;
+    {
+      std::lock_guard<std::mutex> lock(route->mu);
+      if (!route->done) {
+        if (route->client->token().cancel_requested() &&
+            !route->cancel_propagated) {
+          route->cancel_propagated = true;
+          for (const TicketPtr& t : route->attempts) {
+            if (t) to_cancel.push_back(t);
+          }
+        }
+        hedge_now = route->hedge_due_ns != 0 && now_ns >= route->hedge_due_ns &&
+                    !route->hedge_issued;
+      }
+    }
+    for (const TicketPtr& t : to_cancel) t->cancel();
+    if (hedge_now) issue_hedge(route, /*failover=*/false);
+  }
+
+  update_ring(now_ns);
+  for (int i = 0; i < options_.shards; ++i) maybe_canary(i, now_ns);
+  if (options_.steal && options_.shards > 1) steal_tick();
+
+  for (int i = 0; i < options_.shards; ++i) {
+    Shard& shard = *shards_[static_cast<std::size_t>(i)];
+    MOCHA_METRIC_GAUGE(
+        shard.health_gauge,
+        static_cast<std::int64_t>(shard.health.state(now_ns)));
+  }
+  MOCHA_METRIC_GAUGE("serve.fleet.hedge_delay_us",
+                     static_cast<std::int64_t>(hedge_delay_ns() / 1000));
+}
+
+void ShardRouter::update_ring(std::uint64_t now_ns) {
+  for (int i = 0; i < options_.shards; ++i) {
+    const bool in = shards_[static_cast<std::size_t>(i)]->health.in_ring(now_ns);
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (in && !ring_.contains(i)) {
+      ring_.add(i);
+      MOCHA_METRIC_ADD("serve.fleet.ring_readmits", 1);
+    } else if (!in && ring_.contains(i)) {
+      ring_.remove(i);
+      MOCHA_METRIC_ADD("serve.fleet.ring_removals", 1);
+    }
+  }
+}
+
+void ShardRouter::maybe_canary(int shard, std::uint64_t now_ns) {
+  if (canary_model_.empty()) return;  // nothing registered yet
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  if (sh.canary_outstanding.load(std::memory_order_acquire)) return;
+
+  const HealthState state = sh.health.state(now_ns);
+  bool probe = false;
+  if (state == HealthState::Quarantined) {
+    if (!sh.health.try_begin_probe(now_ns)) return;  // cooldown
+    probe = true;
+  } else if (state == HealthState::Probing) {
+    return;  // a probe verdict (or its timeout) is pending
+  } else if (now_ns - sh.last_canary_ns <
+             options_.canary_period_ms * 1'000'000ull) {
+    return;
+  }
+  sh.last_canary_ns = now_ns;
+  sh.canary_outstanding.store(true, std::memory_order_release);
+  canaries_.fetch_add(1, std::memory_order_relaxed);
+  MOCHA_METRIC_ADD("serve.fleet.canaries", 1);
+  if (probe) {
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    MOCHA_METRIC_ADD("serve.fleet.probes", 1);
+  }
+
+  MOCHA_TRACE_SCOPE(probe ? "router.probe" : "router.canary", "serve");
+  Request request;
+  request.model = canary_model_;
+  request.priority = options_.canary_priority;
+  request.deadline_ns = now_ns + options_.canary_deadline_ms * 1'000'000ull;
+  request.input = canary_input_;
+  TicketPtr ticket = sh.engine->submit(std::move(request));
+  ticket->on_resolve([this, shard, probe](const Response& response) {
+    on_canary(shard, probe, response);
+  });
+}
+
+void ShardRouter::on_canary(int shard, bool probe, const Response& response) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  const std::uint64_t now = util::steady_now_ns();
+  if (probe) {
+    // Single-probe half-open verdict; a verdict for an already abandoned
+    // probe is ignored inside ShardHealth.
+    if (response.outcome == Outcome::Completed) {
+      sh.health.record_probe_success(now);
+    } else {
+      sh.health.record_probe_failure(now);
+    }
+  } else if (response.outcome == Outcome::Completed) {
+    sh.health.record_success(now, response.latency_ns);
+  } else if (outcome_is_shed(response.outcome)) {
+    sh.health.record_failure(now, /*hard=*/false);
+  } else if (response.outcome != Outcome::Cancelled) {
+    sh.health.record_failure(now, /*hard=*/true);
+  }
+  sh.canary_outstanding.store(false, std::memory_order_release);
+}
+
+void ShardRouter::steal_tick() {
+  const std::uint64_t now = util::steady_now_ns();
+  int hot = -1;
+  int cold = -1;
+  std::size_t hot_depth = 0;
+  std::size_t cold_depth = 0;
+  for (int i = 0; i < options_.shards; ++i) {
+    Shard& shard = *shards_[static_cast<std::size_t>(i)];
+    const std::size_t depth = shard.engine->queue_depth();
+    if (hot < 0 || depth > hot_depth) {
+      hot = i;
+      hot_depth = depth;
+    }
+    if (shard.health.in_ring(now) && (cold < 0 || depth < cold_depth)) {
+      cold = i;
+      cold_depth = depth;
+    }
+  }
+  if (hot < 0 || cold < 0 || hot == cold) return;
+  if (hot_depth < options_.steal_threshold || hot_depth <= cold_depth + 1) {
+    return;
+  }
+  const std::size_t moved =
+      shards_[static_cast<std::size_t>(hot)]->engine->transfer_to(
+          *shards_[static_cast<std::size_t>(cold)]->engine,
+          options_.steal_max);
+  if (moved > 0) {
+    steals_.fetch_add(static_cast<std::int64_t>(moved),
+                      std::memory_order_relaxed);
+    MOCHA_METRIC_ADD("serve.fleet.steals",
+                     static_cast<std::int64_t>(moved));
+  }
+}
+
+void ShardRouter::shutdown(bool drain) {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  accepting_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> mlock(maint_mu_);
+    stop_ = true;
+  }
+  maint_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+
+  // Shard shutdown resolves every outstanding attempt (engine-level
+  // conservation), and the attempt hooks resolve every client ticket and
+  // retire their routes — fleet-level conservation needs no extra sweep.
+  for (auto& shard : shards_) shard->engine->shutdown(drain);
+  shut_down_.store(true, std::memory_order_release);
+}
+
+RouterStats ShardRouter::stats() const {
+  RouterStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  std::int64_t terminal = 0;
+  for (int i = 0; i < 8; ++i) {
+    out.by_outcome[i] = by_outcome_[i].load(std::memory_order_relaxed);
+    terminal += out.by_outcome[i];
+    const auto outcome = static_cast<Outcome>(i);
+    if (outcome == Outcome::Completed) {
+      out.completed += out.by_outcome[i];
+    } else if (outcome_is_shed(outcome)) {
+      out.shed += out.by_outcome[i];
+    } else if (outcome_is_failure(outcome)) {
+      out.failed += out.by_outcome[i];
+    }
+  }
+  out.in_flight = out.submitted - terminal;
+  out.hedges_issued = hedges_issued_.load(std::memory_order_relaxed);
+  out.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+  out.failovers = failovers_.load(std::memory_order_relaxed);
+  out.steals = steals_.load(std::memory_order_relaxed);
+  out.canaries = canaries_.load(std::memory_order_relaxed);
+  out.probes = probes_.load(std::memory_order_relaxed);
+  out.hedge_delay_ns = hedge_delay_ns();
+
+  const std::uint64_t now = util::steady_now_ns();
+  out.shards.reserve(shards_.size());
+  for (int i = 0; i < options_.shards; ++i) {
+    Shard& shard = *shards_[static_cast<std::size_t>(i)];
+    ShardSnapshot snap;
+    snap.shard = i;
+    snap.state = shard.health.state(now);
+    snap.stats = shard.engine->stats();
+    snap.queue_depth = shard.engine->queue_depth();
+    snap.quarantines = shard.health.quarantines();
+    snap.probes_started = shard.health.probes_started();
+    snap.probes_abandoned = shard.health.probes_abandoned();
+    snap.ewma_latency_ns = shard.health.ewma_latency_ns();
+    snap.error_rate = shard.health.error_rate();
+    out.shards.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void ShardRouter::set_shard_fault(int shard, const fault::FaultModel& faults) {
+  shard_engine(shard).set_fault_scenario(faults);
+}
+
+void ShardRouter::clear_shard_fault(int shard) {
+  shard_engine(shard).clear_fault_scenario();
+}
+
+HealthState ShardRouter::shard_state(int shard) {
+  MOCHA_CHECK(shard >= 0 && shard < options_.shards,
+              "shard index out of range: " << shard);
+  return shards_[static_cast<std::size_t>(shard)]->health.state(
+      util::steady_now_ns());
+}
+
+ServeEngine& ShardRouter::shard_engine(int shard) {
+  MOCHA_CHECK(shard >= 0 && shard < options_.shards,
+              "shard index out of range: " << shard);
+  return *shards_[static_cast<std::size_t>(shard)]->engine;
+}
+
+}  // namespace mocha::serve

@@ -1,0 +1,264 @@
+// ShardRouter — a sharded serving fleet with shard-level fault domains.
+//
+// The router fronts N shared-nothing ServeEngine instances. Each shard owns
+// its own admission queue, plan cache, circuit breakers, tenant buckets and
+// fault scenario, so one poisoned fault domain cannot corrupt another — the
+// fleet analogue of MOCHA's morphable-fabric story, where capacity degrades
+// in bounded pieces instead of all at once. On top it layers:
+//
+//  * placement — consistent hashing by (tenant, model) over the live-shard
+//    ring (serve/shard.hpp), with a power-of-two-choices spill: when the
+//    home shard's queue is markedly deeper than its ring alternate's, the
+//    request goes to the alternate;
+//  * health — an active checker (periodic canary inferences per shard)
+//    feeds EWMA latency + error-rate into a per-shard state machine
+//    (serve/health.hpp): Degraded shards stay in the ring but lose spill
+//    traffic, Quarantined shards leave it, and a single half-open canary
+//    probe decides readmission — mirroring the engine's circuit breaker one
+//    level up;
+//  * hedging — a duplicate attempt on a second shard after a p99-derived
+//    delay; first terminal Completed wins, the loser is cancelled through
+//    its util::CancelToken, and the client ticket resolves exactly once —
+//    the fleet-level conservation law (one terminal outcome per client
+//    request, hedges never double-counted);
+//  * failover — a primary attempt that fails while a hedge was still
+//    pending triggers the hedge immediately instead of waiting out the
+//    delay;
+//  * stealing — when a shard's queue runs hot, its youngest lowest-priority
+//    work migrates to the coldest in-ring shard (ServeEngine::transfer_to).
+//
+// All background work (hedge timers, cancel propagation, canaries, ring
+// maintenance, stealing) runs on one maintenance thread; request execution
+// stays on the shards' own workers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/engine.hpp"
+#include "serve/health.hpp"
+#include "serve/shard.hpp"
+
+namespace mocha::serve {
+
+struct RouterOptions {
+  /// Fleet size (shared-nothing ServeEngine instances).
+  int shards = 2;
+  /// Per-shard engine template; the router overwrites metrics_scope with
+  /// "shardK" so every shard gets its own metric lanes.
+  ServeOptions engine;
+  HealthOptions health;
+  int ring_vnodes = 64;
+
+  /// Power-of-two-choices spill: route to the ring alternate when the home
+  /// shard's queue is at least this much deeper. 0 = always pick the
+  /// shallower of the two.
+  std::size_t spill_margin = 2;
+
+  /// Tail-latency hedging. The delay tracks the measured p-th percentile of
+  /// fleet-level completed latency, clamped to [floor, cap]; until
+  /// `hedge_min_samples` completions exist the cap is used (hedge late, not
+  /// eagerly, while the estimate is noise).
+  bool hedge = true;
+  double hedge_percentile = 99.0;
+  std::uint64_t hedge_floor_ms = 2;
+  std::uint64_t hedge_cap_ms = 250;
+  std::uint64_t hedge_min_samples = 20;
+
+  /// Work stealing: when the hottest queue reaches `steal_threshold`, up to
+  /// `steal_max` entries migrate to the coldest in-ring shard per tick.
+  bool steal = true;
+  std::size_t steal_threshold = 8;
+  std::size_t steal_max = 2;
+
+  /// Maintenance cadence: the tick bounds hedge-timer latency; canaries
+  /// fire per shard every `canary_period_ms` on top of it.
+  std::uint64_t maintenance_tick_ms = 2;
+  std::uint64_t canary_period_ms = 25;
+  std::uint64_t canary_deadline_ms = 200;
+  /// Canaries outrank client traffic so a saturated queue still yields a
+  /// health signal (the shed itself is the signal when even this fails).
+  int canary_priority = 100;
+};
+
+/// Per-shard observability snapshot.
+struct ShardSnapshot {
+  int shard = -1;
+  HealthState state = HealthState::Healthy;
+  ServeStats stats;
+  std::size_t queue_depth = 0;
+  std::int64_t quarantines = 0;
+  std::int64_t probes_started = 0;
+  std::int64_t probes_abandoned = 0;
+  double ewma_latency_ns = 0;
+  double error_rate = 0;
+};
+
+/// Fleet-level counters. Conservation: submitted == completed + shed +
+/// failed + in_flight (each *client* request, exactly one terminal
+/// outcome; hedge attempts are internal and never double-count).
+struct RouterStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t failed = 0;
+  std::int64_t in_flight = 0;
+  std::int64_t by_outcome[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  /// Hedge attempts issued (timer-due + failover) and how many resolved
+  /// the client (the primary lost).
+  std::int64_t hedges_issued = 0;
+  std::int64_t hedge_wins = 0;
+  /// Hedges promoted early because the primary attempt failed first.
+  std::int64_t failovers = 0;
+  /// Queue entries migrated by work stealing.
+  std::int64_t steals = 0;
+  std::int64_t canaries = 0;
+  std::int64_t probes = 0;
+  /// Current derived hedge delay.
+  std::uint64_t hedge_delay_ns = 0;
+
+  std::vector<ShardSnapshot> shards;
+
+  std::int64_t outcome_count(Outcome o) const {
+    return by_outcome[static_cast<int>(o)];
+  }
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(RouterOptions options = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Registers the model on every shard. The first registered model also
+  /// becomes the canary workload (a zero input of its head shape).
+  void register_model(const std::string& name, const nn::Network& net,
+                      const std::vector<nn::ValueTensor>& weights,
+                      const fabric::FabricConfig& config,
+                      core::MorphOptions morph = {});
+
+  /// Fleet admission: places by (tenant, model), may spill, may later hedge.
+  /// Never blocks; always returns a ticket that resolves exactly once.
+  TicketPtr submit(Request request);
+
+  /// Stops the maintenance thread, then shuts every shard down (drain
+  /// semantics per ServeEngine::shutdown). Idempotent.
+  void shutdown(bool drain = true);
+
+  RouterStats stats() const;
+
+  /// Shard-level fault-domain control: applies / clears a fault scenario on
+  /// one shard's engine (out-of-range index throws).
+  void set_shard_fault(int shard, const fault::FaultModel& faults);
+  void clear_shard_fault(int shard);
+
+  int shard_count() const { return options_.shards; }
+  HealthState shard_state(int shard);
+  /// Direct shard access for tests and tools.
+  ServeEngine& shard_engine(int shard);
+  /// Current derived hedge delay (see RouterOptions::hedge_*).
+  std::uint64_t hedge_delay_ns() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<ServeEngine> engine;
+    ShardHealth health;
+    std::uint64_t last_canary_ns = 0;
+    std::atomic<bool> canary_outstanding{false};
+    std::string health_gauge;
+    std::string depth_gauge;
+
+    explicit Shard(HealthOptions h) : health(h) {}
+  };
+
+  /// One client request in flight: the client-facing ticket plus up to two
+  /// shard attempts (primary + hedge).
+  struct Route {
+    std::uint64_t id = 0;
+    std::mutex mu;
+    TicketPtr client;
+    /// Kept for the hedge re-submit (deadline_ns resolved to absolute).
+    Request request;
+    std::uint64_t submitted_ns = 0;
+    int outstanding = 0;
+    bool done = false;
+    bool hedge_planned = false;
+    bool hedge_issued = false;
+    bool cancel_propagated = false;
+    int primary_shard = -1;
+    int hedge_shard = -1;
+    TicketPtr attempts[2];
+    /// Steady-ns instant the hedge fires; 0 = none scheduled.
+    std::uint64_t hedge_due_ns = 0;
+    /// Best non-Completed attempt outcome so far — what the client gets if
+    /// every attempt fails.
+    Response pending;
+    bool have_pending = false;
+  };
+  using RoutePtr = std::shared_ptr<Route>;
+
+  void maintenance_loop();
+  void tick(std::uint64_t now_ns);
+  void maybe_canary(int shard, std::uint64_t now_ns);
+  void on_canary(int shard, bool probe, const Response& response);
+  void update_ring(std::uint64_t now_ns);
+  void steal_tick();
+  /// Issues the hedge attempt for `route` (timer-due or failover). Resolves
+  /// the client itself when no target is available and the primary already
+  /// failed.
+  void issue_hedge(const RoutePtr& route, bool failover);
+  void on_attempt(const RoutePtr& route, int attempt, int shard,
+                  const Response& response);
+  void record_attempt_health(int shard, const Response& response,
+                             bool loser);
+  /// Resolves the client ticket exactly once and books fleet stats.
+  void resolve_client(const RoutePtr& route, Response&& response);
+  void erase_route(std::uint64_t id);
+  /// In-ring shard with the shallowest queue, excluding `exclude`; -1 when
+  /// none.
+  int coldest_shard(int exclude);
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex ring_mu_;
+  HashRing ring_;
+
+  mutable std::mutex routes_mu_;
+  std::map<std::uint64_t, RoutePtr> routes_;
+
+  std::string canary_model_;
+  nn::ValueTensor canary_input_;
+
+  mutable std::mutex hist_mu_;
+  obs::HistogramData latency_us_;
+
+  std::thread maintenance_;
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool stop_ = false;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> shut_down_{false};
+  std::mutex shutdown_mu_;
+  std::atomic<std::uint64_t> next_id_{1};
+
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> hedges_issued_{0};
+  std::atomic<std::int64_t> hedge_wins_{0};
+  std::atomic<std::int64_t> failovers_{0};
+  std::atomic<std::int64_t> steals_{0};
+  std::atomic<std::int64_t> canaries_{0};
+  std::atomic<std::int64_t> probes_{0};
+  std::atomic<std::int64_t> by_outcome_[8] = {};
+};
+
+}  // namespace mocha::serve

@@ -1,0 +1,83 @@
+#include "serve/shard.hpp"
+
+#include "util/assert.hpp"
+
+namespace mocha::serve {
+
+namespace {
+
+/// SplitMix64 finalizer: spreads the (shard, replica) lattice into vnode
+/// points that are uniform on the circle.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t vnode_point(int shard, int replica) {
+  return mix(static_cast<std::uint64_t>(shard) * 0x9e3779b97f4a7c15ull +
+             static_cast<std::uint64_t>(replica) + 1);
+}
+
+}  // namespace
+
+std::uint64_t ring_hash(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes) {
+  MOCHA_CHECK(vnodes_ >= 1, "hash ring needs >= 1 vnode per shard");
+}
+
+void HashRing::add(int shard) {
+  MOCHA_CHECK(shard >= 0, "shard index must be >= 0");
+  if (!members_.insert(shard).second) return;
+  for (int r = 0; r < vnodes_; ++r) {
+    // Collisions across shards are astronomically unlikely but harmless to
+    // guard: first owner keeps the point.
+    ring_.emplace(vnode_point(shard, r), shard);
+  }
+}
+
+void HashRing::remove(int shard) {
+  if (members_.erase(shard) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == shard ? ring_.erase(it) : std::next(it);
+  }
+}
+
+bool HashRing::contains(int shard) const {
+  return members_.count(shard) != 0;
+}
+
+std::size_t HashRing::size() const { return members_.size(); }
+
+HashRing::Placement HashRing::place(std::string_view key) const {
+  Placement out;
+  if (ring_.empty()) return out;
+  const std::uint64_t h = ring_hash(key);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  out.primary = it->second;
+  // Clockwise walk to the first vnode owned by a different shard. Bounded:
+  // one full lap visits every member.
+  for (auto walk = std::next(it);; ++walk) {
+    if (walk == ring_.end()) walk = ring_.begin();
+    if (walk == it) break;  // full lap: single-shard ring
+    if (walk->second != out.primary) {
+      out.alternate = walk->second;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mocha::serve

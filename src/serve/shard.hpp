@@ -1,0 +1,55 @@
+// Consistent-hash placement for the serving fleet.
+//
+// The shard router places requests by (tenant, model) key on a consistent-
+// hash ring of virtual nodes: each live shard owns `vnodes` points on a
+// 64-bit circle, and a key routes to the first vnode clockwise from its
+// hash. Virtual nodes smooth the load split, and shard removal (quarantine)
+// only remaps the keys that shard owned — everything else keeps its cache-
+// warm home. place() also reports the *next distinct* shard clockwise, the
+// deterministic alternate the router's power-of-two-choices spill and
+// hedged requests use.
+//
+// The ring itself is a plain data structure; the router serializes access.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace mocha::serve {
+
+class HashRing {
+ public:
+  /// `vnodes` = ring points per shard; more points, smoother splits.
+  explicit HashRing(int vnodes = 64);
+
+  /// Idempotent membership changes.
+  void add(int shard);
+  void remove(int shard);
+  bool contains(int shard) const;
+  /// Live shards.
+  std::size_t size() const;
+
+  struct Placement {
+    /// Owning shard, or -1 when the ring is empty.
+    int primary = -1;
+    /// Next distinct shard clockwise (spill/hedge target), or -1 when the
+    /// ring holds fewer than two shards.
+    int alternate = -1;
+  };
+
+  Placement place(std::string_view key) const;
+
+ private:
+  const int vnodes_;
+  /// vnode point -> shard index.
+  std::map<std::uint64_t, int> ring_;
+  std::set<int> members_;
+};
+
+/// FNV-1a 64-bit — the key hash place() uses; exposed for tests.
+std::uint64_t ring_hash(std::string_view key);
+
+}  // namespace mocha::serve

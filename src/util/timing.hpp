@@ -1,0 +1,48 @@
+// Shared stochastic-timing draws: Poisson arrival gaps and jittered
+// backoff windows.
+//
+// Both the load generators (tools/mocha_serve) and the serving runtime's
+// retry path (serve/policy.cpp) need the same two primitives — exponential
+// inter-arrival times for an open-loop Poisson process, and full-jitter
+// draws over a capped exponential window. They live here so the math is
+// written once, deterministic from the Rng state, and unit-tested in one
+// place (tests/util/timing_test.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace mocha::util {
+
+/// Exponential inter-arrival gap of a Poisson process with `rate_per_sec`
+/// events per second, in nanoseconds. The uniform draw is floored at 1e-12
+/// so the log never sees zero; the gap is therefore finite and >= 0.
+inline std::uint64_t poisson_gap_ns(Rng& rng, double rate_per_sec) {
+  MOCHA_CHECK(rate_per_sec > 0, "poisson_gap_ns: rate=" << rate_per_sec);
+  const double u = std::max(rng.uniform(), 1e-12);
+  const double gap_s = -std::log(u) / rate_per_sec;
+  return static_cast<std::uint64_t>(gap_s * 1e9);
+}
+
+/// Full-jitter draw: uniform in [0, window_ns). A zero window returns 0
+/// (retry immediately — useful for deterministic tests). Decorrelates
+/// retry storms: every waiter lands at an independent point in the window.
+inline std::uint64_t full_jitter_ns(Rng& rng, std::uint64_t window_ns) {
+  return static_cast<std::uint64_t>(rng.uniform() *
+                                    static_cast<double>(window_ns));
+}
+
+/// Capped exponential backoff window for the `failures`-th failure
+/// (1-based): min(cap_ms, base_ms << (failures - 1)), with the shift
+/// clamped so deep retry sequences cannot overflow the multiplier.
+inline std::uint64_t backoff_window_ms(std::uint64_t base_ms,
+                                       std::uint64_t cap_ms, int failures) {
+  MOCHA_CHECK(failures >= 1, "backoff before any failure");
+  const int exponent = std::min(failures - 1, 32);
+  return std::min(cap_ms, base_ms << static_cast<unsigned>(exponent));
+}
+
+}  // namespace mocha::util

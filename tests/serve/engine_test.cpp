@@ -328,5 +328,87 @@ TEST(ServeEngine, OverloadShedsLowestPriority) {
   }
 }
 
+TEST(ServeEngine, BatchingCoalescesAndMatchesReference) {
+  const Fixture f;
+  ServeOptions options;
+  options.workers = 1;  // one worker so the queue actually builds up
+  options.queue_capacity = 64;
+  options.max_batch = 4;
+  ServeEngine engine(options);
+  f.register_on(engine, "m");
+  // Burst-submit so the worker finds multiple same-model entries queued.
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 24; ++i) tickets.push_back(engine.submit(f.request("m")));
+  engine.shutdown(/*drain=*/true);
+  for (const TicketPtr& ticket : tickets) {
+    const Response& resp = ticket->wait();
+    ASSERT_EQ(resp.outcome, Outcome::Completed) << resp.message;
+    // Batched execution is the same computation: bit-identical outputs.
+    EXPECT_TRUE(resp.output == f.reference.back());
+  }
+  const ServeStats stats = engine.stats();
+  expect_conserved(stats);
+  EXPECT_GT(stats.batches, 0);
+  // Coalesced requests = requests that shared an executor pass; each batch
+  // holds at least two of them.
+  EXPECT_GE(stats.batch_coalesced, 2 * stats.batches);
+  EXPECT_EQ(stats.completed, 24);
+}
+
+TEST(ServeEngine, InjectedStallSlowsExecutionButCompletes) {
+  const Fixture f;
+  ServeOptions options;
+  options.workers = 1;
+  ServeEngine engine(options);
+  f.register_on(engine, "m");
+  fault::FaultModel stall;
+  stall.exec_stall_ms = 50;
+  engine.set_fault_scenario(stall);
+  const TicketPtr ticket = engine.submit(f.request("m"));
+  const Response& resp = ticket->wait();
+  ASSERT_EQ(resp.outcome, Outcome::Completed) << resp.message;
+  EXPECT_GE(resp.latency_ns, 50'000'000u);
+  EXPECT_TRUE(resp.output == f.reference.back());
+  engine.shutdown();
+  expect_conserved(engine.stats());
+}
+
+TEST(ServeEngine, StealingPreservesPerEngineConservation) {
+  const Fixture f;
+  ServeOptions options;
+  options.workers = 1;
+  options.queue_capacity = 32;
+  ServeEngine hot(options);
+  ServeEngine cold(options);
+  f.register_on(hot, "m");
+  f.register_on(cold, "m");
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 16; ++i) tickets.push_back(hot.submit(f.request("m")));
+  // Migrate queued work to the idle engine while the hot one churns.
+  std::size_t moved = 0;
+  while (moved < 4 && hot.queue_depth() > 1) {
+    moved += hot.transfer_to(cold, 2);
+  }
+  hot.shutdown(/*drain=*/true);
+  cold.shutdown(/*drain=*/true);
+  for (const TicketPtr& ticket : tickets) {
+    EXPECT_EQ(ticket->wait().outcome, Outcome::Completed);
+  }
+  const ServeStats hs = hot.stats();
+  const ServeStats cs = cold.stats();
+  // Generalized conservation on both sides of the transfer.
+  EXPECT_EQ(hs.submitted + hs.stolen_in,
+            hs.completed + hs.shed + hs.failed + hs.stolen_out);
+  EXPECT_EQ(cs.submitted + cs.stolen_in,
+            cs.completed + cs.shed + cs.failed + cs.stolen_out);
+  EXPECT_EQ(hs.stolen_out, cs.stolen_in - cs.stolen_out);
+  EXPECT_EQ(hs.in_flight, 0);
+  EXPECT_EQ(cs.in_flight, 0);
+  EXPECT_EQ(hs.completed + cs.completed, 16);
+  if (moved > 0) {
+    EXPECT_GT(cs.stolen_in, 0);
+  }
+}
+
 }  // namespace
 }  // namespace mocha::serve

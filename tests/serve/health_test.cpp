@@ -1,0 +1,168 @@
+// Deterministic manual-clock tests for the per-shard health state machine
+// (serve/health.hpp). Every method takes `now_ns` explicitly, so these
+// tests drive every transition — Healthy -> Degraded -> Quarantined ->
+// Probing -> Healthy, plus the abandoned-probe edge — without sleeping.
+#include "serve/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mocha::serve {
+namespace {
+
+HealthOptions tight() {
+  HealthOptions o;
+  o.ewma_alpha = 0.5;
+  o.degraded_latency_ns = 1'000'000;  // 1 ms
+  o.degraded_error_rate = 0.5;
+  o.recovery_fraction = 0.8;
+  o.quarantine_streak = 3;
+  o.probe_after_ns = 100;
+  o.probe_timeout_ns = 1'000;
+  return o;
+}
+
+TEST(ShardHealth, StartsHealthyAndInRing) {
+  ShardHealth h(tight());
+  EXPECT_EQ(h.state(0), HealthState::Healthy);
+  EXPECT_TRUE(h.in_ring(0));
+  EXPECT_EQ(h.quarantines(), 0);
+}
+
+TEST(ShardHealth, FastSuccessesStayHealthy) {
+  ShardHealth h(tight());
+  for (int i = 0; i < 10; ++i) h.record_success(i, 100'000);  // 0.1 ms
+  EXPECT_EQ(h.state(10), HealthState::Healthy);
+  EXPECT_NEAR(h.ewma_latency_ns(), 100'000, 1);
+}
+
+TEST(ShardHealth, SlowLatencyDegradesWithHysteresis) {
+  ShardHealth h(tight());
+  // Drive the latency EWMA well above 1 ms.
+  for (int i = 0; i < 8; ++i) h.record_success(i, 5'000'000);
+  EXPECT_EQ(h.state(8), HealthState::Degraded);
+  EXPECT_TRUE(h.in_ring(8));  // Degraded is advisory: still placed
+
+  // Hovering just under the threshold is not enough to recover (hysteresis
+  // wants < threshold * 0.8)...
+  for (int i = 0; i < 50; ++i) h.record_success(100 + i, 900'000);
+  EXPECT_EQ(h.state(200), HealthState::Degraded);
+  // ...but dropping clearly below the recovery fraction is.
+  for (int i = 0; i < 50; ++i) h.record_success(300 + i, 100'000);
+  EXPECT_EQ(h.state(400), HealthState::Healthy);
+}
+
+TEST(ShardHealth, SoftFailuresDegradeButNeverQuarantine) {
+  ShardHealth h(tight());
+  for (int i = 0; i < 50; ++i) h.record_failure(i, /*hard=*/false);
+  EXPECT_EQ(h.state(50), HealthState::Degraded);  // error EWMA ~1
+  EXPECT_TRUE(h.in_ring(50));
+  EXPECT_EQ(h.quarantines(), 0);
+}
+
+TEST(ShardHealth, HardFailureStreakQuarantines) {
+  ShardHealth h(tight());
+  h.record_failure(1, true);
+  h.record_failure(2, true);
+  EXPECT_NE(h.state(2), HealthState::Quarantined);  // streak 2 < 3
+  h.record_failure(3, true);
+  EXPECT_EQ(h.state(3), HealthState::Quarantined);
+  EXPECT_FALSE(h.in_ring(3));
+  EXPECT_EQ(h.quarantines(), 1);
+}
+
+TEST(ShardHealth, SuccessResetsHardStreak) {
+  ShardHealth h(tight());
+  h.record_failure(1, true);
+  h.record_failure(2, true);
+  h.record_success(3, 100'000);
+  h.record_failure(4, true);
+  h.record_failure(5, true);
+  EXPECT_NE(h.state(5), HealthState::Quarantined);
+  EXPECT_EQ(h.quarantines(), 0);
+}
+
+TEST(ShardHealth, LateHardFailuresDoNotRestartQuarantine) {
+  ShardHealth h(tight());
+  for (int i = 1; i <= 3; ++i) h.record_failure(i, true);
+  EXPECT_EQ(h.quarantines(), 1);
+  // Straggler failures from before the quarantine keep arriving; the
+  // cooldown clock must not reset (and the count must not inflate).
+  for (int i = 4; i <= 10; ++i) h.record_failure(i, true);
+  EXPECT_EQ(h.quarantines(), 1);
+  EXPECT_TRUE(h.try_begin_probe(3 + 100));  // cooldown from the *first* entry
+}
+
+TEST(ShardHealth, ProbeGatedByCooldownAndSingleSlot) {
+  ShardHealth h(tight());
+  for (int i = 1; i <= 3; ++i) h.record_failure(i, true);
+  EXPECT_FALSE(h.try_begin_probe(50));  // cooldown (100 ns) not elapsed
+  EXPECT_TRUE(h.try_begin_probe(200));
+  EXPECT_EQ(h.state(200), HealthState::Probing);
+  EXPECT_FALSE(h.in_ring(200));
+  EXPECT_EQ(h.probes_started(), 1);
+  EXPECT_FALSE(h.try_begin_probe(300));  // single probe slot
+}
+
+TEST(ShardHealth, ProbeSuccessReadmits) {
+  ShardHealth h(tight());
+  for (int i = 1; i <= 3; ++i) h.record_failure(i, true);
+  ASSERT_TRUE(h.try_begin_probe(200));
+  h.record_probe_success(300);
+  EXPECT_EQ(h.state(300), HealthState::Healthy);
+  EXPECT_TRUE(h.in_ring(300));
+  EXPECT_EQ(h.error_rate(), 0.0);  // quarantined-epoch errors forgiven
+}
+
+TEST(ShardHealth, SlowButAliveShardReadmitsAsDegraded) {
+  ShardHealth h(tight());
+  // Latency EWMA pinned high, then hard failures quarantine the shard.
+  for (int i = 0; i < 8; ++i) h.record_success(i, 5'000'000);
+  for (int i = 10; i <= 12; ++i) h.record_failure(i, true);
+  ASSERT_EQ(h.state(12), HealthState::Quarantined);
+  ASSERT_TRUE(h.try_begin_probe(200));
+  h.record_probe_success(300);
+  // The latency EWMA survives the probe: slow-but-alive is Degraded.
+  EXPECT_EQ(h.state(300), HealthState::Degraded);
+  EXPECT_TRUE(h.in_ring(300));
+}
+
+TEST(ShardHealth, ProbeFailureRequarantinesWithFreshCooldown) {
+  ShardHealth h(tight());
+  for (int i = 1; i <= 3; ++i) h.record_failure(i, true);
+  ASSERT_TRUE(h.try_begin_probe(200));
+  h.record_probe_failure(250);
+  EXPECT_EQ(h.state(250), HealthState::Quarantined);
+  EXPECT_EQ(h.quarantines(), 2);
+  EXPECT_FALSE(h.try_begin_probe(300));  // fresh cooldown from 250
+  EXPECT_TRUE(h.try_begin_probe(400));
+}
+
+TEST(ShardHealth, AbandonedProbeCountsAndRequarantines) {
+  ShardHealth h(tight());
+  for (int i = 1; i <= 3; ++i) h.record_failure(i, true);
+  ASSERT_TRUE(h.try_begin_probe(200));
+  // The probe verdict never arrives; observing the clock past the timeout
+  // retires it back to Quarantined.
+  EXPECT_EQ(h.state(200 + 1'001), HealthState::Quarantined);
+  EXPECT_EQ(h.probes_abandoned(), 1);
+  EXPECT_EQ(h.quarantines(), 2);
+  // The late verdict is ignored: the shard stays quarantined.
+  h.record_probe_success(200 + 1'002);
+  EXPECT_EQ(h.state(200 + 1'002), HealthState::Quarantined);
+  // And the machine is not wedged: a fresh probe can still run.
+  EXPECT_TRUE(h.try_begin_probe(200 + 1'001 + 200));
+  h.record_probe_success(200 + 1'001 + 300);
+  EXPECT_TRUE(h.in_ring(200 + 1'001 + 300));
+}
+
+TEST(ShardHealth, SuccessNeverLiftsQuarantine) {
+  ShardHealth h(tight());
+  for (int i = 1; i <= 3; ++i) h.record_failure(i, true);
+  // Stolen-work completions may still be charged here; only a probe
+  // readmits.
+  h.record_success(10, 100'000);
+  EXPECT_EQ(h.state(10), HealthState::Quarantined);
+}
+
+}  // namespace
+}  // namespace mocha::serve

@@ -127,5 +127,90 @@ TEST(AdmissionQueue, DrainReturnsEverything) {
   EXPECT_EQ(queue.size(), 0u);
 }
 
+QueuedRequest make_model_item(std::uint64_t id, int priority,
+                              const std::string& model) {
+  QueuedRequest item = make_item(id, priority);
+  item.request.model = model;
+  return item;
+}
+
+TEST(AdmissionQueue, PopBatchCoalescesSameModelInRankingOrder) {
+  AdmissionQueue queue(8);
+  QueuedRequest evicted;
+  queue.push(make_model_item(1, 5, "a"), &evicted);
+  queue.push(make_model_item(2, 5, "b"), &evicted);
+  queue.push(make_model_item(3, 3, "a"), &evicted);
+  queue.push(make_model_item(4, 3, "a"), &evicted);
+  // Head is id=1 (model a); the batch takes the further "a" entries in
+  // priority-then-FIFO order, skipping over the "b" entry without
+  // reordering it.
+  const auto batch = queue.pop_batch(8);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, 1u);
+  EXPECT_EQ(batch[1].id, 3u);
+  EXPECT_EQ(batch[2].id, 4u);
+  // The skipped entry is still next in line.
+  EXPECT_EQ(queue.pop()->id, 2u);
+}
+
+TEST(AdmissionQueue, PopBatchHonoursMax) {
+  AdmissionQueue queue(8);
+  QueuedRequest evicted;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    queue.push(make_model_item(id, 0, "m"), &evicted);
+  }
+  EXPECT_EQ(queue.pop_batch(2).size(), 2u);
+  EXPECT_EQ(queue.pop_batch(1).size(), 1u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(AdmissionQueue, PopBatchEmptyMeansClosedAndDrained) {
+  AdmissionQueue queue(4);
+  queue.close();
+  EXPECT_TRUE(queue.pop_batch(4).empty());
+}
+
+TEST(AdmissionQueue, StealBackTakesLowestPriorityYoungestFirst) {
+  AdmissionQueue queue(8);
+  QueuedRequest evicted;
+  queue.push(make_item(1, 5), &evicted);
+  queue.push(make_item(2, 0), &evicted);
+  queue.push(make_item(3, 0), &evicted);
+  // The back of the ranking order: lowest priority, youngest within it.
+  const auto stolen = queue.steal_back(2);
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_EQ(stolen[0].id, 3u);
+  EXPECT_EQ(stolen[1].id, 2u);
+  // The high-priority head is never stolen.
+  EXPECT_EQ(queue.pop()->id, 1u);
+}
+
+TEST(AdmissionQueue, StealBackNeverBlocks) {
+  AdmissionQueue queue(4);
+  EXPECT_TRUE(queue.steal_back(4).empty());
+}
+
+TEST(AdmissionQueue, TryAppendIsBoundedAndNeverEvicts) {
+  AdmissionQueue queue(2);
+  QueuedRequest evicted;
+  queue.push(make_item(1, 0), &evicted);
+  queue.push(make_item(2, 0), &evicted);
+  QueuedRequest stolen = make_item(3, 9);
+  // Even a higher-priority arrival cannot displace queued work through the
+  // stealing side door — the item bounces back to the caller.
+  EXPECT_FALSE(queue.try_append(stolen));
+  EXPECT_EQ(queue.size(), 2u);
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.try_append(stolen));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(AdmissionQueue, TryAppendRejectedWhenClosed) {
+  AdmissionQueue queue(4);
+  queue.close();
+  QueuedRequest stolen = make_item(1, 0);
+  EXPECT_FALSE(queue.try_append(stolen));
+}
+
 }  // namespace
 }  // namespace mocha::serve

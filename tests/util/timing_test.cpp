@@ -1,0 +1,71 @@
+// Unit tests for the shared stochastic-timing helpers (util/timing.hpp):
+// Poisson arrival gaps and jittered backoff windows, deduplicated here from
+// the load generator and the serving retry policy.
+#include "util/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace mocha::util {
+namespace {
+
+TEST(Timing, PoissonGapIsDeterministicFromSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(poisson_gap_ns(a, 50.0), poisson_gap_ns(b, 50.0));
+  }
+}
+
+TEST(Timing, PoissonGapMeanApproximatesRate) {
+  Rng rng(123);
+  const double rate = 200.0;  // 200/s -> mean gap 5 ms
+  const int draws = 20'000;
+  double total_s = 0;
+  for (int i = 0; i < draws; ++i) {
+    total_s += static_cast<double>(poisson_gap_ns(rng, rate)) * 1e-9;
+  }
+  const double mean_s = total_s / draws;
+  EXPECT_NEAR(mean_s, 1.0 / rate, 0.1 / rate);  // within 10%
+}
+
+TEST(Timing, PoissonGapIsFiniteForExtremeDraws) {
+  // The 1e-12 floor on the uniform draw bounds the gap at ~27.6 mean
+  // lifetimes; nothing the Rng produces can make the log blow up.
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t gap = poisson_gap_ns(rng, 1e-3);
+    EXPECT_LT(gap, static_cast<std::uint64_t>(27.7 / 1e-3 * 1e9));
+  }
+}
+
+TEST(Timing, FullJitterStaysInsideWindow) {
+  Rng rng(9);
+  const std::uint64_t window = 5'000'000;
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(full_jitter_ns(rng, window), window);
+  }
+}
+
+TEST(Timing, FullJitterZeroWindowRetriesImmediately) {
+  Rng rng(9);
+  EXPECT_EQ(full_jitter_ns(rng, 0), 0u);
+}
+
+TEST(Timing, BackoffWindowDoublesThenCaps) {
+  EXPECT_EQ(backoff_window_ms(10, 1000, 1), 10u);
+  EXPECT_EQ(backoff_window_ms(10, 1000, 2), 20u);
+  EXPECT_EQ(backoff_window_ms(10, 1000, 3), 40u);
+  EXPECT_EQ(backoff_window_ms(10, 1000, 7), 640u);
+  EXPECT_EQ(backoff_window_ms(10, 1000, 8), 1000u);  // capped
+  EXPECT_EQ(backoff_window_ms(10, 1000, 100), 1000u);
+}
+
+TEST(Timing, BackoffWindowDeepRetriesDoNotOverflow) {
+  // The shift is clamped at 32, so even absurd failure counts stay at the
+  // cap instead of shifting into undefined behaviour.
+  EXPECT_EQ(backoff_window_ms(1, 60'000, 1'000'000), 60'000u);
+}
+
+}  // namespace
+}  // namespace mocha::util

@@ -3,7 +3,7 @@
 #
 # Invoked by the `cli_errors` test as
 #   cmake -DSIM=<mocha_sim> -DBENCH=<mocha_bench> -DFIG=<fig_degradation>
-#         -DCRITPATH=<mocha_critpath> -P cli_errors.cmake
+#         -DCRITPATH=<mocha_critpath> -DSERVE=<mocha_serve> -P cli_errors.cmake
 
 # Runs `exe` with the remaining arguments and asserts exit code 2. When
 # `pattern` is non-empty, stderr must match it (e.g. "usage" proves the
@@ -70,6 +70,37 @@ expect_rejected(${CRITPATH} "usage" --what-if bogus/2)    # unknown task kind
 expect_rejected(${CRITPATH} "usage" --top-k 0)
 expect_rejected(${CRITPATH} "unknown network" --network bogus)
 expect_rejected(${CRITPATH} "unknown objective" --objective speed)
+
+# --- mocha_serve: fleet flag parsing ---
+expect_rejected(${SERVE} "usage" --frobnicate)
+expect_rejected(${SERVE} "usage" --shards)               # missing value
+expect_rejected(${SERVE} "usage" --shards 0)             # zero-width fleet
+expect_rejected(${SERVE} "usage" --shards 65)            # above range
+expect_rejected(${SERVE} "usage" --shards two)           # not a number
+expect_rejected(${SERVE} "usage" --batch-max 0)
+expect_rejected(${SERVE} "usage" --batch-max 65)
+expect_rejected(${SERVE} "usage" --hedge-ms 0)
+expect_rejected(${SERVE} "usage" --tenants 0)
+expect_rejected(${SERVE} "usage" --canary-period-ms 0)
+expect_rejected(${SERVE} "usage" --stall-ms 0)
+expect_rejected(${SERVE} "usage" --kill-after 1.5)       # fraction of the run
+expect_rejected(${SERVE} "usage" --no-hedge=yes)         # boolean takes no value
+expect_rejected(${SERVE} "usage" --bench-shards)         # missing value
+expect_rejected(${SERVE} "usage" --bench-shards 1,,2)    # empty item
+expect_rejected(${SERVE} "usage" --bench-shards 0)       # zero-shard point
+expect_rejected(${SERVE} "usage" --bench-shards 1,65)    # out-of-range point
+
+# --- mocha_serve: cross-flag validation ---
+expect_rejected(${SERVE} "out of range" --kill-shard 2 --shards 2)
+expect_rejected(${SERVE} "out of range" --kill-shard 1)  # default --shards 1
+expect_rejected(${SERVE} "exceeds" --fleet-faulty 3 --shards 2)
+expect_rejected(${SERVE} "mutually exclusive" --shards 4 --fleet-faulty 1 --kill-shard 0)
+expect_rejected(${SERVE} "requires --kill-shard" --heal-shard-after 0.5)
+expect_rejected(${SERVE} "must be > --kill-after" --shards 2 --kill-shard 0
+                --kill-after 0.5 --heal-shard-after 0.25)
+expect_rejected(${SERVE} "needs --shards" --hedge-compare)
+expect_rejected(${SERVE} "contradictory" --shards 2 --hedge-compare --no-hedge)
+expect_rejected(${SERVE} "mutually exclusive" --faults f.json --fault-kill 0.5)
 
 # --- fig_degradation (E15 harness) ---
 expect_rejected(${FIG} "usage" --bogus)

@@ -1,22 +1,30 @@
-// mocha_serve — open-loop load generator + SLO report for the resilient
-// serving runtime (src/serve/).
+// mocha_serve — open-loop load generator + SLO report for the sharded
+// serving fleet (src/serve/).
 //
-// Replays a synthetic Poisson request trace against a ServeEngine hosting
-// one network, optionally under an injected fault scenario (resource kills
-// + transient codec bit flips), and prints what the runtime did about it:
-// per-outcome counts, exact latency percentiles of the accepted traffic,
-// retry/fallback activity and circuit-breaker transitions — then checks the
-// conservation law (submitted == completed + shed + failed) and, when
-// --slo-ms is given, the p99 of completed requests against it.
+// Replays a synthetic Poisson request trace against a ShardRouter fronting
+// N shared-nothing ServeEngine shards hosting one network, optionally under
+// injected fault scenarios (resource kills, codec bit flips, execution
+// stalls), and prints what the fleet did about it: per-outcome counts,
+// exact latency percentiles of the accepted traffic, hedging / stealing /
+// canary activity, per-shard health, and retry/fallback/breaker detail —
+// then checks the fleet conservation law (submitted == completed + shed +
+// failed, one terminal outcome per client request) and, when --slo-ms is
+// given, the p99 of completed requests against it.
 //
-// Examples:
-//   mocha_serve --network lenet5 --requests 200 --rate 50
-//   mocha_serve --network lenet5 --fault-kill 0.25 --codec-flip 2e-4
-//   mocha_serve --network lenet5 --codec-flip 5e-4 --heal-after 0.5
-//   mocha_serve --network lenet5 --requests 400 --rate 1000 --queue-cap 8
+// Fleet experiments:
+//   mocha_serve --shards 4 --requests 400 --rate 200
+//   mocha_serve --shards 4 --kill-shard 2 --kill-after 0.25
+//               --heal-shard-after 0.75 --slo-ms 250
+//   mocha_serve --shards 4 --fleet-faulty 1 --fault-kill 0.3
+//   mocha_serve --shards 2 --kill-shard 1 --stall-ms 80 --hedge-ms 10
+//               --hedge-compare
+//   mocha_serve --bench-out BENCH_serve.json --bench-shards 1,2,4
+//
+// Exit codes: 0 ok, 1 SLO missed, 2 usage, 3 internal error,
+// 4 conservation violated, 6 hedge-compare showed no p99 improvement.
 //
 // SIGINT/SIGTERM stop admission, drain what is in flight, and still print
-// the report (exit 0): the runtime's graceful-shutdown path is the tool's.
+// the report: the runtime's graceful-shutdown path is the tool's.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -34,9 +42,10 @@
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
-#include "serve/engine.hpp"
+#include "serve/router.hpp"
 #include "serve/signal.hpp"
 #include "util/rng.hpp"
+#include "util/timing.hpp"
 
 namespace {
 
@@ -44,8 +53,10 @@ struct Args {
   std::string network = "lenet5";
   int requests = 100;
   double rate = 50;  // arrivals per second (open loop)
+  int shards = 1;
   int workers = 2;
   int queue_cap = 16;
+  int batch_max = 1;
   std::int64_t deadline_ms = 1000;
   int priority_levels = 3;
   int tenants = 2;
@@ -55,16 +66,37 @@ struct Args {
   int breaker_failures = 3;
   std::int64_t breaker_cooldown_ms = 250;
   std::int64_t slo_ms = 0;  // 0 = report only, no SLO gate
+
+  // Fleet behaviour.
+  bool no_hedge = false;
+  std::int64_t hedge_ms = 0;  // 0 = adaptive p99-derived delay
+  bool no_steal = false;
+  std::int64_t canary_period_ms = 25;
+  bool hedge_compare = false;
+
+  // Fault injection. --faults/--fault-kill/--codec-flip without
+  // --kill-shard apply fleet-wide (the pre-fleet behaviour); with
+  // --kill-shard they (plus --stall-ms) form the scenario applied to that
+  // one shard on the kill/heal schedule. --fleet-faulty draws decorrelated
+  // per-shard scenarios instead.
   std::string faults_file;
   double fault_kill = 0.0;
   double codec_flip = 0.0;
   std::uint64_t fault_seed = 42;
-  double heal_after = 0.0;  // clear the fault scenario after this fraction
+  double heal_after = 0.0;  // clear fleet-wide faults after this fraction
+  int kill_shard = -1;
+  double kill_after = 0.0;
+  double heal_shard_after = 0.0;
+  std::int64_t stall_ms = 0;
+  int fleet_faulty = 0;
+
   std::uint64_t seed = 1;
   bool json = false;
   bool metrics = false;
   std::string out_file;
   std::string trace_file;
+  std::string bench_out;
+  std::vector<int> bench_shards = {1, 2, 4};
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -72,15 +104,21 @@ struct Args {
       << "usage: " << argv0
       << " [--network alexnet|vgg16|lenet5|nin|mobilenet] [--requests N] "
          "[--rate RPS]\n"
-         "       [--workers N] [--queue-cap N] [--deadline-ms N] "
-         "[--priority-levels N]\n"
-         "       [--tenants N] [--tenant-rate RPS] [--tenant-burst N]\n"
+         "       [--shards N] [--workers N] [--queue-cap N] [--batch-max N] "
+         "[--deadline-ms N]\n"
+         "       [--priority-levels N] [--tenants N] [--tenant-rate RPS] "
+         "[--tenant-burst N]\n"
          "       [--retries N] [--breaker-failures N] "
          "[--breaker-cooldown-ms N] [--slo-ms N]\n"
+         "       [--no-hedge] [--hedge-ms N] [--no-steal] "
+         "[--canary-period-ms N] [--hedge-compare]\n"
          "       [--faults FILE] [--fault-kill FRAC] [--codec-flip RATE] "
          "[--fault-seed N]\n"
-         "       [--heal-after FRAC] [--seed N] [--json] [--metrics] "
-         "[--out FILE] [--trace FILE]\n";
+         "       [--heal-after FRAC] [--kill-shard K] [--kill-after FRAC] "
+         "[--heal-shard-after FRAC]\n"
+         "       [--stall-ms N] [--fleet-faulty N] [--seed N] [--json] "
+         "[--metrics] [--out FILE]\n"
+         "       [--trace FILE] [--bench-out FILE] [--bench-shards LIST]\n";
   std::exit(2);
 }
 
@@ -129,6 +167,19 @@ double parse_double(const char* argv0, const std::string& flag,
   return value;
 }
 
+std::vector<int> parse_shard_list(const char* argv0, const std::string& flag,
+                                  const std::string& text) {
+  std::vector<int> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(
+        static_cast<int>(parse_int(argv0, flag, item, 1, 64)));
+  }
+  if (out.empty()) bad_arg(argv0, flag + " expects a non-empty list");
+  return out;
+}
+
 Args parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
@@ -157,12 +208,18 @@ Args parse(int argc, char** argv) {
           static_cast<int>(parse_int(argv[0], flag, value(), 1, 1 << 20));
     } else if (flag == "--rate") {
       args.rate = parse_double(argv[0], flag, value(), 1e-3, 1e6);
+    } else if (flag == "--shards") {
+      args.shards =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 64));
     } else if (flag == "--workers") {
       args.workers =
           static_cast<int>(parse_int(argv[0], flag, value(), 1, 256));
     } else if (flag == "--queue-cap") {
       args.queue_cap =
           static_cast<int>(parse_int(argv[0], flag, value(), 1, 1 << 20));
+    } else if (flag == "--batch-max") {
+      args.batch_max =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 64));
     } else if (flag == "--deadline-ms") {
       args.deadline_ms = parse_int(argv[0], flag, value(), 0, 1 << 30);
     } else if (flag == "--priority-levels") {
@@ -185,6 +242,16 @@ Args parse(int argc, char** argv) {
       args.breaker_cooldown_ms = parse_int(argv[0], flag, value(), 1, 1 << 30);
     } else if (flag == "--slo-ms") {
       args.slo_ms = parse_int(argv[0], flag, value(), 0, 1 << 30);
+    } else if (flag == "--no-hedge") {
+      args.no_hedge = true;
+    } else if (flag == "--hedge-ms") {
+      args.hedge_ms = parse_int(argv[0], flag, value(), 1, 60'000);
+    } else if (flag == "--no-steal") {
+      args.no_steal = true;
+    } else if (flag == "--canary-period-ms") {
+      args.canary_period_ms = parse_int(argv[0], flag, value(), 1, 60'000);
+    } else if (flag == "--hedge-compare") {
+      args.hedge_compare = true;
     } else if (flag == "--faults") {
       args.faults_file = value();
     } else if (flag == "--fault-kill") {
@@ -196,6 +263,18 @@ Args parse(int argc, char** argv) {
           argv[0], flag, value(), 0, std::numeric_limits<std::int64_t>::max()));
     } else if (flag == "--heal-after") {
       args.heal_after = parse_double(argv[0], flag, value(), 0.0, 1.0);
+    } else if (flag == "--kill-shard") {
+      args.kill_shard =
+          static_cast<int>(parse_int(argv[0], flag, value(), 0, 63));
+    } else if (flag == "--kill-after") {
+      args.kill_after = parse_double(argv[0], flag, value(), 0.0, 1.0);
+    } else if (flag == "--heal-shard-after") {
+      args.heal_shard_after = parse_double(argv[0], flag, value(), 0.0, 1.0);
+    } else if (flag == "--stall-ms") {
+      args.stall_ms = parse_int(argv[0], flag, value(), 1, 60'000);
+    } else if (flag == "--fleet-faulty") {
+      args.fleet_faulty =
+          static_cast<int>(parse_int(argv[0], flag, value(), 0, 64));
     } else if (flag == "--seed") {
       args.seed = static_cast<std::uint64_t>(parse_int(
           argv[0], flag, value(), 0, std::numeric_limits<std::int64_t>::max()));
@@ -207,6 +286,10 @@ Args parse(int argc, char** argv) {
       args.out_file = value();
     } else if (flag == "--trace") {
       args.trace_file = value();
+    } else if (flag == "--bench-out") {
+      args.bench_out = value();
+    } else if (flag == "--bench-shards") {
+      args.bench_shards = parse_shard_list(argv[0], flag, value());
     } else if (flag == "--help" || flag == "-h") {
       usage(argv[0]);
     } else {
@@ -219,7 +302,431 @@ Args parse(int argc, char** argv) {
   if (!args.faults_file.empty() && args.fault_kill > 0.0) {
     bad_arg(argv[0], "--faults and --fault-kill are mutually exclusive");
   }
+  if (args.kill_shard >= args.shards) {
+    bad_arg(argv[0], "--kill-shard=" + std::to_string(args.kill_shard) +
+                         " out of range for --shards=" +
+                         std::to_string(args.shards));
+  }
+  if (args.fleet_faulty > args.shards) {
+    bad_arg(argv[0], "--fleet-faulty=" + std::to_string(args.fleet_faulty) +
+                         " exceeds --shards=" + std::to_string(args.shards));
+  }
+  if (args.fleet_faulty > 0 && args.kill_shard >= 0) {
+    bad_arg(argv[0], "--fleet-faulty and --kill-shard are mutually exclusive");
+  }
+  if (args.heal_shard_after > 0.0 && args.kill_shard < 0) {
+    bad_arg(argv[0], "--heal-shard-after requires --kill-shard");
+  }
+  if (args.heal_shard_after > 0.0 &&
+      args.heal_shard_after <= args.kill_after) {
+    bad_arg(argv[0], "--heal-shard-after must be > --kill-after");
+  }
+  if (args.hedge_compare && args.shards < 2) {
+    bad_arg(argv[0], "--hedge-compare needs --shards >= 2");
+  }
+  if (args.hedge_compare && args.no_hedge) {
+    bad_arg(argv[0], "--hedge-compare and --no-hedge are contradictory");
+  }
   return args;
+}
+
+struct RunResult {
+  mocha::serve::RouterStats stats;
+  mocha::obs::HistogramData latency_us;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  double wall_s = 0;
+  double throughput_rps = 0;
+  std::int64_t exec_attempts = 0;
+  std::int64_t codec_retries = 0;
+  std::int64_t breaker_trips = 0;
+  std::int64_t breaker_recoveries = 0;
+  std::int64_t quarantines = 0;
+  bool interrupted = false;
+  bool conserved = false;
+};
+
+/// One fault scenario from the legacy fleet-wide flags (--faults /
+/// --fault-kill / --codec-flip), or an empty model when none are set.
+mocha::fault::FaultModel scenario_from_flags(
+    const Args& args, const mocha::fabric::FabricConfig& config) {
+  using namespace mocha;
+  fault::FaultModel faults;
+  if (!args.faults_file.empty()) {
+    std::ifstream in(args.faults_file);
+    if (!in) {
+      std::cerr << "error: cannot read fault spec " << args.faults_file
+                << "\n";
+      std::exit(2);
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      faults = fault::FaultModel::from_json(buffer.str());
+    } catch (const CheckFailure& e) {
+      std::cerr << "error: bad fault spec " << args.faults_file << ": "
+                << e.what() << "\n";
+      std::exit(2);
+    }
+  } else if (args.fault_kill > 0.0) {
+    faults = fault::FaultModel::random_scenario(config, args.fault_kill,
+                                                args.fault_seed);
+  }
+  if (args.codec_flip > 0.0) faults.codec_bit_flip_rate = args.codec_flip;
+  return faults;
+}
+
+/// Replays the trace once against a fresh fleet. Deterministic from
+/// args.seed: two calls with the same args and `shards` submit identical
+/// requests at identically drawn arrival gaps (the basis of
+/// --hedge-compare).
+RunResult run_trace(const Args& args, const mocha::nn::Network& net,
+                    const mocha::fabric::FabricConfig& config, int shards,
+                    bool hedge) {
+  using namespace mocha;
+
+  serve::RouterOptions options;
+  options.shards = shards;
+  options.engine.workers = args.workers;
+  options.engine.queue_capacity = static_cast<std::size_t>(args.queue_cap);
+  options.engine.default_deadline_ms =
+      static_cast<std::uint64_t>(args.deadline_ms);
+  options.engine.max_batch = args.batch_max;
+  options.engine.retry.max_attempts = args.retries;
+  options.engine.breaker.failure_threshold = args.breaker_failures;
+  options.engine.breaker.cooldown_ms =
+      static_cast<std::uint64_t>(args.breaker_cooldown_ms);
+  options.engine.breaker.latency_slo_ms =
+      static_cast<std::uint64_t>(args.slo_ms);
+  options.engine.tenant_rate_per_sec = args.tenant_rate;
+  options.engine.tenant_burst = args.tenant_burst;
+  options.hedge = hedge;
+  if (args.hedge_ms > 0) {
+    // Fixed hedge delay: pin the adaptive clamp to one value.
+    options.hedge_floor_ms = static_cast<std::uint64_t>(args.hedge_ms);
+    options.hedge_cap_ms = static_cast<std::uint64_t>(args.hedge_ms);
+  }
+  options.steal = !args.no_steal;
+  options.canary_period_ms = static_cast<std::uint64_t>(args.canary_period_ms);
+
+  serve::ShardRouter router(options);
+  util::Rng rng(args.seed);
+  router.register_model(args.network, net, nn::random_weights(net, 0.2, rng),
+                        config);
+
+  // Fault assignment.
+  const fault::FaultModel flag_faults = scenario_from_flags(args, config);
+  bool fleet_wide = false;
+  if (args.fleet_faulty > 0) {
+    // Decorrelated per-shard scenarios: the first `fleet_faulty` shards get
+    // independent random kills, the rest stay healthy.
+    auto scenarios = fault::fleet_scenarios(
+        config, shards, std::min(args.fleet_faulty, shards),
+        args.fault_kill > 0.0 ? args.fault_kill : 0.25, args.fault_seed);
+    for (int i = 0; i < shards; ++i) {
+      if (args.codec_flip > 0.0 && scenarios[static_cast<std::size_t>(i)].any()) {
+        scenarios[static_cast<std::size_t>(i)].codec_bit_flip_rate =
+            args.codec_flip;
+      }
+      if (scenarios[static_cast<std::size_t>(i)].any()) {
+        router.set_shard_fault(i, scenarios[static_cast<std::size_t>(i)]);
+        std::cerr << "shard " << i << " fault: "
+                  << scenarios[static_cast<std::size_t>(i)].summary(config)
+                  << "\n";
+      }
+    }
+  } else if (args.kill_shard < 0 && flag_faults.any()) {
+    // Pre-fleet behaviour: the scenario applies to every shard at once.
+    fleet_wide = true;
+    for (int i = 0; i < shards; ++i) router.set_shard_fault(i, flag_faults);
+    std::cerr << "fleet-wide fault scenario: " << flag_faults.summary(config)
+              << "\n";
+  }
+
+  // Kill/heal schedule for one shard-level fault domain.
+  fault::FaultModel shard_fault = flag_faults;
+  if (args.stall_ms > 0) shard_fault.exec_stall_ms = args.stall_ms;
+  if (args.kill_shard >= 0 && !shard_fault.any()) {
+    shard_fault =
+        fault::FaultModel::random_scenario(config, 0.5, args.fault_seed);
+  }
+  const int kill_at =
+      args.kill_shard >= 0
+          ? static_cast<int>(args.kill_after * args.requests)
+          : -1;
+  const int heal_shard_at =
+      args.heal_shard_after > 0.0
+          ? static_cast<int>(args.heal_shard_after * args.requests)
+          : -1;
+  const int heal_at =
+      fleet_wide && args.heal_after > 0.0
+          ? static_cast<int>(args.heal_after * args.requests)
+          : -1;
+  bool killed = false;
+  bool shard_healed = false;
+  bool healed = false;
+
+  // A handful of pre-generated inputs cycled across requests: arrival
+  // timing, not input diversity, is what this tool exercises.
+  std::vector<nn::ValueTensor> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(
+        random_tensor(net.layers.front().input_shape(), 0.05, rng));
+  }
+
+  RunResult out;
+  std::vector<serve::TicketPtr> tickets;
+  tickets.reserve(static_cast<std::size_t>(args.requests));
+  util::Rng arrivals(args.seed ^ 0x9e3779b97f4a7c15ull);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < args.requests; ++i) {
+    if (serve::SignalDrain::requested()) {
+      out.interrupted = true;
+      break;
+    }
+    if (i == kill_at && !killed) {
+      router.set_shard_fault(args.kill_shard, shard_fault);
+      killed = true;
+      std::cerr << "shard " << args.kill_shard << " killed after " << i
+                << " requests: " << shard_fault.summary(config) << "\n";
+    }
+    if (i == heal_shard_at && killed && !shard_healed) {
+      router.clear_shard_fault(args.kill_shard);
+      shard_healed = true;
+      std::cerr << "shard " << args.kill_shard << " healed after " << i
+                << " requests\n";
+    }
+    if (i == heal_at && !healed) {
+      for (int s = 0; s < shards; ++s) router.clear_shard_fault(s);
+      healed = true;
+      std::cerr << "fleet-wide fault scenario healed after " << i
+                << " requests\n";
+    }
+    serve::Request request;
+    request.model = args.network;
+    request.tenant = "tenant-" + std::to_string(i % args.tenants);
+    request.priority =
+        static_cast<int>(arrivals.uniform_int(0, args.priority_levels - 1));
+    request.input = inputs[static_cast<std::size_t>(i) % inputs.size()];
+    tickets.push_back(router.submit(std::move(request)));
+
+    // Open-loop Poisson arrivals: exponential inter-arrival times.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        util::poisson_gap_ns(arrivals, args.rate)));
+  }
+
+  router.shutdown(/*drain=*/true);
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - wall_start)
+                   .count();
+
+  // Every client ticket is terminal after shutdown; tally the outcomes into
+  // the same log2-bucketed histogram the metrics registry uses.
+  for (const serve::TicketPtr& ticket : tickets) {
+    const serve::Response& resp = ticket->wait();
+    out.exec_attempts += resp.attempts;
+    out.codec_retries += resp.codec_retries;
+    if (resp.outcome == serve::Outcome::Completed) {
+      out.latency_us.add(static_cast<std::int64_t>(resp.latency_ns / 1000));
+    }
+  }
+
+  out.stats = router.stats();
+  const auto pct = [&](double p) {
+    return static_cast<std::uint64_t>(
+        std::llround(out.latency_us.percentile(p)));
+  };
+  out.p50 = pct(50);
+  out.p90 = pct(90);
+  out.p99 = pct(99);
+  out.throughput_rps =
+      out.wall_s > 0 ? static_cast<double>(out.stats.completed) / out.wall_s
+                     : 0.0;
+  for (int i = 0; i < shards; ++i) {
+    out.breaker_trips += router.shard_engine(i).breaker_trips(args.network);
+    out.breaker_recoveries +=
+        router.shard_engine(i).breaker_recoveries(args.network);
+  }
+  for (const serve::ShardSnapshot& snap : out.stats.shards) {
+    out.quarantines += snap.quarantines;
+  }
+  out.conserved = out.stats.submitted == out.stats.completed +
+                                             out.stats.shed +
+                                             out.stats.failed &&
+                  out.stats.in_flight == 0;
+  return out;
+}
+
+std::string fleet_json(const Args& args, int shards, const RunResult& r,
+                       bool slo_ok) {
+  using namespace mocha;
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"mocha.serve.v2\",\n"
+       << "  \"network\": \"" << args.network << "\",\n"
+       << "  \"shards\": " << shards << ",\n"
+       << "  \"requests\": " << args.requests << ",\n"
+       << "  \"rate_rps\": " << args.rate << ",\n"
+       << "  \"interrupted\": " << (r.interrupted ? "true" : "false")
+       << ",\n"
+       << "  \"submitted\": " << r.stats.submitted << ",\n"
+       << "  \"completed\": " << r.stats.completed << ",\n"
+       << "  \"shed\": " << r.stats.shed << ",\n"
+       << "  \"failed\": " << r.stats.failed << ",\n"
+       << "  \"outcomes\": {";
+  bool first = true;
+  for (int i = 1; i < 8; ++i) {
+    const auto outcome = static_cast<serve::Outcome>(i);
+    if (!first) json << ", ";
+    json << "\"" << serve::outcome_name(outcome)
+         << "\": " << r.stats.outcome_count(outcome);
+    first = false;
+  }
+  json << "},\n"
+       << "  \"hedging\": {\"issued\": " << r.stats.hedges_issued
+       << ", \"wins\": " << r.stats.hedge_wins
+       << ", \"failovers\": " << r.stats.failovers
+       << ", \"delay_us\": " << r.stats.hedge_delay_ns / 1000 << "},\n"
+       << "  \"steals\": " << r.stats.steals << ",\n"
+       << "  \"canaries\": " << r.stats.canaries << ",\n"
+       << "  \"probes\": " << r.stats.probes << ",\n"
+       << "  \"retries\": " << r.exec_attempts << ",\n"
+       << "  \"codec_retries\": " << r.codec_retries << ",\n"
+       << "  \"breaker_trips\": " << r.breaker_trips << ",\n"
+       << "  \"breaker_recoveries\": " << r.breaker_recoveries << ",\n"
+       << "  \"latency_us\": {\"p50\": " << r.p50 << ", \"p90\": " << r.p90
+       << ", \"p99\": " << r.p99 << "},\n"
+       << "  \"throughput_rps\": " << r.throughput_rps << ",\n"
+       << "  \"slo_ms\": " << args.slo_ms << ",\n"
+       << "  \"conserved\": " << (r.conserved ? "true" : "false") << ",\n"
+       << "  \"slo_ok\": " << (slo_ok ? "true" : "false") << ",\n"
+       << "  \"shard_detail\": [";
+  for (std::size_t i = 0; i < r.stats.shards.size(); ++i) {
+    const serve::ShardSnapshot& s = r.stats.shards[i];
+    if (i > 0) json << ",";
+    json << "\n    {\"shard\": " << s.shard << ", \"state\": \""
+         << serve::health_state_name(s.state)
+         << "\", \"submitted\": " << s.stats.submitted
+         << ", \"completed\": " << s.stats.completed
+         << ", \"shed\": " << s.stats.shed
+         << ", \"failed\": " << s.stats.failed
+         << ", \"stolen_in\": " << s.stats.stolen_in
+         << ", \"stolen_out\": " << s.stats.stolen_out
+         << ", \"batches\": " << s.stats.batches
+         << ", \"batch_coalesced\": " << s.stats.batch_coalesced
+         << ", \"quarantines\": " << s.quarantines
+         << ", \"probes_started\": " << s.probes_started
+         << ", \"probes_abandoned\": " << s.probes_abandoned << "}";
+  }
+  json << "\n  ]\n}";
+  return json.str();
+}
+
+void print_report(const Args& args, int shards, const RunResult& r,
+                  bool slo_ok) {
+  using namespace mocha;
+  std::cout << "serve fleet report: " << args.network << ", " << shards
+            << " shard" << (shards == 1 ? "" : "s") << ", "
+            << r.stats.submitted << " submitted"
+            << (r.interrupted ? " (interrupted, drained)" : "") << "\n"
+            << "  completed " << r.stats.completed << "  shed "
+            << r.stats.shed << "  failed " << r.stats.failed
+            << "\n  outcomes:";
+  for (int i = 1; i < 8; ++i) {
+    const auto outcome = static_cast<serve::Outcome>(i);
+    if (r.stats.outcome_count(outcome) == 0) continue;
+    std::cout << " " << serve::outcome_name(outcome) << "="
+              << r.stats.outcome_count(outcome);
+  }
+  std::cout << "\n  hedging: issued " << r.stats.hedges_issued << ", wins "
+            << r.stats.hedge_wins << ", failovers " << r.stats.failovers
+            << ", delay " << r.stats.hedge_delay_ns / 1000 << " us\n"
+            << "  steals " << r.stats.steals << ", canaries "
+            << r.stats.canaries << ", probes " << r.stats.probes
+            << ", breaker trips " << r.breaker_trips << " (recoveries "
+            << r.breaker_recoveries << ")\n";
+  for (const serve::ShardSnapshot& s : r.stats.shards) {
+    std::cout << "  shard " << s.shard << ": "
+              << serve::health_state_name(s.state) << ", submitted "
+              << s.stats.submitted << ", completed " << s.stats.completed
+              << ", shed " << s.stats.shed << ", failed " << s.stats.failed
+              << ", stolen " << s.stats.stolen_in << "/"
+              << s.stats.stolen_out << " in/out, batches " << s.stats.batches
+              << ", quarantines " << s.quarantines << "\n";
+  }
+  std::cout << "  latency (completed): p50 " << r.p50 << " us, p90 "
+            << r.p90 << " us, p99 " << r.p99 << " us; throughput "
+            << r.throughput_rps << " rps\n"
+            << "  conservation: " << (r.conserved ? "ok" : "VIOLATED")
+            << "\n";
+  if (args.slo_ms > 0) {
+    std::cout << "  SLO p99 <= " << args.slo_ms
+              << " ms: " << (slo_ok ? "met" : "MISSED") << "\n";
+  }
+}
+
+int run_bench(const Args& args, const mocha::nn::Network& net,
+              const mocha::fabric::FabricConfig& config) {
+  using namespace mocha;
+  struct Point {
+    int shards;
+    RunResult result;
+    bool slo_ok;
+  };
+  std::vector<Point> points;
+  bool all_conserved = true;
+  bool all_slo = true;
+  for (const int shards : args.bench_shards) {
+    Args per = args;
+    if (per.kill_shard >= shards) per.kill_shard = shards - 1;
+    std::cerr << "bench: " << shards << " shard(s)...\n";
+    RunResult r = run_trace(per, net, config, shards, !args.no_hedge);
+    const bool slo_ok =
+        args.slo_ms == 0 ||
+        r.p99 <= static_cast<std::uint64_t>(args.slo_ms) * 1000;
+    all_conserved = all_conserved && r.conserved;
+    all_slo = all_slo && slo_ok;
+    std::cout << "bench point: shards=" << shards << " p99=" << r.p99
+              << "us throughput=" << r.throughput_rps
+              << "rps conserved=" << (r.conserved ? "yes" : "NO") << "\n";
+    const bool interrupted = r.interrupted;
+    points.push_back({shards, std::move(r), slo_ok});
+    if (interrupted || serve::SignalDrain::requested()) break;
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"mocha.bench.serve.v1\",\n"
+       << "  \"network\": \"" << args.network << "\",\n"
+       << "  \"requests\": " << args.requests << ",\n"
+       << "  \"rate_rps\": " << args.rate << ",\n"
+       << "  \"slo_ms\": " << args.slo_ms << ",\n"
+       << "  \"hedge\": " << (args.no_hedge ? "false" : "true") << ",\n"
+       << "  \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    if (i > 0) json << ",";
+    json << "\n    {\"shards\": " << p.shards << ", \"p50_us\": "
+         << p.result.p50 << ", \"p99_us\": " << p.result.p99
+         << ", \"throughput_rps\": " << p.result.throughput_rps
+         << ", \"completed\": " << p.result.stats.completed
+         << ", \"shed\": " << p.result.stats.shed
+         << ", \"failed\": " << p.result.stats.failed
+         << ", \"hedge_wins\": " << p.result.stats.hedge_wins
+         << ", \"steals\": " << p.result.stats.steals
+         << ", \"quarantines\": " << p.result.quarantines
+         << ", \"conserved\": " << (p.result.conserved ? "true" : "false")
+         << ", \"slo_ok\": " << (p.slo_ok ? "true" : "false") << "}";
+  }
+  json << "\n  ],\n  \"conserved\": " << (all_conserved ? "true" : "false")
+       << ",\n  \"slo_ok\": " << (all_slo ? "true" : "false") << "\n}";
+  if (!obs::write_file_atomic(args.bench_out, json.str() + "\n")) {
+    std::cerr << "error: cannot write " << args.bench_out << "\n";
+    return 3;
+  }
+  std::cout << "wrote " << args.bench_out << " (" << points.size()
+            << " points)\n";
+  if (!all_conserved) return 4;
+  return all_slo ? 0 : 1;
 }
 
 int run(const Args& args) {
@@ -248,168 +755,52 @@ int run(const Args& args) {
   }
 
   const fabric::FabricConfig config = fabric::mocha_default_config();
-  fault::FaultModel faults;
-  bool inject = false;
-  if (!args.faults_file.empty()) {
-    std::ifstream in(args.faults_file);
-    if (!in) {
-      std::cerr << "error: cannot read fault spec " << args.faults_file
-                << "\n";
-      return 2;
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    try {
-      faults = fault::FaultModel::from_json(buffer.str());
-    } catch (const CheckFailure& e) {
-      std::cerr << "error: bad fault spec " << args.faults_file << ": "
-                << e.what() << "\n";
-      return 2;
-    }
-    inject = true;
-  } else if (args.fault_kill > 0.0 || args.codec_flip > 0.0) {
-    faults = fault::FaultModel::random_scenario(config, args.fault_kill,
-                                                args.fault_seed);
-    faults.codec_bit_flip_rate = args.codec_flip;
-    inject = true;
-  }
-
-  serve::ServeOptions options;
-  options.workers = args.workers;
-  options.queue_capacity = static_cast<std::size_t>(args.queue_cap);
-  options.default_deadline_ms = static_cast<std::uint64_t>(args.deadline_ms);
-  options.retry.max_attempts = args.retries;
-  options.breaker.failure_threshold = args.breaker_failures;
-  options.breaker.cooldown_ms =
-      static_cast<std::uint64_t>(args.breaker_cooldown_ms);
-  options.breaker.latency_slo_ms = static_cast<std::uint64_t>(args.slo_ms);
-  options.tenant_rate_per_sec = args.tenant_rate;
-  options.tenant_burst = args.tenant_burst;
-
-  serve::ServeEngine engine(options);
-  util::Rng rng(args.seed);
-  engine.register_model(args.network, net, nn::random_weights(net, 0.2, rng),
-                        config);
-  if (inject) {
-    engine.set_fault_scenario(faults);
-    std::cerr << "fault scenario: " << faults.summary(config) << "\n";
-  }
-
-  // A handful of pre-generated inputs cycled across requests: arrival
-  // timing, not input diversity, is what this tool exercises.
-  std::vector<nn::ValueTensor> inputs;
-  for (int i = 0; i < 8; ++i) {
-    inputs.push_back(
-        random_tensor(net.layers.front().input_shape(), 0.05, rng));
-  }
 
   // Ctrl-C / SIGTERM: stop admitting, drain what's queued, still report.
   serve::SignalDrain drain;
 
-  const int heal_at = args.heal_after > 0.0
-                          ? static_cast<int>(args.heal_after * args.requests)
-                          : -1;
-  bool healed = false;
-
-  std::vector<serve::TicketPtr> tickets;
-  tickets.reserve(static_cast<std::size_t>(args.requests));
-  util::Rng arrivals(args.seed ^ 0x9e3779b97f4a7c15ull);
-  bool interrupted = false;
-  for (int i = 0; i < args.requests; ++i) {
-    if (serve::SignalDrain::requested()) {
-      interrupted = true;
-      break;
-    }
-    if (i == heal_at && inject && !healed) {
-      engine.clear_fault_scenario();
-      healed = true;
-      std::cerr << "fault scenario healed after " << i << " requests\n";
-    }
-    serve::Request request;
-    request.model = args.network;
-    request.tenant = "tenant-" + std::to_string(i % args.tenants);
-    request.priority =
-        static_cast<int>(arrivals.uniform_int(0, args.priority_levels - 1));
-    request.input = inputs[static_cast<std::size_t>(i) % inputs.size()];
-    tickets.push_back(engine.submit(std::move(request)));
-
-    // Open-loop Poisson arrivals: exponential inter-arrival times.
-    const double u = std::max(arrivals.uniform(), 1e-12);
-    const double gap_s = -std::log(u) / args.rate;
-    std::this_thread::sleep_for(std::chrono::nanoseconds(
-        static_cast<std::int64_t>(gap_s * 1e9)));
+  if (!args.bench_out.empty()) {
+    const int rc = run_bench(args, net, config);
+    if (trace) trace.reset();
+    return rc;
   }
 
-  engine.shutdown(/*drain=*/true);
-
-  // Every ticket is terminal after shutdown; tally the outcomes.
-  const serve::ServeStats stats = engine.stats();
-  // Completed-request latency distribution, accumulated into the same
-  // log2-bucketed histogram the metrics registry uses — the report's
-  // percentiles are the registry's derived p50/p90/p99, not a private
-  // nearest-rank implementation.
-  obs::HistogramData latency_hist;
-  std::int64_t total_exec_attempts = 0;
-  std::int64_t total_codec_retries = 0;
-  for (const serve::TicketPtr& ticket : tickets) {
-    const serve::Response& resp = ticket->wait();
-    total_exec_attempts += resp.attempts;
-    total_codec_retries += resp.codec_retries;
-    if (resp.outcome == serve::Outcome::Completed) {
-      latency_hist.add(static_cast<std::int64_t>(resp.latency_ns / 1000));
-    }
-  }
-
-  const auto hist_pct = [&](double p) {
-    return static_cast<std::uint64_t>(std::llround(latency_hist.percentile(p)));
-  };
-  const std::uint64_t p50 = hist_pct(50);
-  const std::uint64_t p90 = hist_pct(90);
-  const std::uint64_t p99 = hist_pct(99);
-
-  const bool conserved =
-      stats.submitted == stats.completed + stats.shed + stats.failed &&
-      stats.in_flight == 0;
+  RunResult r = run_trace(args, net, config, args.shards, !args.no_hedge);
   const bool slo_ok =
       args.slo_ms == 0 ||
-      p99 <= static_cast<std::uint64_t>(args.slo_ms) * 1000;
+      r.p99 <= static_cast<std::uint64_t>(args.slo_ms) * 1000;
 
-  std::ostringstream json;
-  json << "{\n  \"schema\": \"mocha.serve.v1\",\n"
-       << "  \"network\": \"" << args.network << "\",\n"
-       << "  \"requests\": " << args.requests << ",\n"
-       << "  \"rate_rps\": " << args.rate << ",\n"
-       << "  \"interrupted\": " << (interrupted ? "true" : "false") << ",\n"
-       << "  \"submitted\": " << stats.submitted << ",\n"
-       << "  \"completed\": " << stats.completed << ",\n"
-       << "  \"shed\": " << stats.shed << ",\n"
-       << "  \"failed\": " << stats.failed << ",\n"
-       << "  \"outcomes\": {";
-  bool first = true;
-  for (int i = 1; i < 8; ++i) {
-    const auto outcome = static_cast<serve::Outcome>(i);
-    if (!first) json << ", ";
-    json << "\"" << serve::outcome_name(outcome)
-         << "\": " << stats.outcome_count(outcome);
-    first = false;
+  // --hedge-compare: replay the identical trace with hedging disabled and
+  // demand that hedging improved the measured p99.
+  bool compare_ok = true;
+  std::uint64_t unhedged_p99 = 0;
+  if (args.hedge_compare) {
+    std::cerr << "hedge-compare: replaying with hedging disabled...\n";
+    RunResult base = run_trace(args, net, config, args.shards, false);
+    unhedged_p99 = base.p99;
+    compare_ok = r.conserved && base.conserved && r.p99 < base.p99;
+    std::cout << "hedge-compare: hedged p99 " << r.p99 << " us vs unhedged "
+              << base.p99 << " us -> "
+              << (compare_ok ? "improved" : "NO IMPROVEMENT") << "\n";
+    if (!base.conserved) {
+      std::cerr << "hedge-compare: unhedged run violated conservation\n";
+      return 4;
+    }
   }
-  json << "},\n"
-       << "  \"retries\": " << stats.retries << ",\n"
-       << "  \"exec_attempts\": " << total_exec_attempts << ",\n"
-       << "  \"codec_retries\": " << total_codec_retries << ",\n"
-       << "  \"fallback_completions\": " << stats.fallback_completions << ",\n"
-       << "  \"breaker_trips\": " << engine.breaker_trips(args.network)
-       << ",\n"
-       << "  \"breaker_recoveries\": "
-       << engine.breaker_recoveries(args.network) << ",\n"
-       << "  \"latency_us\": {\"p50\": " << p50 << ", \"p90\": " << p90
-       << ", \"p99\": " << p99 << "},\n"
-       << "  \"slo_ms\": " << args.slo_ms << ",\n"
-       << "  \"conserved\": " << (conserved ? "true" : "false") << ",\n"
-       << "  \"slo_ok\": " << (slo_ok ? "true" : "false") << "\n}";
+
+  std::string json = fleet_json(args, args.shards, r, slo_ok);
+  if (args.hedge_compare) {
+    // Splice the comparison into the report object.
+    const std::string tail = "\n}";
+    json.replace(json.rfind(tail), tail.size(),
+                 ",\n  \"hedge_compare\": {\"hedged_p99_us\": " +
+                     std::to_string(r.p99) + ", \"unhedged_p99_us\": " +
+                     std::to_string(unhedged_p99) + ", \"improved\": " +
+                     (compare_ok ? "true" : "false") + "}\n}");
+  }
 
   if (!args.out_file.empty()) {
-    if (!obs::write_file_atomic(args.out_file, json.str() + "\n")) {
+    if (!obs::write_file_atomic(args.out_file, json + "\n")) {
       std::cerr << "error: cannot write " << args.out_file << "\n";
       return 3;
     }
@@ -417,41 +808,17 @@ int run(const Args& args) {
   if (trace) trace.reset();  // flush before reporting
 
   if (args.json) {
-    std::cout << json.str() << "\n";
+    std::cout << json << "\n";
   } else {
-    std::cout << "serve report: " << args.network << ", "
-              << stats.submitted << " submitted"
-              << (interrupted ? " (interrupted, drained)" : "") << "\n"
-              << "  completed " << stats.completed << "  shed " << stats.shed
-              << "  failed " << stats.failed << "\n  outcomes:";
-    for (int i = 1; i < 8; ++i) {
-      const auto outcome = static_cast<serve::Outcome>(i);
-      if (stats.outcome_count(outcome) == 0) continue;
-      std::cout << " " << serve::outcome_name(outcome) << "="
-                << stats.outcome_count(outcome);
-    }
-    std::cout << "\n  retries " << stats.retries << ", codec re-fetches "
-              << total_codec_retries << ", fallback completions "
-              << stats.fallback_completions << "\n  breaker: trips "
-              << engine.breaker_trips(args.network) << ", recoveries "
-              << engine.breaker_recoveries(args.network) << ", state "
-              << serve::breaker_state_name(
-                     engine.breaker_state(args.network))
-              << "\n  latency (completed): p50 " << p50 << " us, p90 " << p90
-              << " us, p99 " << p99 << " us\n"
-              << "  conservation: "
-              << (conserved ? "ok" : "VIOLATED") << "\n";
-    if (args.slo_ms > 0) {
-      std::cout << "  SLO p99 <= " << args.slo_ms << " ms: "
-                << (slo_ok ? "met" : "MISSED") << "\n";
-    }
+    print_report(args, args.shards, r, slo_ok);
   }
   if (args.metrics) {
     std::cout << "\nmetrics: "
               << obs::MetricsRegistry::global().snapshot().to_json() << "\n";
   }
 
-  if (!conserved) return 4;
+  if (!r.conserved) return 4;
+  if (!compare_ok) return 6;
   return slo_ok ? 0 : 1;
 }
 
