@@ -299,6 +299,18 @@ std::shared_ptr<const dataflow::NetworkPlan> ServeEngine::plan_for(
   return plan;
 }
 
+bool ServeEngine::has_plan(const std::string& model) {
+  Model* m = find_model(model);
+  MOCHA_CHECK(m != nullptr, "unknown model: " << model);
+  std::string scenario;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    scenario = have_faults_ ? faults_.summary(m->base_config) : "healthy";
+  }
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  return plans_.count(model + "|" + scenario + "|primary") != 0;
+}
+
 void ServeEngine::publish_breaker_gauge(Model& model) {
   const BreakerState state = model.breaker->state(util::steady_now_ns());
   MOCHA_METRIC_GAUGE(lanes_.breaker_prefix + model.name,

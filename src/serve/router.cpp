@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 
@@ -20,6 +21,13 @@ ShardRouter::ShardRouter(RouterOptions options)
   MOCHA_CHECK(options_.hedge_floor_ms <= options_.hedge_cap_ms,
               "hedge_floor_ms must be <= hedge_cap_ms");
   MOCHA_CHECK(options_.steal_max >= 1, "steal_max must be >= 1");
+  MOCHA_CHECK(options_.default_replicas >= 1,
+              "default_replicas must be >= 1");
+  MOCHA_CHECK(options_.routing_slots >= 1 && options_.routing_slots <= 65536,
+              "routing_slots must be in [1, 65536]");
+  // A replica set can never be wider than the fleet.
+  options_.default_replicas = std::min(options_.default_replicas,
+                                       options_.shards);
 
   shards_.reserve(static_cast<std::size_t>(options_.shards));
   for (int i = 0; i < options_.shards; ++i) {
@@ -28,10 +36,17 @@ ShardRouter::ShardRouter(RouterOptions options)
     ServeOptions engine_options = options_.engine;
     engine_options.metrics_scope = scope;
     shard->engine = std::make_unique<ServeEngine>(std::move(engine_options));
-    shard->health_gauge = obs::lane_name("serve", scope, "health");
+    shard->state_gauge = obs::lane_name("serve", scope, "state");
     shard->depth_gauge = obs::lane_name("serve", scope, "queue_depth");
     ring_.add(i);
     shards_.push_back(std::move(shard));
+  }
+  {
+    // Epoch-0 snapshot: full fleet, no models yet. First in the log so a
+    // balancer tailing routing_out sees membership before any edit.
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    refresh_routing_locked();
+    export_routing_locked();
   }
   maintenance_ = std::thread([this] { maintenance_loop(); });
 }
@@ -42,16 +57,24 @@ void ShardRouter::register_model(const std::string& name,
                                  const nn::Network& net,
                                  const std::vector<nn::ValueTensor>& weights,
                                  const fabric::FabricConfig& config,
-                                 core::MorphOptions morph) {
+                                 core::MorphOptions morph, int replicas) {
+  if (replicas == 0) replicas = options_.default_replicas;
+  MOCHA_CHECK(replicas >= 1 && replicas <= options_.shards,
+              "replicas for '" << name << "' must be in [1, "
+                               << options_.shards << "], got " << replicas);
   for (auto& shard : shards_) {
     shard->engine->register_model(name, net, weights, config, morph);
   }
-  if (canary_model_.empty()) {
-    canary_model_ = name;
-    // Zero input of the head shape: cheap, shape-valid, and exercises the
-    // full plan — exactly what a liveness canary needs.
-    canary_input_ = nn::ValueTensor(net.layers.front().input_shape());
-  }
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  // Zero input of the head shape: cheap, shape-valid, and exercises the
+  // full plan — the liveness canary and the warm-rebuild probe both use it.
+  canaries_.emplace_back(name,
+                         nn::ValueTensor(net.layers.front().input_shape()));
+  models_.emplace_back(name, replicas);
+  // Same epoch — registration is not a ring edit — but the table contents
+  // changed, so the log gets a refreshed snapshot.
+  refresh_routing_locked();
+  export_routing_locked();
 }
 
 TicketPtr ShardRouter::submit(Request request) {
@@ -79,43 +102,71 @@ TicketPtr ShardRouter::submit(Request request) {
     return refuse("fleet is shutting down");
   }
 
-  // Resolve the deadline to an absolute instant here so a later hedge
-  // attempt shares it exactly — both attempts race the same clock.
+  // Resolve the deadline to an absolute instant here so every attempt down
+  // the replica set shares it exactly — all attempts race the same clock.
   if (request.deadline_ns == 0 && options_.engine.default_deadline_ms > 0) {
     request.deadline_ns =
         now + options_.engine.default_deadline_ms * 1'000'000ull;
   }
 
-  // Placement: consistent hash by (tenant, model) over the live ring, then
-  // power-of-two-choices spill by queue depth.
+  // Placement: the key's routing slot selects the model's ordered replica
+  // set. Unregistered models fall back to plain ring placement (the engine
+  // rejects them as unknown anyway — one shard's refusal is authoritative).
   const std::string key = request.tenant + "|" + request.model;
-  HashRing::Placement placement;
+  std::vector<int> candidates;
   {
     std::lock_guard<std::mutex> lock(ring_mu_);
-    placement = ring_.place(key);
+    const RoutingTable::Model* model = routing_.find_model(request.model);
+    if (model != nullptr) {
+      const int slot = routing_slot(key, routing_.slots);
+      candidates = model->slot_replicas[static_cast<std::size_t>(slot)];
+    } else {
+      const HashRing::Placement placement = ring_.place(key);
+      if (placement.primary >= 0) candidates.push_back(placement.primary);
+    }
   }
-  if (placement.primary < 0) return refuse("no healthy shards in the ring");
-  int target = placement.primary;
-  int alternate = placement.alternate;
-  if (alternate >= 0) {
+  if (candidates.empty()) return refuse("no live replicas for this key");
+
+  // Best live replica: first Healthy in set order, else the first that is
+  // at least in the ring (Degraded), else — every replica momentarily out —
+  // the set head (the attempt fails fast and failover re-walks the set).
+  int target = -1;
+  int first_live = -1;
+  int live = 0;
+  for (const int c : candidates) {
+    Shard& shard = *shards_[static_cast<std::size_t>(c)];
+    if (!shard.health.in_ring(now)) continue;
+    ++live;
+    if (first_live < 0) first_live = c;
+    if (target < 0 && shard.health.state(now) == HealthState::Healthy) {
+      target = c;
+    }
+  }
+  if (target < 0) target = first_live;
+  if (target < 0) target = candidates.front();
+
+  // Power-of-two-choices spill: against the next live replica after target.
+  for (const int alt : candidates) {
+    if (alt == target) continue;
+    if (!shards_[static_cast<std::size_t>(alt)]->health.in_ring(now)) continue;
     const std::size_t home =
         shards_[static_cast<std::size_t>(target)]->engine->queue_depth();
-    const std::size_t alt =
-        shards_[static_cast<std::size_t>(alternate)]->engine->queue_depth();
-    if (home >= alt + std::max<std::size_t>(options_.spill_margin, 1)) {
-      std::swap(target, alternate);
+    const std::size_t other =
+        shards_[static_cast<std::size_t>(alt)]->engine->queue_depth();
+    if (home >= other + std::max<std::size_t>(options_.spill_margin, 1)) {
+      target = alt;
       MOCHA_METRIC_ADD("serve.fleet.spills", 1);
     }
+    break;
   }
 
   // Every field the maintenance thread may read must be set before the
   // route becomes visible in the registry.
-  route->primary_shard = target;
-  route->hedge_shard = alternate;
-  route->request = request;  // kept for the hedge re-submit
+  route->candidates = std::move(candidates);
+  route->attempted.push_back(target);
+  route->request = request;  // kept for re-submits down the set
   route->outstanding = 1;
-  if (options_.hedge && alternate >= 0) {
-    route->hedge_planned = true;
+  if (options_.hedge && live >= 2) {
     route->hedge_due_ns = now + hedge_delay_ns();
   }
   {
@@ -128,7 +179,7 @@ TicketPtr ShardRouter::submit(Request request) {
           std::move(request));
   {
     std::lock_guard<std::mutex> lock(route->mu);
-    route->attempts[0] = attempt;
+    route->attempts.push_back(attempt);
   }
   attempt->on_resolve([this, route, target](const Response& response) {
     on_attempt(route, 0, target, response);
@@ -146,54 +197,52 @@ std::uint64_t ShardRouter::hedge_delay_ns() const {
   return std::min(cap, std::max(floor, ns));
 }
 
-int ShardRouter::coldest_shard(int exclude) {
-  const std::uint64_t now = util::steady_now_ns();
-  int best = -1;
-  std::size_t best_depth = 0;
-  for (int i = 0; i < options_.shards; ++i) {
-    if (i == exclude) continue;
-    Shard& shard = *shards_[static_cast<std::size_t>(i)];
-    if (!shard.health.in_ring(now)) continue;
-    const std::size_t depth = shard.engine->queue_depth();
-    if (best < 0 || depth < best_depth) {
-      best = i;
-      best_depth = depth;
+int ShardRouter::next_candidate_locked(const Route& route,
+                                       std::uint64_t now_ns) const {
+  for (const int c : route.candidates) {
+    if (std::find(route.attempted.begin(), route.attempted.end(), c) !=
+        route.attempted.end()) {
+      continue;
     }
+    if (!shards_[static_cast<std::size_t>(c)]->health.in_ring(now_ns)) {
+      continue;
+    }
+    return c;
   }
-  return best;
+  return -1;
 }
 
-void ShardRouter::issue_hedge(const RoutePtr& route, bool failover) {
+void ShardRouter::issue_attempt(const RoutePtr& route, bool failover) {
   Request request;
   int target = -1;
   bool resolve_now = false;
   Response client_resp;
   {
     std::lock_guard<std::mutex> lock(route->mu);
-    if (route->done || route->hedge_issued || !route->hedge_planned) return;
-    if (route->client->token().cancel_requested()) return;
-    const std::uint64_t now = util::steady_now_ns();
-    // Re-validate the target: the alternate chosen at placement time may
-    // have been quarantined since.
-    target = route->hedge_shard;
-    const bool target_ok =
-        target >= 0 && target != route->primary_shard &&
-        shards_[static_cast<std::size_t>(target)]->health.in_ring(now);
-    if (!target_ok) target = coldest_shard(route->primary_shard);
-    if (target < 0) {
-      // Nowhere to hedge. On the failover path the primary has already
-      // failed, so the client gets the pending outcome now.
-      route->hedge_planned = false;
+    if (route->done) return;
+    if (!failover) {
+      // Timer hedge: fires at most once, never stacks a third attempt, and
+      // a cancelled client gets no new work.
+      if (route->hedge_due_ns == 0) return;
       route->hedge_due_ns = 0;
+      if (route->outstanding >= 2) return;
+      if (route->client->token().cancel_requested()) return;
+    } else {
+      // A failure-promoted attempt supersedes any pending timer hedge.
+      route->hedge_due_ns = 0;
+    }
+    const std::uint64_t now = util::steady_now_ns();
+    target = next_candidate_locked(*route, now);
+    if (target < 0) {
+      // Replica set exhausted. On the failover path every attempt has
+      // already failed, so the client gets the pending outcome now.
       if (route->outstanding == 0 && route->have_pending) {
         route->done = true;
         resolve_now = true;
         client_resp = std::move(route->pending);
       }
     } else {
-      route->hedge_shard = target;
-      route->hedge_issued = true;
-      route->hedge_due_ns = 0;
+      route->attempted.push_back(target);
       ++route->outstanding;
       request = route->request;  // copy; shares the absolute deadline
     }
@@ -205,7 +254,7 @@ void ShardRouter::issue_hedge(const RoutePtr& route, bool failover) {
   }
   if (target < 0) return;
 
-  MOCHA_TRACE_SCOPE("router.hedge", "serve");
+  MOCHA_TRACE_SCOPE(failover ? "router.failover" : "router.hedge", "serve");
   hedges_issued_.fetch_add(1, std::memory_order_relaxed);
   MOCHA_METRIC_ADD("serve.fleet.hedges", 1);
   if (failover) {
@@ -215,24 +264,21 @@ void ShardRouter::issue_hedge(const RoutePtr& route, bool failover) {
   TicketPtr attempt =
       shards_[static_cast<std::size_t>(target)]->engine->submit(
           std::move(request));
+  std::size_t index = 0;
   {
     std::lock_guard<std::mutex> lock(route->mu);
-    route->attempts[1] = attempt;
+    route->attempts.push_back(attempt);
+    index = route->attempts.size() - 1;
   }
   const int shard = target;
-  attempt->on_resolve([this, route, shard](const Response& response) {
-    on_attempt(route, 1, shard, response);
+  attempt->on_resolve([this, route, index, shard](const Response& response) {
+    on_attempt(route, index, shard, response);
   });
-  // The hedge may have resolved synchronously above (e.g. shed on a full
-  // queue); the cleanup check in on_attempt already ran in that case, and
-  // this one is a no-op. Checking again here covers the normal async path
-  // where nothing has resolved yet — no, nothing to do: on_attempt owns
-  // cleanup for every resolution.
 }
 
-void ShardRouter::on_attempt(const RoutePtr& route, int attempt, int shard,
-                             const Response& response) {
-  TicketPtr to_cancel;
+void ShardRouter::on_attempt(const RoutePtr& route, std::size_t attempt,
+                             int shard, const Response& response) {
+  std::vector<TicketPtr> to_cancel;
   bool resolve = false;
   bool loser = false;
   bool failover = false;
@@ -241,17 +287,21 @@ void ShardRouter::on_attempt(const RoutePtr& route, int attempt, int shard,
     std::lock_guard<std::mutex> lock(route->mu);
     --route->outstanding;
     if (route->done) {
-      loser = true;  // the other attempt already resolved the client
+      loser = true;  // another attempt already resolved the client
     } else if (response.outcome == Outcome::Completed) {
       route->done = true;
       route->hedge_due_ns = 0;
       resolve = true;
       client_resp = response;  // the engine ticket keeps its own copy
-      if (attempt == 1) {
+      if (attempt > 0) {
         hedge_wins_.fetch_add(1, std::memory_order_relaxed);
         MOCHA_METRIC_ADD("serve.fleet.hedge_wins", 1);
       }
-      to_cancel = route->attempts[attempt == 0 ? 1 : 0];
+      for (std::size_t i = 0; i < route->attempts.size(); ++i) {
+        if (i != attempt && route->attempts[i]) {
+          to_cancel.push_back(route->attempts[i]);
+        }
+      }
     } else {
       // Failed or shed attempt. Keep the most informative outcome for the
       // client: failures (work consumed) beat sheds; the first in a class
@@ -264,10 +314,10 @@ void ShardRouter::on_attempt(const RoutePtr& route, int attempt, int shard,
       }
       if (route->outstanding == 0) {
         const bool cancelled = route->client->token().cancel_requested();
-        if (route->hedge_planned && !route->hedge_issued && !cancelled &&
-            accepting_.load(std::memory_order_acquire)) {
-          // Promote the hedge immediately: health-checked failover instead
-          // of waiting out the hedge delay.
+        if (!cancelled && accepting_.load(std::memory_order_acquire) &&
+            next_candidate_locked(*route, util::steady_now_ns()) >= 0) {
+          // Promote the next replica immediately: deterministic failover
+          // down the set instead of waiting out the hedge delay.
           failover = true;
         } else {
           route->done = true;
@@ -278,9 +328,9 @@ void ShardRouter::on_attempt(const RoutePtr& route, int attempt, int shard,
     }
   }
   record_attempt_health(shard, response, loser);
-  if (to_cancel) to_cancel->cancel();
+  for (const TicketPtr& t : to_cancel) t->cancel();
   if (resolve) resolve_client(route, std::move(client_resp));
-  if (failover) issue_hedge(route, /*failover=*/true);
+  if (failover) issue_attempt(route, /*failover=*/true);
 
   bool finished;
   {
@@ -369,12 +419,11 @@ void ShardRouter::tick(std::uint64_t now_ns) {
             if (t) to_cancel.push_back(t);
           }
         }
-        hedge_now = route->hedge_due_ns != 0 && now_ns >= route->hedge_due_ns &&
-                    !route->hedge_issued;
+        hedge_now = route->hedge_due_ns != 0 && now_ns >= route->hedge_due_ns;
       }
     }
     for (const TicketPtr& t : to_cancel) t->cancel();
-    if (hedge_now) issue_hedge(route, /*failover=*/false);
+    if (hedge_now) issue_attempt(route, /*failover=*/false);
   }
 
   update_ring(now_ns);
@@ -384,29 +433,98 @@ void ShardRouter::tick(std::uint64_t now_ns) {
   for (int i = 0; i < options_.shards; ++i) {
     Shard& shard = *shards_[static_cast<std::size_t>(i)];
     MOCHA_METRIC_GAUGE(
-        shard.health_gauge,
+        shard.state_gauge,
         static_cast<std::int64_t>(shard.health.state(now_ns)));
+    MOCHA_METRIC_GAUGE(shard.depth_gauge,
+                       static_cast<std::int64_t>(shard.engine->queue_depth()));
   }
+  MOCHA_METRIC_GAUGE("serve.replicas",
+                     static_cast<std::int64_t>(options_.default_replicas));
+  MOCHA_METRIC_GAUGE("serve.fleet.routing_epoch",
+                     static_cast<std::int64_t>(routing_epoch()));
   MOCHA_METRIC_GAUGE("serve.fleet.hedge_delay_us",
                      static_cast<std::int64_t>(hedge_delay_ns() / 1000));
 }
 
 void ShardRouter::update_ring(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
   for (int i = 0; i < options_.shards; ++i) {
     const bool in = shards_[static_cast<std::size_t>(i)]->health.in_ring(now_ns);
-    std::lock_guard<std::mutex> lock(ring_mu_);
+    bool removed = false;
     if (in && !ring_.contains(i)) {
       ring_.add(i);
       MOCHA_METRIC_ADD("serve.fleet.ring_readmits", 1);
     } else if (!in && ring_.contains(i)) {
       ring_.remove(i);
       MOCHA_METRIC_ADD("serve.fleet.ring_removals", 1);
+      removed = true;
+    } else {
+      continue;
     }
+    // One epoch bump and one exported snapshot per ring edit — the
+    // determinism contract an external balancer replays.
+    ++routing_.epoch;
+    routing_.edits.push_back({routing_.epoch, i, removed});
+    if (routing_.edits.size() > RoutingTable::kMaxEdits) {
+      routing_.edits.erase(routing_.edits.begin());
+    }
+    refresh_routing_locked();
+    export_routing_locked();
   }
 }
 
+void ShardRouter::refresh_routing_locked() {
+  routing_.slots = options_.routing_slots;
+  routing_.shards.clear();
+  for (int i = 0; i < options_.shards; ++i) {
+    routing_.shards.push_back({i, ring_.contains(i)});
+  }
+  const std::vector<int> members = ring_.members();
+  routing_.models.clear();
+  for (const auto& [name, replicas] : models_) {
+    RoutingTable::Model model;
+    model.name = name;
+    model.replicas = replicas;
+    model.slot_replicas.reserve(
+        static_cast<std::size_t>(options_.routing_slots));
+    for (int slot = 0; slot < options_.routing_slots; ++slot) {
+      model.slot_replicas.push_back(
+          rendezvous_replicas(name, slot, members, replicas));
+    }
+    routing_.models.push_back(std::move(model));
+  }
+}
+
+void ShardRouter::export_routing_locked() {
+  std::string text = routing_.to_json();
+  if (!options_.routing_out.empty()) {
+    obs::write_file_atomic(options_.routing_out, text + "\n");
+  }
+  routing_log_.push_back(std::move(text));
+}
+
+RoutingTable ShardRouter::routing_snapshot() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return routing_;
+}
+
+std::vector<std::string> ShardRouter::routing_log() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return routing_log_;
+}
+
+std::uint64_t ShardRouter::routing_epoch() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return routing_.epoch;
+}
+
 void ShardRouter::maybe_canary(int shard, std::uint64_t now_ns) {
-  if (canary_model_.empty()) return;  // nothing registered yet
+  std::vector<std::pair<std::string, nn::ValueTensor>> canaries;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (canaries_.empty()) return;  // nothing registered yet
+    canaries = canaries_;
+  }
   Shard& sh = *shards_[static_cast<std::size_t>(shard)];
   if (sh.canary_outstanding.load(std::memory_order_acquire)) return;
 
@@ -423,37 +541,59 @@ void ShardRouter::maybe_canary(int shard, std::uint64_t now_ns) {
   }
   sh.last_canary_ns = now_ns;
   sh.canary_outstanding.store(true, std::memory_order_release);
-  canaries_.fetch_add(1, std::memory_order_relaxed);
+  canaries_issued_.fetch_add(1, std::memory_order_relaxed);
   MOCHA_METRIC_ADD("serve.fleet.canaries", 1);
+
+  auto send = [&](const std::pair<std::string, nn::ValueTensor>& canary) {
+    Request request;
+    request.model = canary.first;
+    request.priority = options_.canary_priority;
+    request.deadline_ns = now_ns + options_.canary_deadline_ms * 1'000'000ull;
+    request.input = canary.second;
+    TicketPtr ticket = sh.engine->submit(std::move(request));
+    ticket->on_resolve([this, shard, probe](const Response& response) {
+      on_canary(shard, probe, response);
+    });
+  };
+
   if (probe) {
+    // Warm rebuild: the half-open probe canaries *every* registered model,
+    // which forces the shard's plan cache to re-search each one under the
+    // current (post-heal) scenario — readmission never serves cold. The
+    // verdict is all-or-nothing: one failed model re-quarantines.
     probes_.fetch_add(1, std::memory_order_relaxed);
     MOCHA_METRIC_ADD("serve.fleet.probes", 1);
+    MOCHA_TRACE_SCOPE("router.probe", "serve");
+    sh.probe_failed.store(false, std::memory_order_release);
+    sh.probe_remaining.store(static_cast<int>(canaries.size()),
+                             std::memory_order_release);
+    for (const auto& canary : canaries) send(canary);
+  } else {
+    MOCHA_TRACE_SCOPE("router.canary", "serve");
+    send(canaries.front());
   }
-
-  MOCHA_TRACE_SCOPE(probe ? "router.probe" : "router.canary", "serve");
-  Request request;
-  request.model = canary_model_;
-  request.priority = options_.canary_priority;
-  request.deadline_ns = now_ns + options_.canary_deadline_ms * 1'000'000ull;
-  request.input = canary_input_;
-  TicketPtr ticket = sh.engine->submit(std::move(request));
-  ticket->on_resolve([this, shard, probe](const Response& response) {
-    on_canary(shard, probe, response);
-  });
 }
 
 void ShardRouter::on_canary(int shard, bool probe, const Response& response) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard)];
   const std::uint64_t now = util::steady_now_ns();
   if (probe) {
-    // Single-probe half-open verdict; a verdict for an already abandoned
-    // probe is ignored inside ShardHealth.
-    if (response.outcome == Outcome::Completed) {
-      sh.health.record_probe_success(now);
-    } else {
-      sh.health.record_probe_failure(now);
+    // One verdict per model; the last arrival decides. A verdict for an
+    // already abandoned probe is ignored inside ShardHealth.
+    if (response.outcome != Outcome::Completed) {
+      sh.probe_failed.store(true, std::memory_order_release);
     }
-  } else if (response.outcome == Outcome::Completed) {
+    if (sh.probe_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (sh.probe_failed.load(std::memory_order_acquire)) {
+        sh.health.record_probe_failure(now);
+      } else {
+        sh.health.record_probe_success(now);
+      }
+      sh.canary_outstanding.store(false, std::memory_order_release);
+    }
+    return;
+  }
+  if (response.outcome == Outcome::Completed) {
     sh.health.record_success(now, response.latency_ns);
   } else if (outcome_is_shed(response.outcome)) {
     sh.health.record_failure(now, /*hard=*/false);
@@ -536,9 +676,10 @@ RouterStats ShardRouter::stats() const {
   out.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
   out.failovers = failovers_.load(std::memory_order_relaxed);
   out.steals = steals_.load(std::memory_order_relaxed);
-  out.canaries = canaries_.load(std::memory_order_relaxed);
+  out.canaries = canaries_issued_.load(std::memory_order_relaxed);
   out.probes = probes_.load(std::memory_order_relaxed);
   out.hedge_delay_ns = hedge_delay_ns();
+  out.routing_epoch = routing_epoch();
 
   const std::uint64_t now = util::steady_now_ns();
   out.shards.reserve(shards_.size());

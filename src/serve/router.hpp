@@ -1,4 +1,5 @@
-// ShardRouter — a sharded serving fleet with shard-level fault domains.
+// ShardRouter — a sharded, replicated serving fleet with shard-level fault
+// domains.
 //
 // The router fronts N shared-nothing ServeEngine instances. Each shard owns
 // its own admission queue, plan cache, circuit breakers, tenant buckets and
@@ -6,30 +7,39 @@
 // fleet analogue of MOCHA's morphable-fabric story, where capacity degrades
 // in bounded pieces instead of all at once. On top it layers:
 //
-//  * placement — consistent hashing by (tenant, model) over the live-shard
-//    ring (serve/shard.hpp), with a power-of-two-choices spill: when the
-//    home shard's queue is markedly deeper than its ring alternate's, the
-//    request goes to the alternate;
+//  * placement — every (tenant, model) key hashes to one of a fixed number
+//    of routing slots, and each (model, slot) rendezvous-hashes to an
+//    ordered *replica set* of R live shards (serve/routing.hpp; R
+//    configurable per model, default RouterOptions::default_replicas). A
+//    request routes to the best live replica — first Healthy in set order,
+//    with a power-of-two-choices spill to the next live replica when the
+//    target's queue is markedly deeper;
 //  * health — an active checker (periodic canary inferences per shard)
 //    feeds EWMA latency + error-rate into a per-shard state machine
 //    (serve/health.hpp): Degraded shards stay in the ring but lose spill
-//    traffic, Quarantined shards leave it, and a single half-open canary
-//    probe decides readmission — mirroring the engine's circuit breaker one
-//    level up;
-//  * hedging — a duplicate attempt on a second shard after a p99-derived
-//    delay; first terminal Completed wins, the loser is cancelled through
-//    its util::CancelToken, and the client ticket resolves exactly once —
-//    the fleet-level conservation law (one terminal outcome per client
-//    request, hedges never double-counted);
-//  * failover — a primary attempt that fails while a hedge was still
-//    pending triggers the hedge immediately instead of waiting out the
-//    delay;
+//    traffic, Quarantined shards leave it. Readmission requires a *warm
+//    rebuild*: the half-open probe runs one canary per registered model,
+//    forcing the shard's plan cache to re-search every model under the
+//    post-heal scenario, so a healed shard never serves cold;
+//  * hedging — a duplicate attempt on the next untried replica after a
+//    p99-derived delay; first terminal Completed wins, the loser is
+//    cancelled through its util::CancelToken, and the client ticket
+//    resolves exactly once;
+//  * failover — a failed attempt promotes the next live replica in set
+//    order immediately, walking deterministically down the set; when every
+//    replica is exhausted the request fails — replica count R, not luck,
+//    bounds the blast radius;
 //  * stealing — when a shard's queue runs hot, its youngest lowest-priority
-//    work migrates to the coldest in-ring shard (ServeEngine::transfer_to).
+//    work migrates to the coldest in-ring shard (ServeEngine::transfer_to);
+//  * routing export — the full placement table (slot -> replica set per
+//    model, per-shard serving state, a ring-edit epoch) is a
+//    serve::RoutingTable snapshot, re-exported atomically on every ring
+//    edit so an external balancer can mirror placement; the snapshot
+//    sequence is byte-deterministic for a fixed kill/heal schedule.
 //
 // All background work (hedge timers, cancel propagation, canaries, ring
-// maintenance, stealing) runs on one maintenance thread; request execution
-// stays on the shards' own workers.
+// maintenance, stealing, routing export) runs on one maintenance thread;
+// request execution stays on the shards' own workers.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +52,7 @@
 #include "obs/metrics.hpp"
 #include "serve/engine.hpp"
 #include "serve/health.hpp"
+#include "serve/routing.hpp"
 #include "serve/shard.hpp"
 
 namespace mocha::serve {
@@ -55,15 +66,27 @@ struct RouterOptions {
   HealthOptions health;
   int ring_vnodes = 64;
 
-  /// Power-of-two-choices spill: route to the ring alternate when the home
-  /// shard's queue is at least this much deeper. 0 = always pick the
+  /// Replica-set size for models registered without an explicit R, clamped
+  /// to the fleet size (a 1-shard fleet serves R=1 regardless).
+  int default_replicas = 2;
+  /// Routing slots the (tenant, model) key space is hashed into; the
+  /// exported table has one replica-set row per (model, slot).
+  int routing_slots = 64;
+  /// When non-empty, every routing-table snapshot is also written here
+  /// atomically (obs::write_file_atomic) — the `mocha_serve --routing-out`
+  /// export an external balancer tails.
+  std::string routing_out;
+
+  /// Power-of-two-choices spill: route to the next live replica when the
+  /// chosen one's queue is at least this much deeper. 0 = always pick the
   /// shallower of the two.
   std::size_t spill_margin = 2;
 
   /// Tail-latency hedging. The delay tracks the measured p-th percentile of
   /// fleet-level completed latency, clamped to [floor, cap]; until
   /// `hedge_min_samples` completions exist the cap is used (hedge late, not
-  /// eagerly, while the estimate is noise).
+  /// eagerly, while the estimate is noise). Failover on *failure* is always
+  /// on — disabling hedging only disables the duplicate-attempt timer.
   bool hedge = true;
   double hedge_percentile = 99.0;
   std::uint64_t hedge_floor_ms = 2;
@@ -110,11 +133,11 @@ struct RouterStats {
   std::int64_t in_flight = 0;
   std::int64_t by_outcome[8] = {0, 0, 0, 0, 0, 0, 0, 0};
 
-  /// Hedge attempts issued (timer-due + failover) and how many resolved
-  /// the client (the primary lost).
+  /// Secondary attempts issued (timer hedges + failure-promoted failovers)
+  /// and how many resolved the client (the primary lost).
   std::int64_t hedges_issued = 0;
   std::int64_t hedge_wins = 0;
-  /// Hedges promoted early because the primary attempt failed first.
+  /// Attempts promoted early because the previous attempt failed first.
   std::int64_t failovers = 0;
   /// Queue entries migrated by work stealing.
   std::int64_t steals = 0;
@@ -122,6 +145,8 @@ struct RouterStats {
   std::int64_t probes = 0;
   /// Current derived hedge delay.
   std::uint64_t hedge_delay_ns = 0;
+  /// Ring-edit epoch of the current routing table.
+  std::uint64_t routing_epoch = 0;
 
   std::vector<ShardSnapshot> shards;
 
@@ -138,15 +163,20 @@ class ShardRouter {
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
-  /// Registers the model on every shard. The first registered model also
-  /// becomes the canary workload (a zero input of its head shape).
+  /// Registers the model on every shard with a replica-set size of
+  /// `replicas` (0 = RouterOptions::default_replicas; otherwise must be in
+  /// [1, shards]). The first registered model also becomes the periodic
+  /// canary workload; *every* registered model is probed during readmission
+  /// (warm rebuild). Re-exports the routing table (same epoch — model
+  /// registration is not a ring edit).
   void register_model(const std::string& name, const nn::Network& net,
                       const std::vector<nn::ValueTensor>& weights,
                       const fabric::FabricConfig& config,
-                      core::MorphOptions morph = {});
+                      core::MorphOptions morph = {}, int replicas = 0);
 
-  /// Fleet admission: places by (tenant, model), may spill, may later hedge.
-  /// Never blocks; always returns a ticket that resolves exactly once.
+  /// Fleet admission: places on the best live replica, may spill, may later
+  /// hedge or fail over down the replica set. Never blocks; always returns
+  /// a ticket that resolves exactly once.
   TicketPtr submit(Request request);
 
   /// Stops the maintenance thread, then shuts every shard down (drain
@@ -167,36 +197,52 @@ class ShardRouter {
   /// Current derived hedge delay (see RouterOptions::hedge_*).
   std::uint64_t hedge_delay_ns() const;
 
+  /// Current routing table (deep copy — safe to inspect without locks).
+  RoutingTable routing_snapshot() const;
+  /// Every snapshot exported so far, in order: construction, each model
+  /// registration, then one per ring edit. The byte sequence is
+  /// deterministic for a fixed kill/heal schedule.
+  std::vector<std::string> routing_log() const;
+  /// Ring-edit epoch of the current table.
+  std::uint64_t routing_epoch() const;
+
  private:
   struct Shard {
     std::unique_ptr<ServeEngine> engine;
     ShardHealth health;
     std::uint64_t last_canary_ns = 0;
     std::atomic<bool> canary_outstanding{false};
-    std::string health_gauge;
+    /// Warm-rebuild probe bookkeeping: verdicts still pending and whether
+    /// any model's canary failed.
+    std::atomic<int> probe_remaining{0};
+    std::atomic<bool> probe_failed{false};
+    std::string state_gauge;
     std::string depth_gauge;
 
     explicit Shard(HealthOptions h) : health(h) {}
   };
 
-  /// One client request in flight: the client-facing ticket plus up to two
-  /// shard attempts (primary + hedge).
+  /// One client request in flight: the client-facing ticket plus its
+  /// attempts walking down the replica set (at most two outstanding at
+  /// once: the newest attempt and the timer hedge racing it).
   struct Route {
     std::uint64_t id = 0;
     std::mutex mu;
     TicketPtr client;
-    /// Kept for the hedge re-submit (deadline_ns resolved to absolute).
+    /// Kept for re-submits down the set (deadline_ns resolved to absolute).
     Request request;
     std::uint64_t submitted_ns = 0;
+    /// Ordered replica set captured at submit time (spill may reorder the
+    /// first attempt; failover order always follows this vector).
+    std::vector<int> candidates;
+    /// Shard of each attempt issued so far, in attempt order.
+    std::vector<int> attempted;
+    std::vector<TicketPtr> attempts;
     int outstanding = 0;
     bool done = false;
-    bool hedge_planned = false;
-    bool hedge_issued = false;
     bool cancel_propagated = false;
-    int primary_shard = -1;
-    int hedge_shard = -1;
-    TicketPtr attempts[2];
-    /// Steady-ns instant the hedge fires; 0 = none scheduled.
+    /// Steady-ns instant the timer hedge fires; 0 = none pending (either
+    /// never planned, already consumed, or cancelled by a failover).
     std::uint64_t hedge_due_ns = 0;
     /// Best non-Completed attempt outcome so far — what the client gets if
     /// every attempt fails.
@@ -211,32 +257,46 @@ class ShardRouter {
   void on_canary(int shard, bool probe, const Response& response);
   void update_ring(std::uint64_t now_ns);
   void steal_tick();
-  /// Issues the hedge attempt for `route` (timer-due or failover). Resolves
-  /// the client itself when no target is available and the primary already
-  /// failed.
-  void issue_hedge(const RoutePtr& route, bool failover);
-  void on_attempt(const RoutePtr& route, int attempt, int shard,
+  /// Issues the next attempt for `route` — the first unattempted live
+  /// replica in set order (timer hedge or failure-promoted failover).
+  /// Resolves the client itself when the set is exhausted and no attempt is
+  /// still outstanding.
+  void issue_attempt(const RoutePtr& route, bool failover);
+  void on_attempt(const RoutePtr& route, std::size_t attempt, int shard,
                   const Response& response);
   void record_attempt_health(int shard, const Response& response,
                              bool loser);
   /// Resolves the client ticket exactly once and books fleet stats.
   void resolve_client(const RoutePtr& route, Response&& response);
   void erase_route(std::uint64_t id);
-  /// In-ring shard with the shallowest queue, excluding `exclude`; -1 when
-  /// none.
-  int coldest_shard(int exclude);
+  /// First unattempted in-ring candidate in set order; -1 when exhausted.
+  /// Caller holds route->mu.
+  int next_candidate_locked(const Route& route, std::uint64_t now_ns) const;
+  /// Recomputes the routing table from the current ring membership and
+  /// registered models. Caller holds ring_mu_.
+  void refresh_routing_locked();
+  /// Serializes the current table into the log (and routing_out, when
+  /// configured). Caller holds ring_mu_.
+  void export_routing_locked();
 
   RouterOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable std::mutex ring_mu_;
   HashRing ring_;
+  /// (model, replica count) in registration order; the routing table's
+  /// model list mirrors this.
+  std::vector<std::pair<std::string, int>> models_;
+  RoutingTable routing_;
+  std::vector<std::string> routing_log_;
 
   mutable std::mutex routes_mu_;
   std::map<std::uint64_t, RoutePtr> routes_;
 
-  std::string canary_model_;
-  nn::ValueTensor canary_input_;
+  /// Canary workloads, one per registered model (name, zero input of the
+  /// head shape). The first is the periodic liveness canary; a readmission
+  /// probe runs all of them (warm rebuild). Guarded by ring_mu_.
+  std::vector<std::pair<std::string, nn::ValueTensor>> canaries_;
 
   mutable std::mutex hist_mu_;
   obs::HistogramData latency_us_;
@@ -256,7 +316,7 @@ class ShardRouter {
   std::atomic<std::int64_t> hedge_wins_{0};
   std::atomic<std::int64_t> failovers_{0};
   std::atomic<std::int64_t> steals_{0};
-  std::atomic<std::int64_t> canaries_{0};
+  std::atomic<std::int64_t> canaries_issued_{0};
   std::atomic<std::int64_t> probes_{0};
   std::atomic<std::int64_t> by_outcome_[8] = {};
 };

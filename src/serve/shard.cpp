@@ -60,6 +60,10 @@ bool HashRing::contains(int shard) const {
 
 std::size_t HashRing::size() const { return members_.size(); }
 
+std::vector<int> HashRing::members() const {
+  return std::vector<int>(members_.begin(), members_.end());
+}
+
 HashRing::Placement HashRing::place(std::string_view key) const {
   Placement out;
   if (ring_.empty()) return out;

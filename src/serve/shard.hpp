@@ -17,6 +17,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace mocha::serve {
 
@@ -31,6 +32,9 @@ class HashRing {
   bool contains(int shard) const;
   /// Live shards.
   std::size_t size() const;
+  /// Live shard ids in ascending order — the member list replica placement
+  /// (serve/routing.hpp) rendezvous-hashes over.
+  std::vector<int> members() const;
 
   struct Placement {
     /// Owning shard, or -1 when the ring is empty.

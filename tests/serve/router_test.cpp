@@ -255,6 +255,47 @@ TEST_F(RouterFleet, QuarantineAndProbeReadmission) {
   EXPECT_GE(stats.shards[1].probes_started, 1);
 }
 
+// Replication without the hedge timer: with the hedge disabled, a hard
+// failure on the best replica must still fail over down the replica set —
+// failover-on-failure is always on. Every request completes, conservation
+// holds per shard and fleet-wide, and the failover counter proves the
+// rescue path actually ran.
+TEST_F(RouterFleet, ReplicatedFailoverConserves) {
+  RouterOptions o = base_options(3);
+  o.default_replicas = 2;
+  o.hedge = false;  // no timer hedge: only failure-driven failover remains
+  o.steal = false;
+  // Without the breaker's codec-free fallback the sick shard fails hard
+  // every time, so each of its requests exercises the failover path.
+  o.engine.breaker.failure_threshold = 1000;
+  o.health.quarantine_streak = 100;  // keep the sick shard in the ring
+  // No canaries: health must not flip before the submit burst below, so the
+  // sick shard is still Healthy — and targeted — when its keys arrive.
+  o.canary_period_ms = 1'000'000;
+  ShardRouter router(o);
+  register_tiny(router);
+
+  fault::FaultModel sick;
+  sick.codec_bit_flip_rate = 1.0;
+  router.set_shard_fault(1, sick);
+
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 40; ++i) tickets.push_back(router.submit(make_request(i)));
+  for (const TicketPtr& t : tickets) {
+    EXPECT_EQ(t->wait().outcome, Outcome::Completed);
+  }
+  router.clear_shard_fault(1);
+  router.shutdown(true);
+
+  const RouterStats stats = router.stats();
+  expect_conserved(stats);
+  EXPECT_EQ(stats.completed, 40);
+  EXPECT_GT(stats.failovers, 0);
+  // Shard 1 owned some keys (rendezvous spreads every fleet member), so it
+  // must have seen — and failed — their first attempts.
+  EXPECT_GT(stats.shards[1].stats.failed, 0);
+}
+
 // Randomized multi-shard stress: concurrent clients, fault churn across
 // shards, hedging and stealing active. The invariant under all of it:
 // submitted == completed + shed + failed, exactly, fleet-wide and (with

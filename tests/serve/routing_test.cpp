@@ -1,0 +1,340 @@
+// Tests for replica placement and the exported routing table
+// (serve/routing.hpp): rendezvous determinism and minimal disruption, the
+// mocha.routing.v1 snapshot round-trip (property-tested over seeded random
+// tables), reader robustness under byte noise, and the fleet-level
+// determinism contract — two routers replaying the same kill/heal schedule
+// must export byte-identical snapshot sequences, bumping the epoch exactly
+// once per ring edit.
+#include "serve/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/model.hpp"
+#include "nn/generate.hpp"
+#include "serve/router.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mocha::serve {
+namespace {
+
+TEST(Routing, SlotIsDeterministicAndInRange) {
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "tenant-" + std::to_string(i) + "|m";
+    const int slot = routing_slot(key, 64);
+    EXPECT_EQ(slot, routing_slot(key, 64));
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, 64);
+  }
+  // Keys spread over the slot space rather than clumping on a few values.
+  std::vector<int> hits(16, 0);
+  for (int i = 0; i < 400; ++i) {
+    ++hits[static_cast<std::size_t>(
+        routing_slot("t" + std::to_string(i) + "|m", 16))];
+  }
+  for (int s = 0; s < 16; ++s) EXPECT_GT(hits[static_cast<std::size_t>(s)], 0);
+}
+
+TEST(Routing, RendezvousReplicasAreDistinctAndOrderIndependent) {
+  const std::vector<int> members = {0, 1, 2, 3};
+  const std::vector<int> shuffled = {3, 1, 0, 2};
+  for (int slot = 0; slot < 64; ++slot) {
+    const std::vector<int> set = rendezvous_replicas("m", slot, members, 2);
+    ASSERT_EQ(set.size(), 2u);
+    EXPECT_NE(set[0], set[1]);
+    // Member order must not matter: the set is a pure function of the
+    // membership, not of iteration order.
+    EXPECT_EQ(set, rendezvous_replicas("m", slot, shuffled, 2));
+  }
+  // R larger than the fleet degrades to every member, still ordered.
+  const std::vector<int> all = rendezvous_replicas("m", 0, members, 8);
+  EXPECT_EQ(all.size(), members.size());
+  // Different models get different placements for at least some slots.
+  int diverged = 0;
+  for (int slot = 0; slot < 64; ++slot) {
+    if (rendezvous_replicas("m", slot, members, 2) !=
+        rendezvous_replicas("other", slot, members, 2)) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(Routing, RemovalOnlyRemapsSlotsThatHeldTheShard) {
+  const std::vector<int> members = {0, 1, 2, 3};
+  const std::vector<int> without = {0, 1, 3};
+  for (int slot = 0; slot < 64; ++slot) {
+    const std::vector<int> before = rendezvous_replicas("m", slot, members, 2);
+    const std::vector<int> after = rendezvous_replicas("m", slot, without, 2);
+    if (std::find(before.begin(), before.end(), 2) == before.end()) {
+      // Slots that never referenced the removed shard keep their set.
+      EXPECT_EQ(after, before) << "slot " << slot;
+    } else {
+      EXPECT_TRUE(std::find(after.begin(), after.end(), 2) == after.end());
+    }
+    // Re-adding restores the original table bit-for-bit.
+    EXPECT_EQ(rendezvous_replicas("m", slot, members, 2), before);
+  }
+}
+
+// Builds a structurally valid random table: every replica id is declared,
+// rows are distinct and no wider than R, one row per slot.
+RoutingTable random_table(util::Rng& rng) {
+  RoutingTable t;
+  t.epoch = rng.uniform_int(0, 1'000'000);
+  t.slots = static_cast<int>(rng.uniform_int(1, 8));
+  const int n_shards = static_cast<int>(rng.uniform_int(1, 5));
+  std::vector<int> ids;
+  for (int i = 0; i < n_shards; ++i) {
+    t.shards.push_back({i, rng.bernoulli(0.7)});
+    ids.push_back(i);
+  }
+  const int n_models = static_cast<int>(rng.uniform_int(0, 2));
+  for (int m = 0; m < n_models; ++m) {
+    RoutingTable::Model model;
+    model.name = "model-" + std::to_string(m);
+    model.replicas = static_cast<int>(rng.uniform_int(1, 3));
+    for (int slot = 0; slot < t.slots; ++slot) {
+      std::vector<int> pool = ids;
+      std::vector<int> row;
+      const int width = static_cast<int>(rng.uniform_int(
+          0, std::min<std::int64_t>(model.replicas,
+                                    static_cast<std::int64_t>(pool.size()))));
+      for (int r = 0; r < width; ++r) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1));
+        row.push_back(pool[pick]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+      model.slot_replicas.push_back(std::move(row));
+    }
+    t.models.push_back(std::move(model));
+  }
+  const int n_edits = static_cast<int>(rng.uniform_int(0, 5));
+  for (int e = 0; e < n_edits; ++e) {
+    t.edits.push_back({static_cast<std::uint64_t>(rng.uniform_int(0, 1'000)),
+                       static_cast<int>(rng.uniform_int(0, 64)),
+                       rng.bernoulli(0.5)});
+  }
+  return t;
+}
+
+TEST(Routing, JsonRoundTripProperty) {
+  util::Rng rng(4242);
+  for (int iter = 0; iter < 50; ++iter) {
+    const RoutingTable table = random_table(rng);
+    const std::string text = table.to_json();
+    const RoutingTable parsed = RoutingTable::from_json(text);
+    EXPECT_TRUE(parsed == table) << "iteration " << iter << ":\n" << text;
+    // Serialization is canonical: a parsed table re-serializes byte-equal.
+    EXPECT_EQ(parsed.to_json(), text) << "iteration " << iter;
+  }
+}
+
+TEST(Routing, FromJsonRejectsStructuralLies) {
+  RoutingTable t;
+  t.shards.push_back({0, true});
+  t.shards.push_back({1, true});
+  RoutingTable::Model m;
+  m.name = "m";
+  m.replicas = 2;
+  m.slot_replicas.assign(static_cast<std::size_t>(t.slots), {0, 1});
+  t.models.push_back(m);
+  t.edits.push_back({1, 1, true});
+  const std::string good = t.to_json();
+  EXPECT_TRUE(RoutingTable::from_json(good) == t);
+
+  auto rejects = [&](const std::string& from, const std::string& to) {
+    std::string bad = good;
+    const auto pos = bad.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    bad.replace(pos, from.size(), to);
+    EXPECT_THROW(RoutingTable::from_json(bad), util::CheckFailure)
+        << from << " -> " << to;
+  };
+  rejects("mocha.routing.v1", "mocha.routing.v2");   // unknown schema
+  rejects("\"slots\":64", "\"slots\":63");           // row count != slots
+  rejects("[0,1]", "[0,7]");                         // undeclared replica
+  rejects("[0,1]", "[1,1]");                         // duplicate replica
+  rejects("[0,1]", "[0,1,0]");                       // row wider than R
+  rejects("\"epoch\":0", "\"epoch\":-1");            // negative epoch
+  rejects("\"epoch\":0", "\"epoch\":1e300");         // absurd epoch
+  rejects("\"op\":\"remove\"", "\"op\":\"evict\"");  // unknown edit op
+}
+
+// Reader robustness: random byte corruption and truncation of a valid
+// snapshot must either parse (the flip landed somewhere harmless) or throw
+// util::CheckFailure — never crash, hang, or trip a sanitizer. This is the
+// asan-preset entry that guards the as_int range checks.
+TEST(RoutingFuzz, ByteNoiseNeverCrashesReader) {
+  util::Rng rng(1337);
+  RoutingTable seed_table = random_table(rng);
+  seed_table.edits.push_back({1, 1, true});
+  const std::string good = seed_table.to_json();
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 600; ++iter) {
+    std::string noisy = good;
+    if (rng.bernoulli(0.25)) {
+      noisy.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(noisy.size()))));
+    }
+    const int flips = static_cast<int>(rng.uniform_int(1, 8));
+    for (int f = 0; f < flips && !noisy.empty(); ++f) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(noisy.size()) - 1));
+      noisy[at] = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    try {
+      (void)RoutingTable::from_json(noisy);
+      ++parsed_ok;
+    } catch (const util::CheckFailure&) {
+      // The promised loud failure.
+    }
+  }
+  // Sanity: the loop exercised both outcomes at least once is not
+  // guaranteed, but wholesale acceptance would mean validation is off.
+  EXPECT_LT(parsed_ok, 600);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-level determinism: same seed, same kill/heal schedule -> the exact
+// same snapshot *sequence*, byte for byte, with the epoch bumped exactly
+// once per ring edit. Canaries alone drive the quarantine and readmission,
+// so the schedule is the only timing input.
+
+class RoutingFleet : public ::testing::Test {
+ protected:
+  RouterOptions fleet_options() {
+    RouterOptions o;
+    o.shards = 3;
+    o.default_replicas = 2;
+    o.engine.workers = 2;
+    o.engine.queue_capacity = 64;
+    o.engine.default_deadline_ms = 2'000;
+    o.engine.retry.max_attempts = 2;
+    o.engine.retry.backoff_base_ms = 1;
+    o.engine.codec_retry_budget = 0;
+    // Keep the breaker out of the way: its codec-free fallback plan would
+    // let canaries on the sick shard succeed and reset the streak.
+    o.engine.breaker.failure_threshold = 1000;
+    o.maintenance_tick_ms = 1;
+    o.canary_period_ms = 5;
+    o.steal = false;
+    o.health.quarantine_streak = 2;
+    o.health.probe_after_ns = 50'000'000;     // 50 ms
+    o.health.probe_timeout_ns = 500'000'000;  // 500 ms
+    return o;
+  }
+
+  void register_tiny(ShardRouter& router, const std::string& name) {
+    const nn::Network net = nn::make_single_conv(4, 16, 16, 8, 3, 1, 1);
+    util::Rng rng(11);
+    core::MorphOptions morph;
+    morph.exact_top_k = 1;
+    morph.max_fusion_len = 1;
+    morph.parallelism_options = {{1, 1}};
+    router.register_model(name, net, nn::random_weights(net, 0.3, rng),
+                          fabric::mocha_default_config(), morph);
+  }
+
+  // Poll until the router's routing epoch reaches `epoch` (30 s backstop).
+  static bool await_epoch(ShardRouter& router, std::uint64_t epoch) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (router.routing_epoch() < epoch &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return router.routing_epoch() >= epoch;
+  }
+
+  // One full kill/heal cycle; returns the exported snapshot sequence.
+  std::vector<std::string> run_schedule() {
+    ShardRouter router(fleet_options());
+    register_tiny(router, "m");
+    fault::FaultModel sick;
+    sick.codec_bit_flip_rate = 1.0;
+    router.set_shard_fault(1, sick);
+    EXPECT_TRUE(await_epoch(router, 1));  // canary streak -> quarantine
+    router.clear_shard_fault(1);
+    EXPECT_TRUE(await_epoch(router, 2));  // probe -> readmission
+    router.shutdown(/*drain=*/true);
+    return router.routing_log();
+  }
+};
+
+TEST_F(RoutingFleet, SnapshotSequenceIsByteDeterministic) {
+  const std::vector<std::string> first = run_schedule();
+  const std::vector<std::string> second = run_schedule();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "snapshot " << i << " diverged";
+  }
+
+  // Exactly four exports: construction, registration, the quarantine
+  // removal, the readmission — and the epoch stepped 0, 0, 1, 2: once per
+  // ring edit, never more.
+  ASSERT_EQ(first.size(), 4u);
+  const std::uint64_t want_epoch[] = {0, 0, 1, 2};
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const RoutingTable t = RoutingTable::from_json(first[i]);
+    EXPECT_EQ(t.epoch, want_epoch[i]) << "snapshot " << i;
+  }
+
+  const RoutingTable final_table = RoutingTable::from_json(first.back());
+  ASSERT_EQ(final_table.edits.size(), 2u);
+  EXPECT_TRUE((final_table.edits[0] == RoutingTable::Edit{1, 1, true}));
+  EXPECT_TRUE((final_table.edits[1] == RoutingTable::Edit{2, 1, false}));
+  for (const RoutingTable::Shard& s : final_table.shards) {
+    EXPECT_TRUE(s.serving) << "shard " << s.id;
+  }
+  // The readmitted table equals the pre-kill table except for epoch and the
+  // edit trail: rendezvous placement healed bit-for-bit.
+  const RoutingTable registered = RoutingTable::from_json(first[1]);
+  EXPECT_EQ(final_table.shards, registered.shards);
+  EXPECT_TRUE(final_table.models == registered.models);
+}
+
+TEST_F(RoutingFleet, SnapshotMatchesLiveRendezvousPlacement) {
+  ShardRouter router(fleet_options());
+  register_tiny(router, "m");
+  const RoutingTable table = router.routing_snapshot();
+  ASSERT_EQ(table.models.size(), 1u);
+  const RoutingTable::Model& m = table.models[0];
+  EXPECT_EQ(m.replicas, 2);
+  ASSERT_EQ(m.slot_replicas.size(), static_cast<std::size_t>(table.slots));
+  const std::vector<int> members = {0, 1, 2};
+  for (int slot = 0; slot < table.slots; ++slot) {
+    EXPECT_EQ(m.slot_replicas[static_cast<std::size_t>(slot)],
+              rendezvous_replicas("m", slot, members, 2))
+        << "slot " << slot;
+  }
+  router.shutdown(true);
+}
+
+// Warm rebuild: after quarantine and heal, the readmission probe must have
+// re-primed the shard's plan cache for *every* registered model — a
+// readmitted shard serves its first real request from a warm cache.
+TEST_F(RoutingFleet, ReadmissionProbeWarmsEveryModel) {
+  ShardRouter router(fleet_options());
+  register_tiny(router, "m0");
+  register_tiny(router, "m1");
+  fault::FaultModel sick;
+  sick.codec_bit_flip_rate = 1.0;
+  router.set_shard_fault(1, sick);
+  ASSERT_TRUE(await_epoch(router, 1));
+  router.clear_shard_fault(1);
+  ASSERT_TRUE(await_epoch(router, 2));
+  EXPECT_TRUE(router.shard_engine(1).has_plan("m0"));
+  EXPECT_TRUE(router.shard_engine(1).has_plan("m1"));
+  router.shutdown(true);
+}
+
+}  // namespace
+}  // namespace mocha::serve

@@ -2,26 +2,30 @@
 // serving fleet (src/serve/).
 //
 // Replays a synthetic Poisson request trace against a ShardRouter fronting
-// N shared-nothing ServeEngine shards hosting one network, optionally under
-// injected fault scenarios (resource kills, codec bit flips, execution
-// stalls), and prints what the fleet did about it: per-outcome counts,
-// exact latency percentiles of the accepted traffic, hedging / stealing /
-// canary activity, per-shard health, and retry/fallback/breaker detail —
-// then checks the fleet conservation law (submitted == completed + shed +
-// failed, one terminal outcome per client request) and, when --slo-ms is
-// given, the p99 of completed requests against it.
+// N shared-nothing ServeEngine shards hosting one or more models replicated
+// across R-shard replica sets, optionally under injected fault scenarios
+// (resource kills, codec bit flips, execution stalls), and prints what the
+// fleet did about it: per-outcome counts, exact latency percentiles of the
+// accepted traffic, hedging / failover / stealing / canary activity,
+// per-shard health, and retry/fallback/breaker detail — then checks the
+// fleet conservation law (submitted == completed + shed + failed, one
+// terminal outcome per client request), the p99 of completed requests
+// against --slo-ms, and completed/submitted against --availability-min.
 //
 // Fleet experiments:
 //   mocha_serve --shards 4 --requests 400 --rate 200
-//   mocha_serve --shards 4 --kill-shard 2 --kill-after 0.25
-//               --heal-shard-after 0.75 --slo-ms 250
+//   mocha_serve --shards 3 --replicas 2 --kill-shard 1 --kill-after 0.25
+//               --codec-flip 1.0 --availability-min 0.999
 //   mocha_serve --shards 4 --fleet-faulty 1 --fault-kill 0.3
 //   mocha_serve --shards 2 --kill-shard 1 --stall-ms 80 --hedge-ms 10
 //               --hedge-compare
+//   mocha_serve --shards 3 --replicas 2 --routing-out routing.json
 //   mocha_serve --bench-out BENCH_serve.json --bench-shards 1,2,4
+//               --bench-replicas 1,2,3
 //
 // Exit codes: 0 ok, 1 SLO missed, 2 usage, 3 internal error,
-// 4 conservation violated, 6 hedge-compare showed no p99 improvement.
+// 4 conservation violated, 6 hedge-compare showed no p99 improvement,
+// 7 availability below --availability-min.
 //
 // SIGINT/SIGTERM stop admission, drain what is in flight, and still print
 // the report: the runtime's graceful-shutdown path is the tool's.
@@ -44,6 +48,7 @@
 #include "obs/trace.hpp"
 #include "serve/router.hpp"
 #include "serve/signal.hpp"
+#include "util/cpuid.hpp"
 #include "util/rng.hpp"
 #include "util/timing.hpp"
 
@@ -73,6 +78,15 @@ struct Args {
   bool no_steal = false;
   std::int64_t canary_period_ms = 25;
   bool hedge_compare = false;
+  // Replication: 0 = router default (2, clamped to the fleet size).
+  int replicas = 0;
+  // Multi-model mix: the network is registered under this many names and
+  // requests cycle across them.
+  int models = 1;
+  std::string routing_out;
+  // Availability gate: completed/submitted below this fails with exit 7.
+  // Negative = report only.
+  double availability_min = -1.0;
 
   // Fault injection. --faults/--fault-kill/--codec-flip without
   // --kill-shard apply fleet-wide (the pre-fleet behaviour); with
@@ -97,6 +111,9 @@ struct Args {
   std::string trace_file;
   std::string bench_out;
   std::vector<int> bench_shards = {1, 2, 4};
+  // Availability-vs-R sweep (same seed and kill/heal schedule per point);
+  // empty = off.
+  std::vector<int> bench_replicas;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -112,13 +129,17 @@ struct Args {
          "[--breaker-cooldown-ms N] [--slo-ms N]\n"
          "       [--no-hedge] [--hedge-ms N] [--no-steal] "
          "[--canary-period-ms N] [--hedge-compare]\n"
+         "       [--replicas R] [--models N] [--routing-out FILE] "
+         "[--availability-min FRAC]\n"
          "       [--faults FILE] [--fault-kill FRAC] [--codec-flip RATE] "
          "[--fault-seed N]\n"
          "       [--heal-after FRAC] [--kill-shard K] [--kill-after FRAC] "
          "[--heal-shard-after FRAC]\n"
          "       [--stall-ms N] [--fleet-faulty N] [--seed N] [--json] "
          "[--metrics] [--out FILE]\n"
-         "       [--trace FILE] [--bench-out FILE] [--bench-shards LIST]\n";
+         "       [--trace FILE] [--bench-out FILE] [--bench-shards LIST] "
+         "[--bench-replicas LIST]\n"
+         "       [--isa scalar|avx2|neon]\n";
   std::exit(2);
 }
 
@@ -252,6 +273,16 @@ Args parse(int argc, char** argv) {
       args.canary_period_ms = parse_int(argv[0], flag, value(), 1, 60'000);
     } else if (flag == "--hedge-compare") {
       args.hedge_compare = true;
+    } else if (flag == "--replicas") {
+      args.replicas =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 64));
+    } else if (flag == "--models") {
+      args.models =
+          static_cast<int>(parse_int(argv[0], flag, value(), 1, 64));
+    } else if (flag == "--routing-out") {
+      args.routing_out = value();
+    } else if (flag == "--availability-min") {
+      args.availability_min = parse_double(argv[0], flag, value(), 0.0, 1.0);
     } else if (flag == "--faults") {
       args.faults_file = value();
     } else if (flag == "--fault-kill") {
@@ -290,6 +321,18 @@ Args parse(int argc, char** argv) {
       args.bench_out = value();
     } else if (flag == "--bench-shards") {
       args.bench_shards = parse_shard_list(argv[0], flag, value());
+    } else if (flag == "--bench-replicas") {
+      args.bench_replicas = parse_shard_list(argv[0], flag, value());
+    } else if (flag == "--isa") {
+      // Kernel/codec dispatch override, same values as MOCHA_KERNEL_ISA.
+      // Parse errors are a CLI problem (exit 2); an unsupported-but-valid
+      // ISA is a host/build problem and stays the hard MOCHA_CHECK.
+      const std::string text = value();
+      mocha::util::KernelIsa isa;
+      if (!mocha::util::parse_isa(text, &isa)) {
+        bad_arg(argv[0], "--isa expects scalar|avx2|neon, got '" + text + "'");
+      }
+      mocha::util::force_isa(isa);
     } else if (flag == "--help" || flag == "-h") {
       usage(argv[0]);
     } else {
@@ -327,6 +370,13 @@ Args parse(int argc, char** argv) {
   if (args.hedge_compare && args.no_hedge) {
     bad_arg(argv[0], "--hedge-compare and --no-hedge are contradictory");
   }
+  if (args.replicas > args.shards && args.bench_out.empty()) {
+    bad_arg(argv[0], "--replicas=" + std::to_string(args.replicas) +
+                         " exceeds --shards=" + std::to_string(args.shards));
+  }
+  if (!args.bench_replicas.empty() && args.bench_out.empty()) {
+    bad_arg(argv[0], "--bench-replicas requires --bench-out");
+  }
   return args;
 }
 
@@ -338,6 +388,9 @@ struct RunResult {
   std::uint64_t p99 = 0;
   double wall_s = 0;
   double throughput_rps = 0;
+  /// Effective replica-set size and completed/submitted for the run.
+  int replicas = 0;
+  double availability = 0;
   std::int64_t exec_attempts = 0;
   std::int64_t codec_retries = 0;
   std::int64_t breaker_trips = 0;
@@ -409,11 +462,25 @@ RunResult run_trace(const Args& args, const mocha::nn::Network& net,
   }
   options.steal = !args.no_steal;
   options.canary_period_ms = static_cast<std::uint64_t>(args.canary_period_ms);
+  if (args.replicas > 0) {
+    // Bench sweeps clamp rather than reject: a 2-shard point serves R=2
+    // even when the sweep asks for R=3.
+    options.default_replicas = std::min(args.replicas, shards);
+  }
+  options.routing_out = args.routing_out;
 
   serve::ShardRouter router(options);
   util::Rng rng(args.seed);
-  router.register_model(args.network, net, nn::random_weights(net, 0.2, rng),
-                        config);
+  // Multi-model mix: the same network registered under `models` names, each
+  // with its own weights and replica set; requests cycle across them.
+  std::vector<std::string> model_names;
+  for (int m = 0; m < args.models; ++m) {
+    model_names.push_back(args.models == 1
+                              ? args.network
+                              : args.network + "-" + std::to_string(m));
+    router.register_model(model_names.back(), net,
+                          nn::random_weights(net, 0.2, rng), config);
+  }
 
   // Fault assignment.
   const fault::FaultModel flag_faults = scenario_from_flags(args, config);
@@ -504,7 +571,8 @@ RunResult run_trace(const Args& args, const mocha::nn::Network& net,
                 << " requests\n";
     }
     serve::Request request;
-    request.model = args.network;
+    request.model = model_names[static_cast<std::size_t>(i) %
+                                model_names.size()];
     request.tenant = "tenant-" + std::to_string(i % args.tenants);
     request.priority =
         static_cast<int>(arrivals.uniform_int(0, args.priority_levels - 1));
@@ -544,9 +612,10 @@ RunResult run_trace(const Args& args, const mocha::nn::Network& net,
       out.wall_s > 0 ? static_cast<double>(out.stats.completed) / out.wall_s
                      : 0.0;
   for (int i = 0; i < shards; ++i) {
-    out.breaker_trips += router.shard_engine(i).breaker_trips(args.network);
-    out.breaker_recoveries +=
-        router.shard_engine(i).breaker_recoveries(args.network);
+    for (const std::string& name : model_names) {
+      out.breaker_trips += router.shard_engine(i).breaker_trips(name);
+      out.breaker_recoveries += router.shard_engine(i).breaker_recoveries(name);
+    }
   }
   for (const serve::ShardSnapshot& snap : out.stats.shards) {
     out.quarantines += snap.quarantines;
@@ -555,6 +624,12 @@ RunResult run_trace(const Args& args, const mocha::nn::Network& net,
                                              out.stats.shed +
                                              out.stats.failed &&
                   out.stats.in_flight == 0;
+  out.replicas = std::min(options.default_replicas, shards);
+  out.availability =
+      out.stats.submitted > 0
+          ? static_cast<double>(out.stats.completed) /
+                static_cast<double>(out.stats.submitted)
+          : 1.0;
   return out;
 }
 
@@ -562,9 +637,11 @@ std::string fleet_json(const Args& args, int shards, const RunResult& r,
                        bool slo_ok) {
   using namespace mocha;
   std::ostringstream json;
-  json << "{\n  \"schema\": \"mocha.serve.v2\",\n"
+  json << "{\n  \"schema\": \"mocha.serve.v3\",\n"
        << "  \"network\": \"" << args.network << "\",\n"
        << "  \"shards\": " << shards << ",\n"
+       << "  \"replicas\": " << r.replicas << ",\n"
+       << "  \"models\": " << args.models << ",\n"
        << "  \"requests\": " << args.requests << ",\n"
        << "  \"rate_rps\": " << args.rate << ",\n"
        << "  \"interrupted\": " << (r.interrupted ? "true" : "false")
@@ -598,6 +675,9 @@ std::string fleet_json(const Args& args, int shards, const RunResult& r,
        << ", \"p99\": " << r.p99 << "},\n"
        << "  \"throughput_rps\": " << r.throughput_rps << ",\n"
        << "  \"slo_ms\": " << args.slo_ms << ",\n"
+       << "  \"availability\": " << r.availability << ",\n"
+       << "  \"availability_min\": " << args.availability_min << ",\n"
+       << "  \"routing_epoch\": " << r.stats.routing_epoch << ",\n"
        << "  \"conserved\": " << (r.conserved ? "true" : "false") << ",\n"
        << "  \"slo_ok\": " << (slo_ok ? "true" : "false") << ",\n"
        << "  \"shard_detail\": [";
@@ -625,9 +705,10 @@ std::string fleet_json(const Args& args, int shards, const RunResult& r,
 void print_report(const Args& args, int shards, const RunResult& r,
                   bool slo_ok) {
   using namespace mocha;
-  std::cout << "serve fleet report: " << args.network << ", " << shards
-            << " shard" << (shards == 1 ? "" : "s") << ", "
-            << r.stats.submitted << " submitted"
+  std::cout << "serve fleet report: " << args.network << " x" << args.models
+            << ", " << shards << " shard" << (shards == 1 ? "" : "s")
+            << ", R=" << r.replicas << ", " << r.stats.submitted
+            << " submitted"
             << (r.interrupted ? " (interrupted, drained)" : "") << "\n"
             << "  completed " << r.stats.completed << "  shed "
             << r.stats.shed << "  failed " << r.stats.failed
@@ -657,11 +738,18 @@ void print_report(const Args& args, int shards, const RunResult& r,
   std::cout << "  latency (completed): p50 " << r.p50 << " us, p90 "
             << r.p90 << " us, p99 " << r.p99 << " us; throughput "
             << r.throughput_rps << " rps\n"
+            << "  availability " << r.availability << ", routing epoch "
+            << r.stats.routing_epoch << "\n"
             << "  conservation: " << (r.conserved ? "ok" : "VIOLATED")
             << "\n";
   if (args.slo_ms > 0) {
     std::cout << "  SLO p99 <= " << args.slo_ms
               << " ms: " << (slo_ok ? "met" : "MISSED") << "\n";
+  }
+  if (args.availability_min >= 0) {
+    std::cout << "  availability >= " << args.availability_min << ": "
+              << (r.availability >= args.availability_min ? "met" : "MISSED")
+              << "\n";
   }
 }
 
@@ -678,6 +766,7 @@ int run_bench(const Args& args, const mocha::nn::Network& net,
   bool all_slo = true;
   for (const int shards : args.bench_shards) {
     Args per = args;
+    per.routing_out.clear();  // sub-runs would clobber each other's export
     if (per.kill_shard >= shards) per.kill_shard = shards - 1;
     std::cerr << "bench: " << shards << " shard(s)...\n";
     RunResult r = run_trace(per, net, config, shards, !args.no_hedge);
@@ -692,6 +781,35 @@ int run_bench(const Args& args, const mocha::nn::Network& net,
     const bool interrupted = r.interrupted;
     points.push_back({shards, std::move(r), slo_ok});
     if (interrupted || serve::SignalDrain::requested()) break;
+  }
+
+  // Availability-vs-R trajectory: the same seed and kill/heal schedule at a
+  // fixed fleet size, sweeping the replica-set size — how much redundancy,
+  // not luck, closes the availability hole a killed shard opens.
+  struct AvailPoint {
+    int replicas;
+    RunResult result;
+  };
+  std::vector<AvailPoint> avail_points;
+  if (!args.bench_replicas.empty() && !serve::SignalDrain::requested()) {
+    const int shards = args.bench_shards.back();
+    for (const int replicas : args.bench_replicas) {
+      Args per = args;
+      per.routing_out.clear();
+      per.replicas = std::min(replicas, shards);
+      if (per.kill_shard >= shards) per.kill_shard = shards - 1;
+      std::cerr << "bench: availability at R=" << per.replicas << ", "
+                << shards << " shard(s)...\n";
+      RunResult r = run_trace(per, net, config, shards, !args.no_hedge);
+      all_conserved = all_conserved && r.conserved;
+      std::cout << "bench point: replicas=" << r.replicas
+                << " availability=" << r.availability
+                << " failed=" << r.stats.failed
+                << " conserved=" << (r.conserved ? "yes" : "NO") << "\n";
+      const bool interrupted = r.interrupted;
+      avail_points.push_back({per.replicas, std::move(r)});
+      if (interrupted || serve::SignalDrain::requested()) break;
+    }
   }
 
   std::ostringstream json;
@@ -717,6 +835,20 @@ int run_bench(const Args& args, const mocha::nn::Network& net,
          << ", \"conserved\": " << (p.result.conserved ? "true" : "false")
          << ", \"slo_ok\": " << (p.slo_ok ? "true" : "false") << "}";
   }
+  json << "\n  ],\n  \"availability_vs_replicas\": [";
+  for (std::size_t i = 0; i < avail_points.size(); ++i) {
+    const AvailPoint& p = avail_points[i];
+    if (i > 0) json << ",";
+    json << "\n    {\"replicas\": " << p.replicas
+         << ", \"shards\": " << args.bench_shards.back()
+         << ", \"availability\": " << p.result.availability
+         << ", \"completed\": " << p.result.stats.completed
+         << ", \"failed\": " << p.result.stats.failed
+         << ", \"failovers\": " << p.result.stats.failovers
+         << ", \"routing_epoch\": " << p.result.stats.routing_epoch
+         << ", \"conserved\": " << (p.result.conserved ? "true" : "false")
+         << "}";
+  }
   json << "\n  ],\n  \"conserved\": " << (all_conserved ? "true" : "false")
        << ",\n  \"slo_ok\": " << (all_slo ? "true" : "false") << "\n}";
   if (!obs::write_file_atomic(args.bench_out, json.str() + "\n")) {
@@ -724,7 +856,8 @@ int run_bench(const Args& args, const mocha::nn::Network& net,
     return 3;
   }
   std::cout << "wrote " << args.bench_out << " (" << points.size()
-            << " points)\n";
+            << " shard points, " << avail_points.size()
+            << " replication points)\n";
   if (!all_conserved) return 4;
   return all_slo ? 0 : 1;
 }
@@ -776,7 +909,9 @@ int run(const Args& args) {
   std::uint64_t unhedged_p99 = 0;
   if (args.hedge_compare) {
     std::cerr << "hedge-compare: replaying with hedging disabled...\n";
-    RunResult base = run_trace(args, net, config, args.shards, false);
+    Args base_args = args;
+    base_args.routing_out.clear();  // keep the hedged run's export
+    RunResult base = run_trace(base_args, net, config, args.shards, false);
     unhedged_p99 = base.p99;
     compare_ok = r.conserved && base.conserved && r.p99 < base.p99;
     std::cout << "hedge-compare: hedged p99 " << r.p99 << " us vs unhedged "
@@ -818,6 +953,11 @@ int run(const Args& args) {
   }
 
   if (!r.conserved) return 4;
+  if (args.availability_min >= 0 && r.availability < args.availability_min) {
+    std::cerr << "availability gate: " << r.availability << " < "
+              << args.availability_min << "\n";
+    return 7;
+  }
   if (!compare_ok) return 6;
   return slo_ok ? 0 : 1;
 }
